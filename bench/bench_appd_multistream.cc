@@ -1,0 +1,92 @@
+// Appendix D: multi-stream ingestion. Joint knob planning across streams
+// sharing one cloud-credit budget, versus splitting the budget evenly and
+// planning each stream independently. The joint LP (Eqs. 7-9) allocates
+// credits to the streams whose hard content benefits most.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/multi_stream.h"
+#include "core/planner.h"
+#include "util/table.h"
+#include "workloads/ev_counting.h"
+
+int main() {
+  using namespace sky;
+  using namespace sky::bench;
+  std::printf("=== Appendix D: multi-stream joint planning ===\n");
+
+  // Four cameras with different content mixes.
+  std::vector<std::unique_ptr<workloads::EvCountingWorkload>> streams;
+  std::vector<std::vector<double>> forecasts = {
+      {0.85, 0.12, 0.03},   // quiet residential street
+      {0.60, 0.25, 0.15},   // side street
+      {0.35, 0.35, 0.30},   // arterial road
+      {0.10, 0.30, 0.60}};  // busy intersection
+  for (uint64_t s = 0; s < forecasts.size(); ++s) {
+    streams.push_back(
+        std::make_unique<workloads::EvCountingWorkload>(7100 + s));
+  }
+
+  sim::ClusterSpec cluster;
+  cluster.cores = core::FairCoreShare(16, streams.size());
+  sim::CostModel cost_model(1.8);
+
+  ExperimentSetup setup = EvSetup();
+  std::vector<core::OfflineModel> models;
+  std::vector<core::StreamPlanInput> inputs;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    auto model = FitOffline(*streams[s], setup, cluster, cost_model,
+                            /*train_forecaster=*/false);
+    if (!model.ok()) {
+      std::printf("offline failed: %s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    models.push_back(std::move(*model));
+  }
+  for (size_t s = 0; s < streams.size(); ++s) {
+    core::StreamPlanInput in;
+    in.categories = &models[s].categories;
+    in.forecast = forecasts[s];
+    for (const core::ConfigProfile& p : models[s].profiles) {
+      in.config_costs.push_back(p.work_core_s_per_video_s);
+    }
+    inputs.push_back(std::move(in));
+  }
+
+  TablePrinter table("Joint vs split planning, expected quality per budget");
+  table.SetHeader({"shared budget (core-s/s)", "joint plan", "even split",
+                   "joint advantage"});
+  for (double budget : {4.0, 8.0, 12.0, 20.0, 32.0}) {
+    auto joint = core::ComputeJointKnobPlan(inputs, budget);
+    double joint_q = 0.0;
+    if (joint.ok()) {
+      for (const core::KnobPlan& p : *joint) joint_q += p.expected_quality;
+    }
+    double split_q = 0.0;
+    bool split_ok = true;
+    for (const core::StreamPlanInput& in : inputs) {
+      auto plan = core::ComputeKnobPlan(
+          *in.categories, in.forecast, in.config_costs,
+          budget / static_cast<double>(inputs.size()));
+      if (!plan.ok()) {
+        split_ok = false;
+        break;
+      }
+      split_q += plan->expected_quality;
+    }
+    table.AddRow(
+        {TablePrinter::Fmt(budget, 0),
+         joint.ok() ? TablePrinter::Pct(joint_q / inputs.size()) : "-",
+         split_ok ? TablePrinter::Pct(split_q / inputs.size()) : "-",
+         joint.ok() && split_ok
+             ? TablePrinter::Pct((joint_q - split_q) / inputs.size())
+             : "-"});
+  }
+  table.Print(std::cout);
+  std::printf("\n(joint planning always >= even split: the LP moves credits "
+              "to streams whose hard content gains the most; gains shrink "
+              "as the budget saturates)\n");
+  return 0;
+}

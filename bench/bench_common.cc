@@ -1,0 +1,135 @@
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "baselines/static_baseline.h"
+#include "video/stream_source.h"
+
+namespace sky::bench {
+
+ExperimentSetup CovidSetup() {
+  ExperimentSetup s;
+  s.segment_seconds = 4.0;
+  s.train_horizon = Days(16);
+  s.test_start = Days(16);
+  s.test_duration = Days(8);
+  s.num_categories = 3;  // Appendix K.1: COVID and MOT use 3 categories
+  s.plan_interval = Days(2);
+  return s;
+}
+
+ExperimentSetup MotSetup() { return CovidSetup(); }
+
+ExperimentSetup MoseiSetup() {
+  ExperimentSetup s;
+  s.segment_seconds = 7.0;  // Appendix K.1: MOSEI switches every 7 s
+  s.train_horizon = Days(10);
+  s.test_start = Days(10);
+  s.test_duration = Days(2);
+  s.num_categories = 5;  // Appendix K.1: MOSEI uses 5 categories
+  s.plan_interval = Days(1);
+  return s;
+}
+
+ExperimentSetup EvSetup() {
+  ExperimentSetup s;
+  s.segment_seconds = 2.0;
+  s.train_horizon = Days(16);
+  s.test_start = Days(16);
+  s.test_duration = Days(1);  // Fig. 3 plots 24 hours
+  s.num_categories = 3;
+  s.plan_interval = Days(1);
+  return s;
+}
+
+Result<core::OfflineModel> FitOffline(const core::Workload& workload,
+                                      const ExperimentSetup& setup,
+                                      const sim::ClusterSpec& cluster,
+                                      const sim::CostModel& cost_model,
+                                      bool train_forecaster) {
+  core::OfflineOptions opts;
+  opts.segment_seconds = setup.segment_seconds;
+  opts.train_horizon = setup.train_horizon;
+  opts.num_categories = setup.num_categories;
+  opts.forecaster.planned_interval = setup.plan_interval;
+  opts.train_forecaster = train_forecaster;
+  return core::RunOfflinePhase(workload, cluster, cost_model, opts);
+}
+
+double DeploymentCostUsd(const sim::ServerType& server,
+                         const sim::CostModel& cost_model, SimTime duration,
+                         double cloud_usd) {
+  double hours = duration / 3600.0;
+  return cost_model.OnPremCost(server, hours) + cloud_usd;
+}
+
+Result<double> BestStaticQualityDenominator(const core::Workload& workload,
+                                            const ExperimentSetup& setup,
+                                            const sim::CostModel& cost_model) {
+  sim::ClusterSpec big;
+  big.cores = sim::ServerCatalog().back().vcpus;
+  SKY_ASSIGN_OR_RETURN(
+      baselines::StaticResult best,
+      baselines::BestStaticBaseline(workload, big, cost_model,
+                                    setup.segment_seconds, setup.test_duration,
+                                    setup.test_start));
+  return best.total_quality;
+}
+
+std::vector<StaticEntry> StaticConfigTotals(const core::Workload& workload,
+                                            const ExperimentSetup& setup) {
+  video::StreamSource source(&workload.content_process(),
+                             setup.segment_seconds);
+  int64_t first =
+      static_cast<int64_t>(setup.test_start / setup.segment_seconds);
+  int64_t segments =
+      static_cast<int64_t>(setup.test_duration / setup.segment_seconds);
+  std::vector<StaticEntry> entries;
+  for (const core::KnobConfig& config : workload.knob_space().AllConfigs()) {
+    StaticEntry e;
+    e.config = config;
+    e.cost_core_s_per_video_s =
+        workload.CostCoreSecondsPerVideoSecond(config);
+    entries.push_back(std::move(e));
+  }
+  for (int64_t i = 0; i < segments; ++i) {
+    video::ContentState content = source.Segment(first + i).content;
+    for (StaticEntry& e : entries) {
+      e.total_quality += workload.TrueQuality(e.config, content);
+    }
+  }
+  return entries;
+}
+
+const StaticEntry& BestEntry(const std::vector<StaticEntry>& entries) {
+  const StaticEntry* best = &entries.front();
+  for (const StaticEntry& e : entries) {
+    if (e.total_quality > best->total_quality) best = &e;
+  }
+  return *best;
+}
+
+Result<StaticEntry> BestStaticOnServer(const core::Workload& workload,
+                                       const ExperimentSetup& setup,
+                                       const std::vector<StaticEntry>& totals,
+                                       const sim::ClusterSpec& cluster,
+                                       const sim::CostModel& cost_model) {
+  const StaticEntry* best = nullptr;
+  for (const StaticEntry& e : totals) {
+    if (best != nullptr && e.total_quality <= best->total_quality) continue;
+    dag::TaskGraph graph =
+        workload.BuildTaskGraph(e.config, setup.segment_seconds, cost_model);
+    SKY_ASSIGN_OR_RETURN(
+        sim::DagSimResult sim,
+        sim::SimulateDag(graph, dag::Placement::AllOnPrem(graph.NumNodes()),
+                         cluster));
+    if (sim.makespan_s <= setup.segment_seconds + 1e-9) best = &e;
+  }
+  if (best == nullptr) {
+    return Status::ResourceExhausted(
+        "no configuration runs in real time on this server");
+  }
+  return *best;
+}
+
+}  // namespace sky::bench

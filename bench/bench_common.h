@@ -1,0 +1,80 @@
+#ifndef SKYSCRAPER_BENCH_BENCH_COMMON_H_
+#define SKYSCRAPER_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "core/offline.h"
+#include "core/workload.h"
+#include "sim/cluster_sim.h"
+#include "sim/cost_model.h"
+#include "util/sim_time.h"
+
+namespace sky::bench {
+
+/// Shared experiment geometry. The paper ingests 8 unsimulated days for
+/// COVID/MOT and 2 days for MOSEI after a ~2-week offline phase; the bench
+/// harness uses the same layout on the synthetic content horizon. Segment
+/// length is the knob-switcher period (4 s keeps full sweeps fast; the
+/// Fig. 21 bench varies it).
+struct ExperimentSetup {
+  double segment_seconds = 4.0;
+  SimTime train_horizon = Days(16);
+  SimTime test_start = Days(16);
+  SimTime test_duration = Days(8);
+  size_t num_categories = 4;
+  SimTime plan_interval = Days(2);
+};
+
+ExperimentSetup CovidSetup();
+ExperimentSetup MotSetup();
+ExperimentSetup MoseiSetup();
+ExperimentSetup EvSetup();
+
+/// Runs the offline phase with the setup's geometry.
+Result<core::OfflineModel> FitOffline(const core::Workload& workload,
+                                      const ExperimentSetup& setup,
+                                      const sim::ClusterSpec& cluster,
+                                      const sim::CostModel& cost_model,
+                                      bool train_forecaster = true);
+
+/// Total monetary cost of a deployment per the Appendix L model: VM rent
+/// divided by the cloud/on-prem ratio plus cloud credits.
+double DeploymentCostUsd(const sim::ServerType& server,
+                         const sim::CostModel& cost_model, SimTime duration,
+                         double cloud_usd);
+
+/// Best static total quality on the biggest catalog server — the
+/// denominator all "quality (rel. to best)" numbers are normalized by.
+Result<double> BestStaticQualityDenominator(const core::Workload& workload,
+                                            const ExperimentSetup& setup,
+                                            const sim::CostModel& cost_model);
+
+/// One static configuration's totals over the test window.
+struct StaticEntry {
+  core::KnobConfig config;
+  double total_quality = 0.0;
+  double cost_core_s_per_video_s = 0.0;
+};
+
+/// Evaluates every configuration of the knob space once over the test
+/// window (quality totals are server-independent; per-server sweeps reuse
+/// them and only re-check real-time feasibility).
+std::vector<StaticEntry> StaticConfigTotals(const core::Workload& workload,
+                                            const ExperimentSetup& setup);
+
+/// The most qualitative entry (run statically with unlimited hardware):
+/// the normalization denominator for "quality (rel. to best)".
+const StaticEntry& BestEntry(const std::vector<StaticEntry>& entries);
+
+/// Best static deployment on `cluster`: highest-quality entry whose
+/// all-on-premise makespan fits one segment. Fails if none is real-time.
+Result<StaticEntry> BestStaticOnServer(const core::Workload& workload,
+                                       const ExperimentSetup& setup,
+                                       const std::vector<StaticEntry>& totals,
+                                       const sim::ClusterSpec& cluster,
+                                       const sim::CostModel& cost_model);
+
+}  // namespace sky::bench
+
+#endif  // SKYSCRAPER_BENCH_BENCH_COMMON_H_

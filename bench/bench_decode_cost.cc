@@ -1,0 +1,73 @@
+// §5.1 / Appendix K.2: decode cost. The paper measures 1.6 ms per frame
+// (~5% of total processing) for H.264 decode. This bench measures our
+// stand-in codec with google-benchmark and verifies the modeled decode
+// share of the COVID pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "video/codec.h"
+#include "video/scene.h"
+#include "workloads/covid.h"
+#include "workloads/udf_costs.h"
+
+namespace {
+
+sky::video::Frame MakeFrame(double density) {
+  sky::video::SceneOptions opts;
+  opts.seed = 33;
+  sky::video::SceneGenerator gen(opts);
+  sky::video::Frame frame;
+  for (int i = 0; i < 30; ++i) frame = gen.NextFrame(density);
+  return frame;
+}
+
+void BM_EncodeFrame(benchmark::State& state) {
+  sky::video::Frame frame = MakeFrame(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sky::video::BlockRleCodec::Encode(frame));
+  }
+}
+BENCHMARK(BM_EncodeFrame);
+
+void BM_DecodeFrame(benchmark::State& state) {
+  sky::video::Frame frame = MakeFrame(0.5);
+  std::vector<uint8_t> bytes = sky::video::BlockRleCodec::Encode(frame);
+  for (auto _ : state) {
+    auto decoded = sky::video::BlockRleCodec::Decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodeFrame);
+
+void BM_SceneFrame(benchmark::State& state) {
+  sky::video::SceneOptions opts;
+  opts.seed = 34;
+  sky::video::SceneGenerator gen(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.NextFrame(0.5));
+  }
+}
+BENCHMARK(BM_SceneFrame);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== §5.1 / K.2: decode cost ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Modeled decode share of the COVID pipeline (paper: 1.6 ms/frame = ~5%
+  // of the total runtime; YOLOv5 86 ms per inference on the same cores).
+  sky::workloads::CovidWorkload covid;
+  sky::core::KnobConfig mid = {2, 1, 0};  // 10 FPS, det every 5, 1x1 tiles
+  double total = covid.CostCoreSecondsPerVideoSecond(mid);
+  double decode = 30.0 * sky::workloads::kDecodeCostPerFrame;
+  std::printf("\nmodeled COVID pipeline: decode %.1f ms/frame, %.1f%% of "
+              "total work at config (10FPS, det=5, 1x1) — paper: 1.6 ms, "
+              "~5%%\n",
+              sky::workloads::kDecodeCostPerFrame * 1e3,
+              100.0 * decode / total);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 15: knob-switcher content misclassification. Compares the standard
+// switcher (Eq. 5, previous-segment quality) against a "No Type-B errors"
+// baseline (classifies with the *current* segment's quality, isolating the
+// one-dimensional-classification Type-A errors) and a ground-truth baseline,
+// across server sizes. Also reports the error-type split of §5.6.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "util/table.h"
+#include "workloads/covid.h"
+#include "workloads/mot.h"
+
+namespace sky::bench {
+namespace {
+
+void RunWorkload(const core::Workload& workload, ExperimentSetup setup,
+                 double cloud_budget) {
+  setup.test_duration = Days(2);
+  sim::CostModel cost_model(1.8);
+  std::vector<StaticEntry> totals = StaticConfigTotals(workload, setup);
+  double denom = BestEntry(totals).total_quality;
+
+  TablePrinter table(std::string(workload.name()) +
+                     " — switcher classification baselines");
+  table.SetHeader({"vCPUs", "Standard", "No Type-B", "Ground truth",
+                   "miscls.", "Type-A", "Type-B"});
+
+  for (int vcpus : {4, 8, 16, 32}) {
+    sim::ClusterSpec cluster;
+    cluster.cores = vcpus;
+    auto model = FitOffline(workload, setup, cluster, cost_model,
+                            /*train_forecaster=*/false);
+    if (!model.ok()) continue;
+
+    double quality[3] = {0, 0, 0};
+    double miscls = 0, type_a = 0, type_b = 0;
+    for (int mode = 0; mode < 3; ++mode) {
+      core::EngineOptions run;
+      run.duration = setup.test_duration;
+      run.plan_interval = setup.plan_interval;
+      run.cloud_budget_usd_per_interval = cloud_budget;
+      run.eliminate_type_b_errors = mode == 1;
+      run.use_ground_truth_categories = mode == 2;
+      core::IngestionEngine engine(&workload, &*model, cluster, &cost_model,
+                                   run);
+      auto result = engine.Run(setup.test_start);
+      if (!result.ok()) continue;
+      quality[mode] = result->total_quality / denom;
+      if (mode == 0) {
+        double n = static_cast<double>(result->segments);
+        miscls = result->misclassified / n;
+        type_a = result->type_a_errors / n;
+        type_b = result->type_b_errors / n;
+      }
+    }
+    table.AddRow({std::to_string(vcpus), TablePrinter::Pct(quality[0], 0),
+                  TablePrinter::Pct(quality[1], 0),
+                  TablePrinter::Pct(quality[2], 0),
+                  TablePrinter::Pct(miscls), TablePrinter::Pct(type_a),
+                  TablePrinter::Pct(type_b)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace sky::bench
+
+int main() {
+  using namespace sky::bench;
+  std::printf("=== Figure 15: switcher misclassification impact ===\n");
+  {
+    sky::workloads::CovidWorkload covid;
+    RunWorkload(covid, CovidSetup(), 3.0);
+  }
+  {
+    sky::workloads::MotWorkload mot;
+    RunWorkload(mot, MotSetup(), 2.0);
+  }
+  std::printf("\n(paper: Standard misclassifies 2.1%% on COVID / 6.6%% on "
+              "MOT; No-Type-B nearly matches ground truth — the timing "
+              "mismatch drives the losses)\n");
+  return 0;
+}

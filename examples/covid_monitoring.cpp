@@ -1,0 +1,87 @@
+// COVID-19 safety-measure monitoring (paper §5.2): pedestrian detection,
+// tracking, social-distancing homography, and mask classification over a
+// busy shopping-street camera.
+//
+// This example compares three deployments of the same job on the same
+// 4-vCPU server:
+//   1. the best static knob configuration that runs in real time,
+//   2. Skyscraper with buffering only,
+//   3. Skyscraper with buffering and cloud bursting.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/static_baseline.h"
+#include "core/engine.h"
+#include "core/offline.h"
+#include "util/table.h"
+#include "workloads/covid.h"
+
+int main() {
+  std::printf("COVID monitoring on a shopping-street camera\n");
+
+  sky::workloads::CovidWorkload covid;
+  sky::sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  sky::sim::CostModel cost_model(1.8);
+
+  sky::core::OfflineOptions offline;
+  offline.segment_seconds = 4.0;
+  offline.train_horizon = sky::Days(8);
+  offline.num_categories = 3;
+  offline.forecaster.input_span = sky::Days(2);
+  offline.forecaster.planned_interval = sky::Days(2);
+  auto model = sky::core::RunOfflinePhase(covid, cluster, cost_model, offline);
+  if (!model.ok()) {
+    std::printf("offline phase failed: %s\n",
+                model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("offline phase done: %zu knob configurations on the Pareto "
+              "frontier\n\n",
+              model->configs.size());
+
+  const sky::SimTime start = sky::Days(8);
+  const sky::SimTime duration = sky::Days(2);
+
+  sky::TablePrinter table("COVID: 2 days ingested on a 4-vCPU server");
+  table.SetHeader({"deployment", "mean quality", "cloud $", "buffer peak",
+                   "knob switches"});
+
+  auto st = sky::baselines::BestStaticBaseline(covid, cluster, cost_model,
+                                               4.0, duration, start);
+  if (st.ok()) {
+    table.AddRow({"static (best real-time config)",
+                  sky::TablePrinter::Pct(st->mean_quality), "$0.00", "0 GB",
+                  "0"});
+  }
+
+  for (bool cloud : {false, true}) {
+    sky::core::EngineOptions run;
+    run.duration = duration;
+    run.plan_interval = sky::Days(2);
+    run.enable_cloud = cloud;
+    run.cloud_budget_usd_per_interval = cloud ? 3.0 : 0.0;
+    sky::core::IngestionEngine engine(&covid, &*model, cluster, &cost_model,
+                                      run);
+    auto result = engine.Run(start);
+    if (!result.ok()) {
+      std::printf("run failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    char peak[32];
+    std::snprintf(peak, sizeof(peak), "%.2f GB",
+                  result->buffer_high_water_bytes / 1e9);
+    table.AddRow({cloud ? "Skyscraper (buffer + cloud)"
+                        : "Skyscraper (buffer only)",
+                  sky::TablePrinter::Pct(result->mean_quality),
+                  sky::TablePrinter::Usd(result->cloud_usd), peak,
+                  std::to_string(result->switch_count)});
+  }
+
+  table.Print(std::cout);
+  std::printf("\nSkyscraper spends its work where the content is hard "
+              "(occlusions at rush hour); the static config pays for peak "
+              "provisioning around the clock.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Multi-stream deployment (paper Appendix D): several cameras share one
+// cloud-credit budget; the joint knob planner allocates credits to the
+// streams where expensive configurations matter most.
+//
+// Three cameras run the EV-counting job: a quiet residential camera, a
+// normal street, and a busy intersection. Each stream keeps its own content
+// categories and forecast; only the planning LP is joint (Eqs. 7-9).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/multi_stream.h"
+#include "core/offline.h"
+#include "util/table.h"
+#include "workloads/ev_counting.h"
+
+int main() {
+  std::printf("Joint knob planning for three camera streams (Appendix D)\n");
+
+  // Three streams with different content mixes (different seeds shift the
+  // diurnal noise/events; forecasts differ accordingly).
+  sky::workloads::EvCountingWorkload quiet(9001);
+  sky::workloads::EvCountingWorkload normal(9002);
+  sky::workloads::EvCountingWorkload busy(9003);
+  std::vector<sky::core::Workload*> streams = {&quiet, &normal, &busy};
+  std::vector<const char*> names = {"residential", "street", "intersection"};
+  // Hand-crafted per-stream forecasts: how often each stream shows easy /
+  // medium / hard content.
+  std::vector<std::vector<double>> forecasts = {
+      {0.80, 0.15, 0.05}, {0.50, 0.30, 0.20}, {0.20, 0.35, 0.45}};
+
+  sky::sim::ClusterSpec cluster;
+  cluster.cores = 12;  // shared server
+  sky::sim::CostModel cost_model(1.8);
+  int fair_cores =
+      sky::core::FairCoreShare(cluster.cores, streams.size());
+  std::printf("shared server: %d cores -> %d per stream (fair share)\n",
+              cluster.cores, fair_cores);
+
+  // Per-stream offline phases (independent, Appendix D).
+  std::vector<sky::core::OfflineModel> models;
+  for (sky::core::Workload* w : streams) {
+    sky::core::OfflineOptions offline;
+    offline.segment_seconds = 4.0;
+    offline.train_horizon = sky::Days(4);
+    offline.num_categories = 3;
+    offline.train_forecaster = false;  // forecasts supplied above
+    sky::sim::ClusterSpec share = cluster;
+    share.cores = fair_cores;
+    auto model = sky::core::RunOfflinePhase(*w, share, cost_model, offline);
+    if (!model.ok()) {
+      std::printf("offline failed: %s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    models.push_back(std::move(*model));
+  }
+
+  // Joint plan under the shared budget.
+  std::vector<sky::core::StreamPlanInput> inputs;
+  for (size_t v = 0; v < streams.size(); ++v) {
+    sky::core::StreamPlanInput in;
+    in.categories = &models[v].categories;
+    in.forecast = forecasts[v];
+    for (const sky::core::ConfigProfile& p : models[v].profiles) {
+      in.config_costs.push_back(p.work_core_s_per_video_s);
+    }
+    inputs.push_back(std::move(in));
+  }
+  double budget = static_cast<double>(cluster.cores) +
+                  cost_model.UsdToCoreSeconds(6.0) / sky::Days(1);
+  auto plans = sky::core::ComputeJointKnobPlan(inputs, budget);
+  if (!plans.ok()) {
+    std::printf("joint planning failed: %s\n",
+                plans.status().ToString().c_str());
+    return 1;
+  }
+
+  sky::TablePrinter table("Joint plan (budget " +
+                          sky::TablePrinter::Fmt(budget, 1) +
+                          " core-s per video-s across 3 streams)");
+  table.SetHeader({"stream", "expected quality", "expected work",
+                   "expensive-config share (hard content)"});
+  for (size_t v = 0; v < plans->size(); ++v) {
+    const sky::core::KnobPlan& plan = (*plans)[v];
+    // Share of the most expensive configuration on the hardest category.
+    size_t num_k = models[v].profiles.size();
+    size_t hardest = 0;
+    double worst = 2.0;
+    for (size_t c = 0; c < 3; ++c) {
+      double q = models[v].categories.CenterQuality(c, 0);
+      if (q < worst) {
+        worst = q;
+        hardest = c;
+      }
+    }
+    double expensive_share = plan.alpha.At(hardest, num_k - 1);
+    table.AddRow({names[v], sky::TablePrinter::Pct(plan.expected_quality),
+                  sky::TablePrinter::Fmt(plan.expected_work, 2),
+                  sky::TablePrinter::Pct(expensive_share)});
+  }
+  table.Print(std::cout);
+  std::printf("\nCredits flow to the streams (and content categories) where "
+              "expensive configurations buy the most quality; normalization "
+              "still holds per stream and category (Eq. 9).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Social-media sentiment analysis (paper §5.2, MOSEI): a Twitch-like fleet
+// of talking-head live streams is transcribed and classified for opinion
+// sentiment. The number of live streams varies over the day and spikes.
+//
+// Demonstrates why the two workload-peak shapes need different remedies:
+//   MOSEI-HIGH: short 62-stream peaks — shipping that many streams to the
+//               cloud saturates the uplink, so the buffer must absorb them;
+//   MOSEI-LONG: an 8-hour plateau — no buffer is large enough, so cloud
+//               bursting must absorb it.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/offline.h"
+#include "util/table.h"
+#include "workloads/mosei.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool buffer;
+  bool cloud;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("MOSEI social-media sentiment under workload spikes\n\n");
+
+  sky::sim::ClusterSpec cluster;
+  cluster.cores = 16;
+  sky::sim::CostModel cost_model(1.8);
+
+  for (auto kind : {sky::workloads::MoseiWorkload::SpikeKind::kHigh,
+                    sky::workloads::MoseiWorkload::SpikeKind::kLong}) {
+    sky::workloads::MoseiWorkload mosei(kind);
+
+    sky::core::OfflineOptions offline;
+    offline.segment_seconds = 7.0;
+    offline.train_horizon = sky::Days(6);
+    offline.num_categories = 5;
+    offline.forecaster.input_span = sky::Days(1);
+    offline.forecaster.planned_interval = sky::Days(1);
+    auto model =
+        sky::core::RunOfflinePhase(mosei, cluster, cost_model, offline);
+    if (!model.ok()) {
+      std::printf("offline phase failed: %s\n",
+                  model.status().ToString().c_str());
+      return 1;
+    }
+
+    sky::TablePrinter table(std::string(mosei.name()) +
+                            ": 2 days on 16 vCPUs");
+    table.SetHeader({"variant", "mean quality", "cloud $", "degradations"});
+    for (const Variant& v : {Variant{"buffering only", true, false},
+                             Variant{"cloud only", false, true},
+                             Variant{"buffering + cloud", true, true}}) {
+      sky::core::EngineOptions run;
+      run.duration = sky::Days(2);
+      run.plan_interval = sky::Days(1);
+      run.enable_buffer = v.buffer;
+      run.enable_cloud = v.cloud;
+      run.cloud_budget_usd_per_interval = v.cloud ? 8.0 : 0.0;
+      sky::core::IngestionEngine engine(&mosei, &*model, cluster, &cost_model,
+                                        run);
+      auto result = engine.Run(sky::Days(6));
+      if (!result.ok()) {
+        std::printf("run failed: %s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({v.name, sky::TablePrinter::Pct(result->mean_quality),
+                    sky::TablePrinter::Usd(result->cloud_usd),
+                    std::to_string(result->degraded_count)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("HIGH spikes favor the buffer (bandwidth chokes the cloud); "
+              "the LONG plateau favors the cloud (it outlasts any buffer). "
+              "Combining both handles either shape (§5.4).\n");
+  return 0;
+}

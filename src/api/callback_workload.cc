@@ -1,0 +1,42 @@
+#include "api/callback_workload.h"
+
+#include "workloads/udf_costs.h"
+
+namespace sky::api {
+
+CallbackWorkload::CallbackWorkload(std::string name, core::KnobSpace space,
+                                   const video::ContentProcess* content,
+                                   CostFn cost, QualityFn quality,
+                                   GraphFn graph)
+    : name_(std::move(name)),
+      space_(std::move(space)),
+      content_(content),
+      cost_(std::move(cost)),
+      quality_(std::move(quality)),
+      graph_(std::move(graph)) {}
+
+double CallbackWorkload::CostCoreSecondsPerVideoSecond(
+    const core::KnobConfig& config) const {
+  return cost_(config);
+}
+
+double CallbackWorkload::TrueQuality(
+    const core::KnobConfig& config,
+    const video::ContentState& content) const {
+  return quality_(config, content);
+}
+
+dag::TaskGraph CallbackWorkload::BuildTaskGraph(
+    const core::KnobConfig& config, double segment_seconds,
+    const sim::CostModel& cost_model) const {
+  if (graph_) return graph_(config, segment_seconds, cost_model);
+  // Default: a single monolithic UDF whose runtime is the configuration's
+  // total work over the segment.
+  dag::TaskGraph g;
+  double work = cost_(config) * segment_seconds;
+  g.AddNode(workloads::MakeUdfNode(
+      "udf", work, 90e3 * segment_seconds, 4e3 * segment_seconds, cost_model));
+  return g;
+}
+
+}  // namespace sky::api

@@ -1,0 +1,43 @@
+#include "api/skyscraper.h"
+
+namespace sky::api {
+
+Skyscraper::Skyscraper(const core::Workload* workload)
+    : workload_(workload), cost_model_(1.8) {
+  SetResources(Resources{});
+}
+
+void Skyscraper::SetResources(const Resources& resources) {
+  resources_ = resources;
+  cluster_.cores = resources.cores;
+  cluster_.uplink_bytes_per_s = resources.uplink_bytes_per_s;
+  cluster_.downlink_bytes_per_s = resources.downlink_bytes_per_s;
+  cost_model_ = sim::CostModel(resources.cloud_to_onprem_cost_ratio);
+  // Changing the provisioning invalidates the profiled placements.
+  model_.reset();
+}
+
+Status Skyscraper::Fit(const core::OfflineOptions& options) {
+  SKY_ASSIGN_OR_RETURN(
+      core::OfflineModel model,
+      core::RunOfflinePhase(*workload_, cluster_, cost_model_, options));
+  model_.emplace(std::move(model));
+  return Status::Ok();
+}
+
+Result<core::EngineResult> Skyscraper::Ingest(SimTime start_time,
+                                              core::EngineOptions options) {
+  if (!model_.has_value()) {
+    return Status::FailedPrecondition("call Fit() before Ingest()");
+  }
+  options.buffer_bytes = resources_.buffer_bytes;
+  if (options.cloud_budget_usd_per_interval == 0.0) {
+    options.cloud_budget_usd_per_interval =
+        resources_.cloud_budget_usd_per_interval;
+  }
+  core::IngestionEngine engine(workload_, &*model_, cluster_, &cost_model_,
+                               options);
+  return engine.Run(start_time);
+}
+
+}  // namespace sky::api

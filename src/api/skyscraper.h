@@ -1,0 +1,70 @@
+#ifndef SKYSCRAPER_API_SKYSCRAPER_H_
+#define SKYSCRAPER_API_SKYSCRAPER_H_
+
+#include <optional>
+
+#include "core/engine.h"
+#include "core/offline.h"
+#include "core/workload.h"
+#include "sim/cluster_sim.h"
+#include "sim/cost_model.h"
+#include "util/result.h"
+
+namespace sky::api {
+
+/// Hardware provisioning for a Skyscraper deployment — the three resource
+/// types of §1: an always-on local cluster, a bounded video buffer, and an
+/// on-demand cloud budget.
+struct Resources {
+  int cores = 8;
+  uint64_t buffer_bytes = 4ull << 30;
+  /// Cloud credits granted per planned interval (e.g. per 2 days), USD.
+  double cloud_budget_usd_per_interval = 0.0;
+  double uplink_bytes_per_s = 12.5e6;
+  double downlink_bytes_per_s = 25.0e6;
+  /// Cloud-to-on-premise compute price ratio (Appendix L).
+  double cloud_to_onprem_cost_ratio = 1.8;
+};
+
+/// The user-facing facade, mirroring the Appendix F API:
+///
+///   workloads::EvCountingWorkload job;        // UDFs + knobs (user code)
+///   api::Skyscraper sky(&job);
+///   sky.SetResources({.cores = 8, .buffer_bytes = 4ull << 30,
+///                     .cloud_budget_usd_per_interval = 5.0});
+///   auto fit = sky.Fit();                      // offline phase (§3)
+///   auto run = sky.Ingest(Days(16), {.duration = Days(1)});  // online (§4)
+///
+/// The workload object plays the role of the registered UDFs, knobs and
+/// quality metric of the Python snippet; CallbackWorkload (see
+/// callback_workload.h) builds one from plain std::functions.
+class Skyscraper {
+ public:
+  explicit Skyscraper(const core::Workload* workload);
+
+  void SetResources(const Resources& resources);
+
+  /// Runs the offline preparation phase (§3) on the provisioned hardware.
+  Status Fit(const core::OfflineOptions& options = {});
+
+  /// Ingests live video starting at `start_time` into the content process.
+  /// Requires a successful Fit().
+  Result<core::EngineResult> Ingest(SimTime start_time,
+                                    core::EngineOptions options = {});
+
+  bool fitted() const { return model_.has_value(); }
+  const core::OfflineModel& model() const { return *model_; }
+  const sim::ClusterSpec& cluster() const { return cluster_; }
+  const sim::CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  const core::Workload* workload_;
+  Resources resources_;
+  sim::ClusterSpec cluster_;
+  sim::CostModel cost_model_;
+  std::optional<core::OfflineModel> model_;
+};
+
+}  // namespace sky::api
+
+#endif  // SKYSCRAPER_API_SKYSCRAPER_H_

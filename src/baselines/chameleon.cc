@@ -1,0 +1,97 @@
+#include "baselines/chameleon.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "video/stream_source.h"
+
+namespace sky::baselines {
+
+Result<ChameleonResult> RunChameleonBaseline(
+    const core::Workload& workload,
+    const std::vector<core::ConfigProfile>& candidates,
+    const sim::ClusterSpec& cluster, double segment_seconds, SimTime duration,
+    SimTime start_time, const ChameleonOptions& options) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate configurations");
+  }
+  (void)cluster;
+
+  video::StreamSource source(&workload.content_process(), segment_seconds);
+  int64_t first_segment = static_cast<int64_t>(start_time / segment_seconds);
+  int64_t segments = static_cast<int64_t>(duration / segment_seconds);
+
+  Rng rng(options.seed);
+  Rng noise = rng.Fork("measurement");
+
+  ChameleonResult result;
+  double lag_s = 0.0;
+  double buffered_bytes = 0.0;
+  size_t active = 0;  // index into candidates
+
+  for (int64_t i = 0; i < segments; ++i) {
+    video::SegmentInfo info = source.Segment(first_segment + i);
+    double bytes_per_s =
+        static_cast<double>(info.bytes) / std::max(1e-9, info.duration_s);
+
+    if (i % options.profile_every_segments == 0) {
+      // Profiling: run every candidate on this segment's content and pay
+      // its processing time. Chameleon picks the cheapest configuration
+      // whose measured quality reaches the target.
+      size_t chosen = 0;
+      double chosen_cost = std::numeric_limits<double>::infinity();
+      size_t best_q_idx = 0;
+      double best_q = -1.0;
+      bool target_met = false;
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        double q = workload.MeasuredQuality(candidates[k].config,
+                                            info.content, &noise);
+        double cost = candidates[k].work_core_s_per_video_s;
+        double runtime = candidates[k].OnPremRuntime();
+        lag_s += runtime;  // profiling occupies the processor
+        result.profiling_core_seconds += cost * segment_seconds;
+        result.work_core_seconds += cost * segment_seconds;
+        if (q > best_q) {
+          best_q = q;
+          best_q_idx = k;
+        }
+        if (q + 1e-12 >= options.quality_target && cost < chosen_cost) {
+          chosen_cost = cost;
+          chosen = k;
+          target_met = true;
+        }
+      }
+      active = target_met ? chosen : best_q_idx;
+    }
+
+    const core::ConfigProfile& profile = candidates[active];
+    double new_lag =
+        std::max(0.0, lag_s + profile.OnPremRuntime() - segment_seconds);
+    if (new_lag > lag_s) {
+      buffered_bytes += (new_lag - lag_s) * bytes_per_s;
+    } else if (lag_s > 0.0) {
+      buffered_bytes -= (lag_s - new_lag) * (buffered_bytes / lag_s);
+    }
+    if (new_lag <= 1e-12) buffered_bytes = 0.0;
+    lag_s = new_lag;
+    if (buffered_bytes > static_cast<double>(options.buffer_bytes)) {
+      // Unmanaged buffer overflow: Chameleon* crashes (§5.3).
+      result.crashed = true;
+      result.crash_time = info.start;
+      return result;
+    }
+
+    result.total_quality +=
+        workload.TrueQuality(profile.config, info.content);
+    result.work_core_seconds +=
+        profile.work_core_s_per_video_s * segment_seconds;
+    ++result.segments;
+  }
+  result.mean_quality =
+      result.segments == 0
+          ? 0.0
+          : result.total_quality / static_cast<double>(result.segments);
+  return result;
+}
+
+}  // namespace sky::baselines

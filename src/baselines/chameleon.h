@@ -1,0 +1,54 @@
+#ifndef SKYSCRAPER_BASELINES_CHAMELEON_H_
+#define SKYSCRAPER_BASELINES_CHAMELEON_H_
+
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/workload.h"
+#include "sim/cluster_sim.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::baselines {
+
+struct ChameleonOptions {
+  /// Re-profiling period in segments (Chameleon's leader-window). Each
+  /// profiling step runs every candidate configuration on one segment of
+  /// video — the profiling overhead §5.3 attributes Chameleon's losses to.
+  int64_t profile_every_segments = 16;
+  /// Quality threshold: Chameleon picks the cheapest configuration whose
+  /// profiled quality reaches `quality_target` (its accuracy SLO), falling
+  /// back to the best profiled one. Sweeping this yields the cost-quality
+  /// curve of Fig. 4.
+  double quality_target = 0.9;
+  uint64_t buffer_bytes = 4ull << 30;
+  uint64_t seed = 91;
+};
+
+struct ChameleonResult {
+  double total_quality = 0.0;
+  double mean_quality = 0.0;
+  double work_core_seconds = 0.0;  ///< includes profiling overhead
+  double profiling_core_seconds = 0.0;
+  /// Chameleon* has no throughput guarantee: when its unmanaged buffer
+  /// overflows the run crashes (the paper only reports non-crashing setups).
+  bool crashed = false;
+  SimTime crash_time = 0.0;
+  size_t segments = 0;
+};
+
+/// Chameleon* (§5.3): the Chameleon content-adaptive tuner [40] adapted with
+/// a buffer so it can run on non-peak-provisioned hardware. It periodically
+/// profiles candidate configurations on live content (paying their full
+/// processing cost), then uses the cheapest configuration meeting its
+/// quality target until the next profiling step. It is lag-agnostic:
+/// nothing stops it from picking configurations that overrun the buffer.
+Result<ChameleonResult> RunChameleonBaseline(
+    const core::Workload& workload,
+    const std::vector<core::ConfigProfile>& candidates,
+    const sim::ClusterSpec& cluster, double segment_seconds, SimTime duration,
+    SimTime start_time, const ChameleonOptions& options);
+
+}  // namespace sky::baselines
+
+#endif  // SKYSCRAPER_BASELINES_CHAMELEON_H_

@@ -1,0 +1,71 @@
+#include "baselines/idealized.h"
+
+#include "lp/knapsack.h"
+#include "video/stream_source.h"
+
+namespace sky::baselines {
+
+Result<IdealizedResult> RunIdealizedSystem(
+    const core::Workload& workload,
+    const std::vector<core::ConfigProfile>& candidates,
+    double segment_seconds, SimTime duration, SimTime start_time,
+    double work_budget_core_seconds, double lookback_days) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate configurations");
+  }
+  if (start_time < Days(lookback_days)) {
+    return Status::InvalidArgument(
+        "start_time must leave room for the look-back window");
+  }
+
+  video::StreamSource source(&workload.content_process(), segment_seconds);
+  int64_t first_segment = static_cast<int64_t>(start_time / segment_seconds);
+  int64_t segments = static_cast<int64_t>(duration / segment_seconds);
+  if (segments <= 0) return Status::InvalidArgument("duration too short");
+  int64_t days = std::max<int64_t>(1, static_cast<int64_t>(lookback_days));
+
+  // Forecast qual(k, t_i) as the mean quality at the same time of day over
+  // the look-back window; assign configs by knapsack on the forecast.
+  std::vector<std::vector<double>> forecast_values(
+      static_cast<size_t>(segments));
+  std::vector<std::vector<double>> weights(static_cast<size_t>(segments));
+  std::vector<double> config_weight(candidates.size());
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    config_weight[k] = candidates[k].work_core_s_per_video_s * segment_seconds;
+  }
+  const video::ContentProcess& content = workload.content_process();
+  for (int64_t i = 0; i < segments; ++i) {
+    double t = start_time + (static_cast<double>(i) + 0.5) * segment_seconds;
+    auto& v = forecast_values[static_cast<size_t>(i)];
+    v.assign(candidates.size(), 0.0);
+    for (int64_t d = 1; d <= days; ++d) {
+      video::ContentState past = content.At(t - Days(static_cast<double>(d)));
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        v[k] += workload.TrueQuality(candidates[k].config, past);
+      }
+    }
+    for (double& q : v) q /= static_cast<double>(days);
+    weights[static_cast<size_t>(i)] = config_weight;
+  }
+
+  SKY_ASSIGN_OR_RETURN(lp::ChoiceSolution solution,
+                       lp::MultipleChoiceKnapsackGreedy(
+                           forecast_values, weights,
+                           work_budget_core_seconds));
+
+  IdealizedResult result;
+  result.segments = static_cast<size_t>(segments);
+  result.predicted_quality = solution.total_value;
+  result.work_core_seconds = solution.total_weight;
+  for (int64_t i = 0; i < segments; ++i) {
+    video::SegmentInfo info = source.Segment(first_segment + i);
+    size_t k = solution.choice[static_cast<size_t>(i)];
+    result.total_quality +=
+        workload.TrueQuality(candidates[k].config, info.content);
+  }
+  result.mean_quality =
+      result.total_quality / static_cast<double>(result.segments);
+  return result;
+}
+
+}  // namespace sky::baselines

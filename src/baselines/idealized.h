@@ -1,0 +1,36 @@
+#ifndef SKYSCRAPER_BASELINES_IDEALIZED_H_
+#define SKYSCRAPER_BASELINES_IDEALIZED_H_
+
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/workload.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::baselines {
+
+struct IdealizedResult {
+  double total_quality = 0.0;   ///< realized (true-content) quality
+  double mean_quality = 0.0;
+  double predicted_quality = 0.0;  ///< what the forecast believed
+  double work_core_seconds = 0.0;
+  size_t segments = 0;
+};
+
+/// The "idealized system" of §2.2 / Appendix B.1: slice time into
+/// segment-length pieces, forecast each configuration's quality on each
+/// future segment directly, and solve the per-segment assignment as a
+/// knapsack. The forecast is the average time-of-day quality over the
+/// previous `lookback_days` (fitting anything richer is hopeless at an
+/// output dimensionality of ~260k, which is the paper's point). The
+/// realized quality then exposes how badly per-instant forecasts miss.
+Result<IdealizedResult> RunIdealizedSystem(
+    const core::Workload& workload,
+    const std::vector<core::ConfigProfile>& candidates,
+    double segment_seconds, SimTime duration, SimTime start_time,
+    double work_budget_core_seconds, double lookback_days = 2.0);
+
+}  // namespace sky::baselines
+
+#endif  // SKYSCRAPER_BASELINES_IDEALIZED_H_

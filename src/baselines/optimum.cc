@@ -1,0 +1,52 @@
+#include "baselines/optimum.h"
+
+#include "lp/knapsack.h"
+#include "video/stream_source.h"
+
+namespace sky::baselines {
+
+Result<OptimumResult> RunOptimumBaseline(
+    const core::Workload& workload,
+    const std::vector<core::ConfigProfile>& candidates,
+    double segment_seconds, SimTime duration, SimTime start_time,
+    double work_budget_core_seconds) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate configurations");
+  }
+
+  video::StreamSource source(&workload.content_process(), segment_seconds);
+  int64_t first_segment = static_cast<int64_t>(start_time / segment_seconds);
+  int64_t segments = static_cast<int64_t>(duration / segment_seconds);
+  if (segments <= 0) return Status::InvalidArgument("duration too short");
+
+  // One knapsack group per segment; options are the candidate configs.
+  std::vector<std::vector<double>> values(static_cast<size_t>(segments));
+  std::vector<std::vector<double>> weights(static_cast<size_t>(segments));
+  std::vector<double> config_weight(candidates.size());
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    config_weight[k] = candidates[k].work_core_s_per_video_s * segment_seconds;
+  }
+  for (int64_t i = 0; i < segments; ++i) {
+    video::SegmentInfo info = source.Segment(first_segment + i);
+    auto& v = values[static_cast<size_t>(i)];
+    v.reserve(candidates.size());
+    for (const core::ConfigProfile& c : candidates) {
+      v.push_back(workload.TrueQuality(c.config, info.content));
+    }
+    weights[static_cast<size_t>(i)] = config_weight;
+  }
+
+  SKY_ASSIGN_OR_RETURN(lp::ChoiceSolution solution,
+                       lp::MultipleChoiceKnapsackGreedy(
+                           values, weights, work_budget_core_seconds));
+
+  OptimumResult result;
+  result.segments = static_cast<size_t>(segments);
+  result.total_quality = solution.total_value;
+  result.work_core_seconds = solution.total_weight;
+  result.mean_quality =
+      result.total_quality / static_cast<double>(result.segments);
+  return result;
+}
+
+}  // namespace sky::baselines

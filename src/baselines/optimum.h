@@ -1,0 +1,32 @@
+#ifndef SKYSCRAPER_BASELINES_OPTIMUM_H_
+#define SKYSCRAPER_BASELINES_OPTIMUM_H_
+
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/workload.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::baselines {
+
+struct OptimumResult {
+  double total_quality = 0.0;
+  double mean_quality = 0.0;
+  double work_core_seconds = 0.0;
+  size_t segments = 0;
+};
+
+/// The Optimum baseline of §5.4 (2c): an oracle that knows every
+/// configuration's ground-truth quality on every segment in advance and
+/// assigns configurations with the greedy 0-1 (multiple-choice) knapsack
+/// approximation under a total work budget in core-seconds.
+Result<OptimumResult> RunOptimumBaseline(
+    const core::Workload& workload,
+    const std::vector<core::ConfigProfile>& candidates,
+    double segment_seconds, SimTime duration, SimTime start_time,
+    double work_budget_core_seconds);
+
+}  // namespace sky::baselines
+
+#endif  // SKYSCRAPER_BASELINES_OPTIMUM_H_

@@ -1,0 +1,67 @@
+#include "baselines/static_baseline.h"
+
+#include <algorithm>
+
+namespace sky::baselines {
+
+Result<StaticResult> RunStaticBaseline(const core::Workload& workload,
+                                       const core::KnobConfig& config,
+                                       const sim::ClusterSpec& cluster,
+                                       const sim::CostModel& cost_model,
+                                       double segment_seconds,
+                                       SimTime duration, SimTime start_time) {
+  SKY_RETURN_NOT_OK(workload.knob_space().ValidateConfig(config));
+
+  StaticResult result;
+  result.config = config;
+
+  dag::TaskGraph graph =
+      workload.BuildTaskGraph(config, segment_seconds, cost_model);
+  SKY_ASSIGN_OR_RETURN(
+      sim::DagSimResult sim,
+      sim::SimulateDag(graph, dag::Placement::AllOnPrem(graph.NumNodes()),
+                       cluster));
+  result.real_time = sim.makespan_s <= segment_seconds + 1e-9;
+
+  const video::ContentProcess& content = workload.content_process();
+  int64_t segments = static_cast<int64_t>(duration / segment_seconds);
+  double cost = workload.CostCoreSecondsPerVideoSecond(config);
+  for (int64_t i = 0; i < segments; ++i) {
+    double t = start_time + (static_cast<double>(i) + 0.5) * segment_seconds;
+    result.total_quality += workload.TrueQuality(config, content.At(t));
+  }
+  result.mean_quality =
+      segments > 0 ? result.total_quality / static_cast<double>(segments)
+                   : 0.0;
+  result.work_core_seconds = cost * duration;
+  return result;
+}
+
+Result<StaticResult> BestStaticBaseline(const core::Workload& workload,
+                                        const sim::ClusterSpec& cluster,
+                                        const sim::CostModel& cost_model,
+                                        double segment_seconds,
+                                        SimTime duration, SimTime start_time) {
+  // Order configurations by cost and probe quality on a coarse content grid
+  // first; full evaluation only for the real-time candidates.
+  StaticResult best;
+  bool found = false;
+  for (const core::KnobConfig& config : workload.knob_space().AllConfigs()) {
+    SKY_ASSIGN_OR_RETURN(
+        StaticResult candidate,
+        RunStaticBaseline(workload, config, cluster, cost_model,
+                          segment_seconds, duration, start_time));
+    if (!candidate.real_time) continue;
+    if (!found || candidate.total_quality > best.total_quality) {
+      best = std::move(candidate);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::ResourceExhausted(
+        "no configuration runs in real time on this server");
+  }
+  return best;
+}
+
+}  // namespace sky::baselines

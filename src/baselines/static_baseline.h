@@ -1,0 +1,48 @@
+#ifndef SKYSCRAPER_BASELINES_STATIC_BASELINE_H_
+#define SKYSCRAPER_BASELINES_STATIC_BASELINE_H_
+
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/workload.h"
+#include "sim/cluster_sim.h"
+#include "sim/cost_model.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::baselines {
+
+struct StaticResult {
+  core::KnobConfig config;
+  double total_quality = 0.0;
+  double mean_quality = 0.0;
+  double work_core_seconds = 0.0;
+  /// True if the config's all-on-premise makespan fits within a segment:
+  /// the static baseline must be provisioned for real-time ingest.
+  bool real_time = false;
+};
+
+/// The Static baseline of §5.3: one fixed knob configuration for the whole
+/// stream, no buffering, no cloud. The configuration must run in real time
+/// on the provisioned server (otherwise `real_time` is false and the result
+/// is not a valid deployment).
+Result<StaticResult> RunStaticBaseline(const core::Workload& workload,
+                                       const core::KnobConfig& config,
+                                       const sim::ClusterSpec& cluster,
+                                       const sim::CostModel& cost_model,
+                                       double segment_seconds,
+                                       SimTime duration, SimTime start_time);
+
+/// The best static deployment on the given server: evaluates every
+/// configuration of the knob space, keeps real-time ones, and returns the
+/// one with the highest total quality (the oracle choice the paper's static
+/// curves assume).
+Result<StaticResult> BestStaticBaseline(const core::Workload& workload,
+                                        const sim::ClusterSpec& cluster,
+                                        const sim::CostModel& cost_model,
+                                        double segment_seconds,
+                                        SimTime duration, SimTime start_time);
+
+}  // namespace sky::baselines
+
+#endif  // SKYSCRAPER_BASELINES_STATIC_BASELINE_H_

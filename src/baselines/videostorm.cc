@@ -1,0 +1,102 @@
+#include "baselines/videostorm.h"
+
+#include <algorithm>
+
+#include "video/stream_source.h"
+
+namespace sky::baselines {
+
+Result<VideoStormResult> RunVideoStormBaseline(
+    const core::Workload& workload,
+    const std::vector<core::ConfigProfile>& candidates,
+    double segment_seconds, SimTime duration, SimTime start_time,
+    const VideoStormOptions& options) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate configurations");
+  }
+
+  // Content-agnostic quality ranking: VideoStorm profiles configurations
+  // offline and ranks by average quality (it never looks at the content).
+  const video::ContentProcess& content = workload.content_process();
+  std::vector<double> avg_quality(candidates.size(), 0.0);
+  constexpr size_t kProbes = 64;
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    for (size_t p = 0; p < kProbes; ++p) {
+      double t = content.horizon() * (static_cast<double>(p) + 0.5) /
+                 static_cast<double>(kProbes);
+      avg_quality[k] +=
+          workload.TrueQuality(candidates[k].config, content.At(t));
+    }
+  }
+  size_t best_overall = 0;
+  for (size_t k = 1; k < candidates.size(); ++k) {
+    if (avg_quality[k] > avg_quality[best_overall]) best_overall = k;
+  }
+  // Best configuration that runs in real time on this hardware.
+  size_t best_realtime = 0;
+  bool have_realtime = false;
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    if (candidates[k].OnPremRuntime() <= segment_seconds + 1e-9) {
+      if (!have_realtime || avg_quality[k] > avg_quality[best_realtime]) {
+        best_realtime = k;
+        have_realtime = true;
+      }
+    }
+  }
+  if (!have_realtime) {
+    return Status::ResourceExhausted(
+        "no configuration runs in real time on this server");
+  }
+
+  video::StreamSource source(&content, segment_seconds);
+  int64_t first_segment = static_cast<int64_t>(start_time / segment_seconds);
+  int64_t segments = static_cast<int64_t>(duration / segment_seconds);
+
+  VideoStormResult result;
+  double lag_s = 0.0;
+  double buffered_bytes = 0.0;
+  for (int64_t i = 0; i < segments; ++i) {
+    video::SegmentInfo info = source.Segment(first_segment + i);
+    double bytes_per_s =
+        static_cast<double>(info.bytes) / std::max(1e-9, info.duration_s);
+
+    // Greedy lag allocation: run the top configuration while the buffer can
+    // absorb the overrun, otherwise the best real-time configuration.
+    size_t pick = best_overall;
+    double runtime = candidates[pick].OnPremRuntime();
+    double new_lag = std::max(0.0, lag_s + runtime - segment_seconds);
+    double new_bytes = buffered_bytes;
+    if (new_lag > lag_s) new_bytes += (new_lag - lag_s) * bytes_per_s;
+    if (new_bytes > static_cast<double>(options.buffer_bytes)) {
+      pick = best_realtime;
+      runtime = candidates[pick].OnPremRuntime();
+      new_lag = std::max(0.0, lag_s + runtime - segment_seconds);
+      new_bytes = buffered_bytes;
+      if (new_lag > lag_s) new_bytes += (new_lag - lag_s) * bytes_per_s;
+    }
+    if (new_lag < lag_s && lag_s > 0.0) {
+      new_bytes = buffered_bytes -
+                  (lag_s - new_lag) * (buffered_bytes / lag_s);
+    }
+    if (new_lag <= 1e-12) new_bytes = 0.0;
+    lag_s = new_lag;
+    buffered_bytes = std::min(
+        new_bytes, static_cast<double>(options.buffer_bytes));
+    result.buffer_high_water_bytes =
+        std::max(result.buffer_high_water_bytes,
+                 static_cast<uint64_t>(buffered_bytes));
+
+    result.total_quality +=
+        workload.TrueQuality(candidates[pick].config, info.content);
+    result.work_core_seconds +=
+        candidates[pick].work_core_s_per_video_s * segment_seconds;
+    ++result.segments;
+  }
+  result.mean_quality =
+      result.segments == 0
+          ? 0.0
+          : result.total_quality / static_cast<double>(result.segments);
+  return result;
+}
+
+}  // namespace sky::baselines

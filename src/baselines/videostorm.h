@@ -1,0 +1,40 @@
+#ifndef SKYSCRAPER_BASELINES_VIDEOSTORM_H_
+#define SKYSCRAPER_BASELINES_VIDEOSTORM_H_
+
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/workload.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::baselines {
+
+struct VideoStormOptions {
+  uint64_t buffer_bytes = 4ull << 30;
+  uint64_t seed = 92;
+};
+
+struct VideoStormResult {
+  double total_quality = 0.0;
+  double mean_quality = 0.0;
+  double work_core_seconds = 0.0;
+  uint64_t buffer_high_water_bytes = 0;
+  size_t segments = 0;
+};
+
+/// VideoStorm* (Appendix G): a query-load-adaptive tuner on a V-ETL job.
+/// With a static query load there is nothing to adapt to, so it allocates
+/// its lag budget greedily: run the most qualitative configuration while
+/// the buffer has room, then fall back to the best configuration that runs
+/// in real time. Appendix G shows this fills the buffer during the first
+/// workload peak and then matches the static baseline.
+Result<VideoStormResult> RunVideoStormBaseline(
+    const core::Workload& workload,
+    const std::vector<core::ConfigProfile>& candidates,
+    double segment_seconds, SimTime duration, SimTime start_time,
+    const VideoStormOptions& options);
+
+}  // namespace sky::baselines
+
+#endif  // SKYSCRAPER_BASELINES_VIDEOSTORM_H_

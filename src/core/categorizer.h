@@ -1,0 +1,85 @@
+#ifndef SKYSCRAPER_CORE_CATEGORIZER_H_
+#define SKYSCRAPER_CORE_CATEGORIZER_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/workload.h"
+#include "ml/gmm.h"
+#include "ml/kmeans.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::core {
+
+/// Which clustering backend builds the categories. The paper uses KMeans and
+/// shows (Appendix B.2, Fig. 17) that a Gaussian mixture performs the same.
+enum class CategorizerBackend { kKMeans, kGmm };
+
+/// The content categories of §3.2: clusters in |K|-dimensional quality
+/// space. A category's center coordinate c[k] is the average quality that
+/// configuration k achieves on content of that category — the qual-hat(k, c)
+/// the planner LP maximizes over.
+class ContentCategories {
+ public:
+  ContentCategories() = default;
+
+  size_t NumCategories() const;
+  size_t NumConfigs() const;
+
+  /// Average quality of configuration `config_idx` on category `category`.
+  double CenterQuality(size_t category, size_t config_idx) const;
+
+  /// Classification with a full |K|-dimensional quality vector (used on
+  /// offline training data, Appendix H, and by ground-truth baselines).
+  size_t ClassifyFull(const std::vector<double>& quality_vector) const;
+
+  /// Online classification from a single observed quality value (Eq. 5):
+  /// only the currently running configuration's quality is attainable.
+  size_t ClassifyPartial(size_t config_idx, double quality) const;
+
+  CategorizerBackend backend() const { return backend_; }
+
+  /// Builders (exposed for the Fig. 17 ablation and tests).
+  static ContentCategories FromKMeans(ml::KMeansModel model);
+  static ContentCategories FromGmm(ml::GmmModel model);
+
+ private:
+  CategorizerBackend backend_ = CategorizerBackend::kKMeans;
+  ml::KMeansModel kmeans_;
+  std::optional<ml::GmmModel> gmm_;
+};
+
+struct CategorizerOptions {
+  size_t num_categories = 4;
+  /// Fraction of the unlabeled horizon sampled as S' (§3.2; the paper uses
+  /// 5-10%). Segments are sampled on a regular grid for determinism.
+  double sample_fraction = 0.05;
+  double segment_seconds = 2.0;
+  SimTime train_horizon = Days(14);
+  CategorizerBackend backend = CategorizerBackend::kKMeans;
+  uint64_t seed = 51;
+};
+
+/// Offline phase step 2 (§3.2): samples segments from the unlabeled data,
+/// processes each with every filtered configuration, records the quality
+/// vectors, and clusters them into content categories.
+Result<ContentCategories> BuildContentCategories(
+    const Workload& workload, const std::vector<KnobConfig>& configs,
+    const CategorizerOptions& options);
+
+/// The measured |K|-dimensional quality vector of one segment (helper shared
+/// with benches/tests).
+std::vector<double> SegmentQualityVector(const Workload& workload,
+                                         const std::vector<KnobConfig>& configs,
+                                         const video::ContentState& content,
+                                         Rng* rng);
+
+/// The noise-free quality vector (ground truth categorization).
+std::vector<double> TrueQualityVector(const Workload& workload,
+                                      const std::vector<KnobConfig>& configs,
+                                      const video::ContentState& content);
+
+}  // namespace sky::core
+
+#endif  // SKYSCRAPER_CORE_CATEGORIZER_H_

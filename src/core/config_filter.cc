@@ -1,0 +1,124 @@
+#include "core/config_filter.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "ml/matrix.h"
+
+namespace sky::core {
+
+std::vector<size_t> MaxMinSample(
+    const std::vector<std::vector<double>>& points, size_t count) {
+  std::vector<size_t> selected;
+  if (points.empty() || count == 0) return selected;
+  count = std::min(count, points.size());
+
+  // Seed with the smallest-norm point (Appendix A.1).
+  size_t first = 0;
+  double best_norm = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < points.size(); ++i) {
+    double n = ml::L2Norm(points[i]);
+    if (n < best_norm) {
+      best_norm = n;
+      first = i;
+    }
+  }
+  selected.push_back(first);
+
+  std::vector<double> min_dist(points.size(),
+                               std::numeric_limits<double>::infinity());
+  while (selected.size() < count) {
+    size_t last = selected.back();
+    size_t next = points.size();
+    double next_dist = -1.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      min_dist[i] = std::min(min_dist[i], ml::L2Distance(points[i],
+                                                         points[last]));
+      if (min_dist[i] > next_dist) {
+        next_dist = min_dist[i];
+        next = i;
+      }
+    }
+    if (next == points.size() || next_dist <= 0.0) break;
+    selected.push_back(next);
+  }
+  return selected;
+}
+
+Result<std::vector<KnobConfig>> FilterKnobConfigs(
+    const Workload& workload, const ConfigFilterOptions& options) {
+  const KnobSpace& space = workload.knob_space();
+  if (space.NumConfigs() == 0) {
+    return Status::FailedPrecondition("workload has no knob configurations");
+  }
+  const video::ContentProcess& content = workload.content_process();
+  double horizon = std::min<double>(options.train_horizon, content.horizon());
+  Rng rng(options.seed);
+  Rng noise_rng = rng.Fork("measurement");
+
+  KnobConfig cheapest = CheapestConfig(workload);
+  KnobConfig best = MostQualitativeConfig(workload);
+
+  // Step 2: pre-sample segments, describe each by (qual(k-), qual(k+)).
+  std::vector<double> sample_times;
+  std::vector<std::vector<double>> quality_vectors;
+  for (size_t i = 0; i < options.presample_count; ++i) {
+    double t = rng.Uniform(0.0, horizon);
+    video::ContentState state = content.At(t);
+    quality_vectors.push_back(
+        {workload.MeasuredQuality(cheapest, state, &noise_rng),
+         workload.MeasuredQuality(best, state, &noise_rng)});
+    sample_times.push_back(t);
+  }
+  std::vector<size_t> picked =
+      MaxMinSample(quality_vectors, options.search_segment_count);
+
+  // Steps 3-4: hill climb per selected segment; union the visited chains.
+  std::set<size_t> result_ids;
+  result_ids.insert(space.ConfigToId(cheapest));
+  result_ids.insert(space.ConfigToId(best));
+  for (size_t idx : picked) {
+    video::ContentState state = content.At(sample_times[idx]);
+    KnobConfig current = cheapest;
+    double cur_quality = workload.TrueQuality(current, state);
+    double cur_cost = workload.CostCoreSecondsPerVideoSecond(current);
+    for (;;) {
+      KnobConfig best_step;
+      double best_ratio = 0.0;
+      double best_q = cur_quality;
+      double best_c = cur_cost;
+      for (const KnobConfig& nb : space.Neighbors(current)) {
+        double q = workload.TrueQuality(nb, state);
+        double c = workload.CostCoreSecondsPerVideoSecond(nb);
+        if (q <= cur_quality + 1e-9) continue;
+        double dq = q - cur_quality;
+        double dc = std::max(1e-9, c - cur_cost);
+        double ratio = dq / dc;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_step = nb;
+          best_q = q;
+          best_c = c;
+        }
+      }
+      if (best_step.empty()) break;
+      current = best_step;
+      cur_quality = best_q;
+      cur_cost = best_c;
+      result_ids.insert(space.ConfigToId(current));
+    }
+  }
+
+  std::vector<KnobConfig> result;
+  result.reserve(result_ids.size());
+  for (size_t id : result_ids) result.push_back(space.IdToConfig(id));
+  std::sort(result.begin(), result.end(),
+            [&workload](const KnobConfig& a, const KnobConfig& b) {
+              return workload.CostCoreSecondsPerVideoSecond(a) <
+                     workload.CostCoreSecondsPerVideoSecond(b);
+            });
+  return result;
+}
+
+}  // namespace sky::core

@@ -1,0 +1,42 @@
+#ifndef SKYSCRAPER_CORE_CONFIG_FILTER_H_
+#define SKYSCRAPER_CORE_CONFIG_FILTER_H_
+
+#include <vector>
+
+#include "core/workload.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::core {
+
+struct ConfigFilterOptions {
+  /// Segments pre-sampled uniformly from the unlabeled data (n_pre, A.1).
+  size_t presample_count = 60;
+  /// Diverse segments selected by greedy max-min distance (n_search, A.1).
+  size_t search_segment_count = 5;
+  /// Portion of the content horizon treated as unlabeled training data.
+  SimTime train_horizon = Days(14);
+  uint64_t seed = 41;
+};
+
+/// Offline knob-configuration filtering (Appendix A.1):
+///  1. find the cheapest configuration k- and most qualitative k+;
+///  2. pre-sample segments, record their (qual(k-), qual(k+)) vectors and
+///     greedily pick `search_segment_count` maximally different ones;
+///  3. per selected segment, greedy hill climbing from k- toward higher
+///     quality (best marginal quality/cost step first), collecting the chain
+///     of accepted configurations — an approximation of that segment's
+///     work-quality Pareto frontier (the VideoStorm search);
+///  4. return the union over segments, sorted by cost, duplicates removed.
+Result<std::vector<KnobConfig>> FilterKnobConfigs(
+    const Workload& workload, const ConfigFilterOptions& options = {});
+
+/// Greedy max-min selection (step 2) exposed for tests: picks `count` row
+/// indices of `points` such that selected points are pairwise far apart,
+/// starting from the point with the smallest L2 norm.
+std::vector<size_t> MaxMinSample(
+    const std::vector<std::vector<double>>& points, size_t count);
+
+}  // namespace sky::core
+
+#endif  // SKYSCRAPER_CORE_CONFIG_FILTER_H_

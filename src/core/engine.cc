@@ -1,0 +1,295 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "video/stream_source.h"
+
+namespace sky::core {
+
+IngestionEngine::IngestionEngine(const Workload* workload,
+                                 const OfflineModel* model,
+                                 const sim::ClusterSpec& cluster,
+                                 const sim::CostModel* cost_model,
+                                 EngineOptions options)
+    : workload_(workload),
+      model_(model),
+      cluster_(cluster),
+      cost_model_(cost_model),
+      options_(options) {}
+
+std::vector<double> IngestionEngine::GroundTruthForecast(SimTime t) const {
+  double seg = model_->segment_seconds;
+  int64_t count = static_cast<int64_t>(options_.plan_interval / seg);
+  std::vector<double> hist(model_->categories.NumCategories(), 0.0);
+  const video::ContentProcess& content = workload_->content_process();
+  for (int64_t i = 0; i < count; ++i) {
+    double time = t + (static_cast<double>(i) + 0.5) * seg;
+    std::vector<double> quals =
+        TrueQualityVector(*workload_, model_->configs, content.At(time));
+    hist[model_->categories.ClassifyFull(quals)] += 1.0;
+  }
+  return NormalizeHistogram(std::move(hist));
+}
+
+Result<KnobPlan> IngestionEngine::MakePlan(SimTime t,
+                                           const std::vector<size_t>& history,
+                                           const Forecaster* forecaster) const {
+  size_t num_c = model_->categories.NumCategories();
+  std::vector<double> forecast;
+  if (options_.use_ground_truth_forecast) {
+    forecast = GroundTruthForecast(t);
+  } else if (forecaster != nullptr && !history.empty()) {
+    std::vector<double> features =
+        forecaster->FeaturesFromHistory(history, model_->segment_seconds);
+    forecast = forecaster->Forecast(features);
+  } else if (!history.empty()) {
+    forecast = CategoryHistogram(history, 0, history.size(), num_c);
+  } else {
+    forecast.assign(num_c, 1.0 / static_cast<double>(num_c));
+  }
+
+  std::vector<double> costs;
+  costs.reserve(model_->profiles.size());
+  for (const ConfigProfile& p : model_->profiles) {
+    costs.push_back(p.work_core_s_per_video_s);
+  }
+
+  double budget = static_cast<double>(cluster_.cores);
+  if (options_.enable_cloud && options_.cloud_budget_usd_per_interval > 0) {
+    budget += cost_model_->UsdToCoreSeconds(
+                  options_.cloud_budget_usd_per_interval) /
+              options_.plan_interval;
+  }
+  if (options_.work_budget_override > 0) {
+    budget = options_.work_budget_override;
+  }
+
+  Result<KnobPlan> plan =
+      ComputeKnobPlan(model_->categories, forecast, costs, budget);
+  if (plan.ok()) return plan;
+  if (plan.status().code() != StatusCode::kResourceExhausted) {
+    return plan.status();
+  }
+  // Budget below even the cheapest configuration: degrade to an
+  // all-cheapest plan; the switcher's buffer guard does the rest.
+  size_t cheapest = 0;
+  for (size_t k = 1; k < costs.size(); ++k) {
+    if (costs[k] < costs[cheapest]) cheapest = k;
+  }
+  KnobPlan fallback;
+  fallback.alpha = ml::Matrix(num_c, costs.size(), 0.0);
+  for (size_t c = 0; c < num_c; ++c) fallback.alpha.At(c, cheapest) = 1.0;
+  fallback.forecast = forecast;
+  fallback.expected_work = costs[cheapest];
+  for (size_t c = 0; c < num_c; ++c) {
+    fallback.expected_quality +=
+        forecast[c] * model_->categories.CenterQuality(c, cheapest);
+  }
+  return fallback;
+}
+
+Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
+  if (model_->profiles.empty()) {
+    return Status::FailedPrecondition("offline model has no profiles");
+  }
+  double seg = model_->segment_seconds;
+  int64_t n_segments = static_cast<int64_t>(options_.duration / seg);
+  int64_t segs_per_interval =
+      std::max<int64_t>(1, static_cast<int64_t>(options_.plan_interval / seg));
+
+  video::StreamSource source(&workload_->content_process(), seg);
+  int64_t first_segment = static_cast<int64_t>(start_time / seg);
+
+  Rng rng(options_.seed);
+  Rng noise = rng.Fork("measurement");
+
+  KnobSwitcher switcher(&model_->categories, &model_->profiles);
+
+  // The engine fine-tunes its own copy of the forecaster online (§3.3); the
+  // offline model stays untouched so runs are independent.
+  std::optional<Forecaster> forecaster = model_->forecaster;
+
+  // Bootstrap the forecaster history with the offline training sequence.
+  std::vector<size_t> history = model_->train_category_sequence;
+
+  EngineResult result;
+  double lag_s = 0.0;
+  double buffered_bytes = 0.0;
+  sim::VideoBuffer buffer(options_.enable_buffer ? options_.buffer_bytes : 0);
+  double credits_remaining = 0.0;
+  double planned_usd_per_interval = 0.0;
+  size_t interval_index = 0;
+
+  // Start on the cheapest profiled configuration.
+  size_t current_config = 0;
+  for (size_t k = 1; k < model_->profiles.size(); ++k) {
+    if (model_->profiles[k].work_core_s_per_video_s <
+        model_->profiles[current_config].work_core_s_per_video_s) {
+      current_config = k;
+    }
+  }
+  double last_measured = workload_->MeasuredQuality(
+      model_->configs[current_config],
+      workload_->content_process().At(start_time), &noise);
+
+  KnobPlan plan;
+  std::vector<double> plan_features;
+  double next_trace_t = start_time;
+
+  for (int64_t i = 0; i < n_segments; ++i) {
+    SimTime t = start_time + static_cast<double>(i) * seg;
+
+    if (i % segs_per_interval == 0) {
+      // Online forecaster fine-tuning: at each boundary, feed back the
+      // realized distribution of the interval that just ended (§3.3).
+      if (i > 0 && options_.online_forecaster_updates &&
+          forecaster.has_value() && !plan_features.empty()) {
+        size_t interval_segs = static_cast<size_t>(segs_per_interval);
+        if (history.size() >= interval_segs) {
+          std::vector<double> realized = CategoryHistogram(
+              history, history.size() - interval_segs, history.size(),
+              model_->categories.NumCategories());
+          forecaster->OnlineUpdate(plan_features, realized);
+        }
+      }
+      SKY_ASSIGN_OR_RETURN(
+          plan, MakePlan(t, history,
+                         forecaster.has_value() ? &*forecaster : nullptr));
+      switcher.SetPlan(&plan);
+      if (forecaster.has_value()) {
+        plan_features =
+            forecaster->FeaturesFromHistory(history, model_->segment_seconds);
+      }
+      credits_remaining =
+          options_.enable_cloud ? options_.cloud_budget_usd_per_interval : 0.0;
+      planned_usd_per_interval = std::min(
+          options_.enable_cloud ? options_.cloud_budget_usd_per_interval : 0.0,
+          cost_model_->CoreSecondsToUsd(
+              std::max(0.0, plan.expected_work -
+                                static_cast<double>(cluster_.cores)) *
+              options_.plan_interval));
+      ++interval_index;
+    }
+
+    video::SegmentInfo info = source.Segment(first_segment + i);
+    double bytes_per_s =
+        static_cast<double>(info.bytes) / std::max(1e-9, info.duration_s);
+
+    SwitchContext ctx;
+    ctx.current_config_idx = current_config;
+    ctx.measured_quality =
+        options_.eliminate_type_b_errors
+            ? workload_->MeasuredQuality(model_->configs[current_config],
+                                         info.content, &noise)
+            : last_measured;
+    ctx.lag_seconds = lag_s;
+    ctx.segment_seconds = seg;
+    ctx.bytes_per_video_second = bytes_per_s;
+    ctx.buffered_bytes = buffered_bytes;
+    ctx.buffer_capacity_bytes = buffer.capacity_bytes();
+    ctx.cloud_credits_remaining_usd = credits_remaining;
+    ctx.allow_cloud = options_.enable_cloud;
+    ctx.allow_buffer = options_.enable_buffer;
+    if (options_.use_ground_truth_categories) {
+      ctx.category_override = static_cast<int64_t>(
+          model_->categories.ClassifyFull(TrueQualityVector(
+              *workload_, model_->configs, info.content)));
+    }
+
+    SKY_ASSIGN_OR_RETURN(SwitchDecision decision, switcher.Decide(ctx));
+    switcher.RecordUsage(decision.category, decision.config_idx);
+    if (decision.degraded) ++result.degraded_count;
+    if (decision.config_idx != current_config) ++result.switch_count;
+
+    const ConfigProfile& profile = model_->profiles[decision.config_idx];
+    const PlacementProfile& placement =
+        profile.placements[decision.placement_idx];
+
+    // Advance the backlog: the stream gains one segment while the processor
+    // spends placement.runtime_s on this one. Backlog growth buffers bytes
+    // at the current stream rate; shrinkage releases bytes at the backlog's
+    // historical average rate.
+    double new_lag = std::max(0.0, lag_s + placement.runtime_s - seg);
+    if (new_lag > lag_s) {
+      buffered_bytes += (new_lag - lag_s) * bytes_per_s;
+    } else if (lag_s > 0.0) {
+      buffered_bytes -= (lag_s - new_lag) * (buffered_bytes / lag_s);
+    }
+    if (new_lag <= 1e-12) buffered_bytes = 0.0;
+    lag_s = new_lag;
+    if (buffered_bytes >
+        static_cast<double>(buffer.capacity_bytes()) + 1e-6) {
+      // Hard fault: only reachable when no configuration fits at all (the
+      // switcher's guarantee covers every provisioned case).
+      ++result.overflow_events;
+      buffered_bytes = static_cast<double>(buffer.capacity_bytes());
+    }
+    result.buffer_high_water_bytes =
+        std::max(result.buffer_high_water_bytes,
+                 static_cast<uint64_t>(buffered_bytes));
+
+    result.cloud_usd += placement.cloud_usd;
+    credits_remaining -= placement.cloud_usd;
+    result.onprem_core_seconds += placement.onprem_core_s;
+    result.work_core_seconds += profile.work_core_s_per_video_s * seg;
+
+    double true_q =
+        workload_->TrueQuality(model_->configs[decision.config_idx],
+                               info.content);
+    result.total_quality += true_q;
+    last_measured = workload_->MeasuredQuality(
+        model_->configs[decision.config_idx], info.content, &noise);
+
+    // Switcher accuracy accounting (§5.6).
+    std::vector<double> true_quals =
+        TrueQualityVector(*workload_, model_->configs, info.content);
+    size_t true_cat = model_->categories.ClassifyFull(true_quals);
+    if (decision.category != true_cat) {
+      ++result.misclassified;
+      // Type-A: would perfect timing have produced the same error? Classify
+      // with the previous configuration's quality on *this* segment.
+      size_t timely_cat = model_->categories.ClassifyPartial(
+          ctx.current_config_idx, true_quals[ctx.current_config_idx]);
+      if (timely_cat != true_cat) {
+        ++result.type_a_errors;
+      } else {
+        ++result.type_b_errors;
+      }
+    }
+
+    history.push_back(decision.category);
+    current_config = decision.config_idx;
+    ++result.segments;
+
+    if (options_.record_trace && t >= next_trace_t) {
+      TracePoint point;
+      point.t = t;
+      point.quality = true_q;
+      point.work_core_s_per_s =
+          profile.work_core_s_per_video_s;
+      point.buffer_bytes = buffered_bytes;
+      point.cloud_usd_cumulative = result.cloud_usd;
+      double interval_fraction =
+          static_cast<double>(i % segs_per_interval) /
+          static_cast<double>(segs_per_interval);
+      point.cloud_usd_planned =
+          (static_cast<double>(interval_index - 1) + interval_fraction) *
+          planned_usd_per_interval;
+      point.config_idx = decision.config_idx;
+      point.category = decision.category;
+      result.trace.push_back(point);
+      next_trace_t += options_.trace_resolution_s;
+    }
+  }
+
+  result.mean_quality =
+      result.segments == 0
+          ? 0.0
+          : result.total_quality / static_cast<double>(result.segments);
+  return result;
+}
+
+}  // namespace sky::core

@@ -1,0 +1,122 @@
+#ifndef SKYSCRAPER_CORE_ENGINE_H_
+#define SKYSCRAPER_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "core/offline.h"
+#include "core/planner.h"
+#include "core/switcher.h"
+#include "core/workload.h"
+#include "sim/buffer.h"
+#include "sim/cost_model.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::core {
+
+struct EngineOptions {
+  /// Length of the ingested live stream.
+  SimTime duration = Days(8);
+  /// Knob-planner period / forecast horizon (§4.1: "every couple of days").
+  SimTime plan_interval = Days(2);
+  /// Cloud credits granted per planned interval, USD. 0 disables bursting
+  /// economically even when enable_cloud is true.
+  double cloud_budget_usd_per_interval = 0.0;
+  uint64_t buffer_bytes = 4ull << 30;  ///< 4 GB, as in Fig. 3
+  bool enable_cloud = true;
+  bool enable_buffer = true;
+  /// When > 0, overrides the planner budget (cores + cloud credits) with a
+  /// pure work budget in core-seconds per video-second — the "computation
+  /// budget" abstraction of §2.2 / Appendix B used by the work-quality
+  /// sweeps (Figs. 6/8/10/12 and 16).
+  double work_budget_override = 0.0;
+
+  // --- Microbenchmark toggles (all default off) ---
+  /// Replace the forecaster output with the realized future distribution
+  /// ("Ground truth" in Fig. 14).
+  bool use_ground_truth_forecast = false;
+  /// Classify content with the full noise-free quality vector ("Ground
+  /// truth" in Fig. 15).
+  bool use_ground_truth_categories = false;
+  /// Classify with the current segment's (not the previous segment's)
+  /// reported quality ("No Type-B errors" in Fig. 15).
+  bool eliminate_type_b_errors = false;
+  /// Fine-tune the forecaster online at each plan boundary (§3.3).
+  bool online_forecaster_updates = true;
+
+  bool record_trace = false;
+  double trace_resolution_s = 300.0;
+  uint64_t seed = 71;
+};
+
+/// One sample of the Fig. 3-style time series.
+struct TracePoint {
+  SimTime t = 0.0;
+  double quality = 0.0;               ///< true quality of the active config
+  double work_core_s_per_s = 0.0;     ///< instantaneous workload
+  double buffer_bytes = 0.0;
+  double cloud_usd_cumulative = 0.0;
+  double cloud_usd_planned = 0.0;     ///< planned spend up to t
+  size_t config_idx = 0;
+  size_t category = 0;
+};
+
+struct EngineResult {
+  double total_quality = 0.0;  ///< sum of per-segment true quality
+  double mean_quality = 0.0;
+  size_t segments = 0;
+  double work_core_seconds = 0.0;    ///< total induced work, cost(k) basis
+  double onprem_core_seconds = 0.0;  ///< executed on the local server
+  double cloud_usd = 0.0;
+  uint64_t buffer_high_water_bytes = 0;
+  size_t overflow_events = 0;  ///< hard faults (never for valid provisioning)
+  size_t switch_count = 0;     ///< configuration changes
+  size_t degraded_count = 0;   ///< buffer-forced degradations
+  // Switcher accuracy accounting (§5.6).
+  size_t misclassified = 0;
+  size_t type_a_errors = 0;  ///< one-dimensional-classification errors
+  size_t type_b_errors = 0;  ///< timing-mismatch errors
+  std::vector<TracePoint> trace;
+
+  double MisclassificationRate() const {
+    return segments == 0
+               ? 0.0
+               : static_cast<double>(misclassified) /
+                     static_cast<double>(segments);
+  }
+};
+
+/// The online ingestion engine (§4): advances a virtual clock in
+/// segment-sized steps, runs the knob planner every plan_interval and the
+/// knob switcher every segment, charges cloud credits, and accounts for the
+/// buffer. `start_time` offsets into the content process — run it after the
+/// offline training horizon so train and test data do not overlap.
+class IngestionEngine {
+ public:
+  IngestionEngine(const Workload* workload, const OfflineModel* model,
+                  const sim::ClusterSpec& cluster,
+                  const sim::CostModel* cost_model, EngineOptions options);
+
+  Result<EngineResult> Run(SimTime start_time);
+
+ private:
+  /// Realized category distribution over [t, t + plan_interval) using
+  /// ground-truth classification (for the Fig. 14 baseline).
+  std::vector<double> GroundTruthForecast(SimTime t) const;
+
+  /// Builds a plan for the interval starting at `t`, falling back to an
+  /// all-cheapest plan if the LP is infeasible. `forecaster` is the engine's
+  /// own (online fine-tuned) copy; may be null.
+  Result<KnobPlan> MakePlan(SimTime t, const std::vector<size_t>& history,
+                            const Forecaster* forecaster) const;
+
+  const Workload* workload_;
+  const OfflineModel* model_;
+  sim::ClusterSpec cluster_;
+  const sim::CostModel* cost_model_;
+  EngineOptions options_;
+};
+
+}  // namespace sky::core
+
+#endif  // SKYSCRAPER_CORE_ENGINE_H_

@@ -1,0 +1,148 @@
+#include "core/forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sky::core {
+
+std::vector<double> CategoryHistogram(
+    const std::vector<size_t>& category_sequence, size_t begin, size_t end,
+    size_t num_categories) {
+  std::vector<double> hist(num_categories, 0.0);
+  end = std::min(end, category_sequence.size());
+  for (size_t i = begin; i < end; ++i) {
+    if (category_sequence[i] < num_categories) {
+      hist[category_sequence[i]] += 1.0;
+    }
+  }
+  return NormalizeHistogram(std::move(hist));
+}
+
+Result<ForecastDataset> BuildForecastDataset(
+    const std::vector<size_t>& category_sequence, double segment_seconds,
+    size_t num_categories, const ForecasterOptions& options) {
+  if (num_categories == 0) {
+    return Status::InvalidArgument("num_categories must be positive");
+  }
+  if (segment_seconds <= 0) {
+    return Status::InvalidArgument("segment_seconds must be positive");
+  }
+  size_t in_segs =
+      static_cast<size_t>(options.input_span / segment_seconds);
+  size_t out_segs =
+      static_cast<size_t>(options.planned_interval / segment_seconds);
+  size_t stride = std::max<size_t>(
+      1, static_cast<size_t>(options.training_stride / segment_seconds));
+  if (in_segs < options.input_splits || out_segs == 0) {
+    return Status::InvalidArgument("input span/planned interval too short");
+  }
+  if (category_sequence.size() < in_segs + out_segs) {
+    return Status::InvalidArgument(
+        "category sequence shorter than one input+target window");
+  }
+
+  size_t split_len = in_segs / options.input_splits;
+  size_t samples = 0;
+  for (size_t s = in_segs; s + out_segs <= category_sequence.size();
+       s += stride) {
+    ++samples;
+  }
+  ml::Matrix X(samples, options.input_splits * num_categories);
+  ml::Matrix Y(samples, num_categories);
+  size_t row = 0;
+  for (size_t s = in_segs; s + out_segs <= category_sequence.size();
+       s += stride, ++row) {
+    for (size_t split = 0; split < options.input_splits; ++split) {
+      size_t begin = s - in_segs + split * split_len;
+      size_t end = split + 1 == options.input_splits ? s : begin + split_len;
+      std::vector<double> hist =
+          CategoryHistogram(category_sequence, begin, end, num_categories);
+      for (size_t c = 0; c < num_categories; ++c) {
+        X.At(row, split * num_categories + c) = hist[c];
+      }
+    }
+    std::vector<double> target =
+        CategoryHistogram(category_sequence, s, s + out_segs, num_categories);
+    Y.SetRow(row, target);
+  }
+  return ForecastDataset{std::move(X), std::move(Y)};
+}
+
+Result<Forecaster> Forecaster::Train(
+    const std::vector<size_t>& category_sequence, double segment_seconds,
+    size_t num_categories, const ForecasterOptions& options) {
+  SKY_ASSIGN_OR_RETURN(ForecastDataset data,
+                       BuildForecastDataset(category_sequence, segment_seconds,
+                                            num_categories, options));
+  Rng rng(options.seed);
+  // Appendix K architecture: input -> 16 ReLU -> 8 ReLU -> |C| softmax.
+  ml::FeedForwardNet net(data.inputs.cols(), {16, 8}, num_categories,
+                         ml::Activation::kSoftmax, &rng);
+  ml::TrainOptions train = options.train_options;
+  train.loss = ml::Loss::kCrossEntropy;
+  SKY_ASSIGN_OR_RETURN(ml::TrainReport report,
+                       net.Train(data.inputs, data.targets, train));
+  return Forecaster(std::move(net), options, num_categories,
+                    std::move(report));
+}
+
+std::vector<double> Forecaster::FeaturesFromHistory(
+    const std::vector<size_t>& recent_categories,
+    double segment_seconds) const {
+  size_t in_segs = std::max<size_t>(
+      options_.input_splits,
+      static_cast<size_t>(options_.input_span / segment_seconds));
+  size_t available = recent_categories.size();
+  size_t used = std::min(in_segs, available);
+  size_t start = available - used;
+  size_t split_len = std::max<size_t>(1, used / options_.input_splits);
+
+  std::vector<double> features(options_.input_splits * num_categories_, 0.0);
+  for (size_t split = 0; split < options_.input_splits; ++split) {
+    size_t begin = start + split * split_len;
+    size_t end =
+        split + 1 == options_.input_splits ? available : begin + split_len;
+    begin = std::min(begin, available);
+    end = std::min(end, available);
+    std::vector<double> hist =
+        CategoryHistogram(recent_categories, begin, end, num_categories_);
+    for (size_t c = 0; c < num_categories_; ++c) {
+      features[split * num_categories_ + c] = hist[c];
+    }
+  }
+  return features;
+}
+
+std::vector<double> Forecaster::Forecast(
+    const std::vector<double>& features) const {
+  return net_.Predict(features);
+}
+
+void Forecaster::OnlineUpdate(const std::vector<double>& features,
+                              const std::vector<double>& realized_distribution,
+                              double learning_rate) {
+  net_.OnlineUpdate(features, realized_distribution, learning_rate,
+                    ml::Loss::kCrossEntropy);
+}
+
+Result<double> Forecaster::EvaluateMae(
+    const std::vector<size_t>& category_sequence,
+    double segment_seconds) const {
+  SKY_ASSIGN_OR_RETURN(ForecastDataset data,
+                       BuildForecastDataset(category_sequence, segment_seconds,
+                                            num_categories_, options_));
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < data.inputs.rows(); ++i) {
+    std::vector<double> pred = net_.Predict(data.inputs.Row(i));
+    std::vector<double> target = data.targets.Row(i);
+    total += MeanAbsoluteError(pred, target);
+    ++count;
+  }
+  if (count == 0) return Status::InvalidArgument("no evaluation samples");
+  return total / static_cast<double>(count);
+}
+
+}  // namespace sky::core

@@ -1,0 +1,97 @@
+#ifndef SKYSCRAPER_CORE_FORECASTER_H_
+#define SKYSCRAPER_CORE_FORECASTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/nn.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::core {
+
+struct ForecasterOptions {
+  /// How much recent history feeds the model (t_in, Appendix H).
+  SimTime input_span = Days(2);
+  /// Number of histograms the input span is split into (n_split).
+  size_t input_splits = 8;
+  /// How far into the future the model forecasts (t_out / planned interval).
+  SimTime planned_interval = Days(2);
+  /// One training sample is created every `training_stride` of data (the
+  /// paper creates a point every 15 minutes, Appendix K.1).
+  SimTime training_stride = Minutes(15);
+  ml::TrainOptions train_options;
+  uint64_t seed = 61;
+};
+
+struct ForecastDataset {
+  ml::Matrix inputs;   ///< rows: input_splits * |C| features
+  ml::Matrix targets;  ///< rows: |C| category frequencies
+};
+
+/// Builds supervised (history histograms -> future histogram) pairs from a
+/// per-segment category sequence (Appendix H). Fails if the sequence is too
+/// short to produce a single sample.
+Result<ForecastDataset> BuildForecastDataset(
+    const std::vector<size_t>& category_sequence, double segment_seconds,
+    size_t num_categories, const ForecasterOptions& options);
+
+/// Normalized category histogram of a [begin, end) slice of the sequence.
+std::vector<double> CategoryHistogram(
+    const std::vector<size_t>& category_sequence, size_t begin, size_t end,
+    size_t num_categories);
+
+/// The forecasting model F of §3.3: a feed-forward network (Appendix K:
+/// input -> 16 ReLU -> 8 ReLU -> |C| softmax) that predicts how often each
+/// content category appears over the planned interval, given the recent
+/// history's category histograms.
+class Forecaster {
+ public:
+  /// Trains the model on a category sequence from the unlabeled data.
+  static Result<Forecaster> Train(const std::vector<size_t>& category_sequence,
+                                  double segment_seconds,
+                                  size_t num_categories,
+                                  const ForecasterOptions& options);
+
+  /// Builds the model input from the most recent history: the last
+  /// `input_span` of the sequence, split into `input_splits` histograms. If
+  /// the history is shorter than the input span, it is stretched over the
+  /// available prefix.
+  std::vector<double> FeaturesFromHistory(
+      const std::vector<size_t>& recent_categories,
+      double segment_seconds) const;
+
+  /// Predicted category distribution r over the planned interval.
+  std::vector<double> Forecast(const std::vector<double>& features) const;
+
+  /// Online fine-tuning step on a realized (features, outcome) pair (§3.3).
+  void OnlineUpdate(const std::vector<double>& features,
+                    const std::vector<double>& realized_distribution,
+                    double learning_rate = 1e-3);
+
+  /// Mean absolute error of the model's forecasts over a held-out category
+  /// sequence, averaged element-wise like §5.6.
+  Result<double> EvaluateMae(const std::vector<size_t>& category_sequence,
+                             double segment_seconds) const;
+
+  size_t num_categories() const { return num_categories_; }
+  const ForecasterOptions& options() const { return options_; }
+  const ml::TrainReport& train_report() const { return report_; }
+
+ private:
+  Forecaster(ml::FeedForwardNet net, ForecasterOptions options,
+             size_t num_categories, ml::TrainReport report)
+      : net_(std::move(net)),
+        options_(options),
+        num_categories_(num_categories),
+        report_(std::move(report)) {}
+
+  ml::FeedForwardNet net_;
+  ForecasterOptions options_;
+  size_t num_categories_;
+  ml::TrainReport report_;
+};
+
+}  // namespace sky::core
+
+#endif  // SKYSCRAPER_CORE_FORECASTER_H_

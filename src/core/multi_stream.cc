@@ -1,0 +1,96 @@
+#include "core/multi_stream.h"
+
+#include <algorithm>
+
+#include "lp/simplex.h"
+
+namespace sky::core {
+
+int FairCoreShare(int cores, size_t num_streams) {
+  if (num_streams == 0) return cores;
+  return std::max(1, cores / static_cast<int>(num_streams));
+}
+
+Result<std::vector<KnobPlan>> ComputeJointKnobPlan(
+    const std::vector<StreamPlanInput>& streams,
+    double budget_core_s_per_video_s) {
+  if (streams.empty()) {
+    return Status::InvalidArgument("no streams to plan for");
+  }
+  if (budget_core_s_per_video_s <= 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+
+  // Variable layout: for stream v with C_v categories and K_v configs, a
+  // contiguous block of C_v * K_v alphas.
+  std::vector<size_t> block_offsets;
+  size_t n = 0;
+  for (const StreamPlanInput& s : streams) {
+    if (s.categories == nullptr) {
+      return Status::InvalidArgument("null categories in stream input");
+    }
+    size_t num_c = s.categories->NumCategories();
+    size_t num_k = s.categories->NumConfigs();
+    if (s.forecast.size() != num_c || s.config_costs.size() != num_k) {
+      return Status::InvalidArgument("stream input shape mismatch");
+    }
+    block_offsets.push_back(n);
+    n += num_c * num_k;
+  }
+
+  lp::LinearProgram program;
+  program.objective.assign(n, 0.0);
+  std::vector<double> budget_row(n, 0.0);
+  for (size_t v = 0; v < streams.size(); ++v) {
+    const StreamPlanInput& s = streams[v];
+    size_t num_c = s.categories->NumCategories();
+    size_t num_k = s.categories->NumConfigs();
+    for (size_t c = 0; c < num_c; ++c) {
+      std::vector<double> norm_row(n, 0.0);
+      for (size_t k = 0; k < num_k; ++k) {
+        size_t idx = block_offsets[v] + c * num_k + k;
+        program.objective[idx] =
+            s.forecast[c] * s.categories->CenterQuality(c, k);  // Eq. 7
+        budget_row[idx] = s.forecast[c] * s.config_costs[k];    // Eq. 8
+        norm_row[idx] = 1.0;                                    // Eq. 9
+      }
+      program.a_eq.push_back(std::move(norm_row));
+      program.b_eq.push_back(1.0);
+    }
+  }
+  program.a_ub.push_back(std::move(budget_row));
+  program.b_ub.push_back(budget_core_s_per_video_s);
+
+  SKY_ASSIGN_OR_RETURN(lp::LpSolution solution, lp::SolveLp(program));
+  if (solution.status == lp::LpStatus::kInfeasible) {
+    return Status::ResourceExhausted(
+        "joint knob plan infeasible under the shared budget");
+  }
+  if (solution.status == lp::LpStatus::kUnbounded) {
+    return Status::Internal("joint knob-planning LP unbounded");
+  }
+
+  std::vector<KnobPlan> plans;
+  plans.reserve(streams.size());
+  for (size_t v = 0; v < streams.size(); ++v) {
+    const StreamPlanInput& s = streams[v];
+    size_t num_c = s.categories->NumCategories();
+    size_t num_k = s.categories->NumConfigs();
+    KnobPlan plan;
+    plan.alpha = ml::Matrix(num_c, num_k, 0.0);
+    plan.forecast = s.forecast;
+    for (size_t c = 0; c < num_c; ++c) {
+      for (size_t k = 0; k < num_k; ++k) {
+        double a = solution.x[block_offsets[v] + c * num_k + k];
+        plan.alpha.At(c, k) = a;
+        plan.expected_quality +=
+            a * s.forecast[c] * s.categories->CenterQuality(c, k);
+        plan.expected_work += a * s.forecast[c] * s.config_costs[k];
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+}  // namespace sky::core

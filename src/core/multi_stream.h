@@ -1,0 +1,33 @@
+#ifndef SKYSCRAPER_CORE_MULTI_STREAM_H_
+#define SKYSCRAPER_CORE_MULTI_STREAM_H_
+
+#include <vector>
+
+#include "core/planner.h"
+#include "util/result.h"
+
+namespace sky::core {
+
+/// Planner input for one stream in a multi-stream deployment (Appendix D):
+/// each stream ran its own offline phase (own categories, own forecast, own
+/// filtered configurations) — only the knob planner is joint.
+struct StreamPlanInput {
+  const ContentCategories* categories = nullptr;
+  std::vector<double> forecast;      ///< r_c per category of this stream
+  std::vector<double> config_costs;  ///< cost(k) per config of this stream
+};
+
+/// Solves the joint LP of Appendix D (Eqs. 7-9): per-stream quality and cost
+/// are summed and one shared budget constrains them all; normalization holds
+/// per (stream, category). Returns one KnobPlan per stream.
+Result<std::vector<KnobPlan>> ComputeJointKnobPlan(
+    const std::vector<StreamPlanInput>& streams,
+    double budget_core_s_per_video_s);
+
+/// Appendix D's fair core allocation for streams sharing one server:
+/// floor(cores / num_streams), but at least 1.
+int FairCoreShare(int cores, size_t num_streams);
+
+}  // namespace sky::core
+
+#endif  // SKYSCRAPER_CORE_MULTI_STREAM_H_

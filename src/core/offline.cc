@@ -1,0 +1,117 @@
+#include "core/offline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace sky::core {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double ElapsedSeconds(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+/// Index of the config whose measured quality best discriminates categories
+/// (footnote 7 of the paper: if k- achieves similar quality everywhere, pick
+/// the next cheapest good discriminator). Configs are ordered by cost, so
+/// the first config with sufficient center spread wins.
+size_t PickDiscriminatorConfig(const ContentCategories& categories) {
+  size_t num_k = categories.NumConfigs();
+  size_t num_c = categories.NumCategories();
+  for (size_t k = 0; k < num_k; ++k) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < num_c; ++c) {
+      lo = std::min(lo, categories.CenterQuality(c, k));
+      hi = std::max(hi, categories.CenterQuality(c, k));
+    }
+    if (hi - lo > 0.05) return k;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<size_t> BuildTrainCategorySequence(
+    const Workload& workload, const std::vector<KnobConfig>& configs,
+    const ContentCategories& categories, double segment_seconds,
+    SimTime horizon, uint64_t seed) {
+  size_t discriminator = PickDiscriminatorConfig(categories);
+  Rng rng = Rng(seed).Fork("train-seq");
+  int64_t segments = static_cast<int64_t>(horizon / segment_seconds);
+  std::vector<size_t> sequence;
+  sequence.reserve(static_cast<size_t>(segments));
+  const video::ContentProcess& content = workload.content_process();
+  for (int64_t i = 0; i < segments; ++i) {
+    double t = (static_cast<double>(i) + 0.5) * segment_seconds;
+    double quality = workload.MeasuredQuality(configs[discriminator],
+                                              content.At(t), &rng);
+    sequence.push_back(categories.ClassifyPartial(discriminator, quality));
+  }
+  return sequence;
+}
+
+Result<OfflineModel> RunOfflinePhase(const Workload& workload,
+                                     const sim::ClusterSpec& cluster,
+                                     const sim::CostModel& cost_model,
+                                     const OfflineOptions& options) {
+  OfflineModel model;
+  model.segment_seconds = options.segment_seconds;
+  model.train_horizon =
+      std::min<double>(options.train_horizon, workload.content_process().horizon());
+
+  // Step 1a: filter knob configurations (Appendix A.1).
+  auto t0 = WallClock::now();
+  ConfigFilterOptions filter = options.filter;
+  filter.train_horizon = model.train_horizon;
+  filter.seed = options.seed ^ 0x1;
+  SKY_ASSIGN_OR_RETURN(model.configs, FilterKnobConfigs(workload, filter));
+  model.step_runtimes.filter_configs_s = ElapsedSeconds(t0);
+
+  // Step 1b: profile + filter task placements (Appendix A.2).
+  t0 = WallClock::now();
+  SKY_ASSIGN_OR_RETURN(
+      model.profiles,
+      ProfileConfigs(workload, model.configs, cluster, cost_model,
+                     options.segment_seconds));
+  model.step_runtimes.filter_placements_s = ElapsedSeconds(t0);
+
+  // Step 2: content categories (§3.2).
+  t0 = WallClock::now();
+  CategorizerOptions cat;
+  cat.num_categories = options.num_categories;
+  cat.segment_seconds = options.segment_seconds;
+  cat.train_horizon = model.train_horizon;
+  cat.backend = options.categorizer_backend;
+  cat.seed = options.seed ^ 0x2;
+  SKY_ASSIGN_OR_RETURN(model.categories,
+                       BuildContentCategories(workload, model.configs, cat));
+  model.step_runtimes.content_categories_s = ElapsedSeconds(t0);
+
+  // Step 3a: create forecast training data (Appendix H).
+  t0 = WallClock::now();
+  model.train_category_sequence = BuildTrainCategorySequence(
+      workload, model.configs, model.categories, options.segment_seconds,
+      model.train_horizon, options.seed ^ 0x3);
+  model.step_runtimes.forecast_training_data_s = ElapsedSeconds(t0);
+
+  // Step 3b: train the forecasting model (§3.3).
+  if (options.train_forecaster) {
+    t0 = WallClock::now();
+    ForecasterOptions fopts = options.forecaster;
+    fopts.seed = options.seed ^ 0x4;
+    SKY_ASSIGN_OR_RETURN(
+        Forecaster forecaster,
+        Forecaster::Train(model.train_category_sequence,
+                          options.segment_seconds, options.num_categories,
+                          fopts));
+    model.forecaster.emplace(std::move(forecaster));
+    model.step_runtimes.forecast_training_s = ElapsedSeconds(t0);
+  }
+  return model;
+}
+
+}  // namespace sky::core

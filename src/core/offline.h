@@ -1,0 +1,77 @@
+#ifndef SKYSCRAPER_CORE_OFFLINE_H_
+#define SKYSCRAPER_CORE_OFFLINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/categorizer.h"
+#include "core/config_filter.h"
+#include "core/forecaster.h"
+#include "core/profiler.h"
+#include "core/workload.h"
+#include "sim/cluster_sim.h"
+#include "sim/cost_model.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::core {
+
+/// Wall-clock runtimes of the offline steps (Table 3 of the paper).
+struct OfflineStepRuntimes {
+  double filter_configs_s = 0.0;
+  double filter_placements_s = 0.0;
+  double content_categories_s = 0.0;
+  double forecast_training_data_s = 0.0;
+  double forecast_training_s = 0.0;
+};
+
+/// The pre-computed, workload-invariant knowledge the online phase consumes:
+/// the filtered configuration set K with placement profiles, the content
+/// categories C, and the trained forecasting model F (Fig. 2, left).
+struct OfflineModel {
+  std::vector<KnobConfig> configs;
+  std::vector<ConfigProfile> profiles;
+  ContentCategories categories;
+  std::optional<Forecaster> forecaster;
+  /// Per-segment category sequence over the training horizon (Appendix H):
+  /// bootstraps the online forecaster history.
+  std::vector<size_t> train_category_sequence;
+  double segment_seconds = 2.0;
+  SimTime train_horizon = Days(16);
+  OfflineStepRuntimes step_runtimes;
+};
+
+struct OfflineOptions {
+  double segment_seconds = 2.0;
+  /// Unlabeled history used for fitting (the paper records ~2 weeks).
+  SimTime train_horizon = Days(16);
+  size_t num_categories = 4;
+  CategorizerBackend categorizer_backend = CategorizerBackend::kKMeans;
+  ConfigFilterOptions filter;
+  ForecasterOptions forecaster;
+  /// Set false to skip forecaster training (benches that bring their own).
+  bool train_forecaster = true;
+  uint64_t seed = 81;
+};
+
+/// Runs the complete offline preparation phase of §3 on the given workload
+/// and provisioning: filter knob configurations (A.1), profile and filter
+/// task placements (A.2), build content categories (§3.2), create the
+/// forecast training data and train the model (§3.3 / Appendix H).
+Result<OfflineModel> RunOfflinePhase(const Workload& workload,
+                                     const sim::ClusterSpec& cluster,
+                                     const sim::CostModel& cost_model,
+                                     const OfflineOptions& options = {});
+
+/// Classifies every training segment with the cheapest configuration's
+/// measured quality (Appendix H: the unlabeled data is processed with k- and
+/// categorized through the switcher's standard partial classification).
+std::vector<size_t> BuildTrainCategorySequence(
+    const Workload& workload, const std::vector<KnobConfig>& configs,
+    const ContentCategories& categories, double segment_seconds,
+    SimTime horizon, uint64_t seed);
+
+}  // namespace sky::core
+
+#endif  // SKYSCRAPER_CORE_OFFLINE_H_

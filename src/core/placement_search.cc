@@ -1,0 +1,162 @@
+#include "core/placement_search.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/rng.h"
+
+namespace sky::core {
+
+namespace {
+
+Result<PlacementProfile> ProfilePlacement(const dag::TaskGraph& graph,
+                                          dag::Placement placement,
+                                          const sim::ClusterSpec& cluster) {
+  SKY_ASSIGN_OR_RETURN(sim::DagSimResult sim,
+                       sim::SimulateDag(graph, placement, cluster));
+  PlacementProfile profile;
+  profile.placement = std::move(placement);
+  profile.runtime_s = sim.makespan_s;
+  profile.cloud_usd = sim.cloud_cost_usd;
+  profile.onprem_core_s = sim.onprem_core_seconds;
+  profile.uplink_bytes = sim.uplink_bytes;
+  return profile;
+}
+
+/// Candidate numbers of cloud-placed nodes for a group of `n`
+/// interchangeable siblings: 0, powers of two, and n itself.
+std::vector<size_t> CloudCountCandidates(size_t n) {
+  std::vector<size_t> counts = {0};
+  for (size_t v = 1; v < n; v *= 2) counts.push_back(v);
+  if (n > 0) counts.push_back(n);
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+}  // namespace
+
+std::vector<PlacementProfile> ParetoFilterPlacements(
+    std::vector<PlacementProfile> profiles) {
+  // Sort by (cost asc, runtime asc); sweep keeping strictly improving
+  // runtimes.
+  std::sort(profiles.begin(), profiles.end(),
+            [](const PlacementProfile& a, const PlacementProfile& b) {
+              if (a.cloud_usd != b.cloud_usd) return a.cloud_usd < b.cloud_usd;
+              return a.runtime_s < b.runtime_s;
+            });
+  std::vector<PlacementProfile> pareto;
+  double best_runtime = std::numeric_limits<double>::infinity();
+  for (PlacementProfile& p : profiles) {
+    if (p.runtime_s < best_runtime - 1e-12) {
+      best_runtime = p.runtime_s;
+      pareto.push_back(std::move(p));
+    }
+  }
+  return pareto;
+}
+
+Result<std::vector<PlacementProfile>> SearchPlacements(
+    const dag::TaskGraph& graph, const sim::ClusterSpec& cluster,
+    const PlacementSearchOptions& options) {
+  SKY_RETURN_NOT_OK(graph.Validate());
+  size_t n = graph.NumNodes();
+  if (n == 0) return Status::InvalidArgument("empty task graph");
+
+  // Partition nodes into interchangeability groups (TaskNode::group); nodes
+  // without a group form singletons. Only the *count* of cloud nodes per
+  // group matters, which collapses the 2^n space to a small product.
+  std::vector<std::vector<size_t>> groups;
+  std::map<int, size_t> group_index;
+  for (size_t i = 0; i < n; ++i) {
+    int gid = graph.node(i).group;
+    if (gid < 0) {
+      groups.push_back({i});
+      continue;
+    }
+    auto it = group_index.find(gid);
+    if (it == group_index.end()) {
+      group_index.emplace(gid, groups.size());
+      groups.push_back({i});
+    } else {
+      groups[it->second].push_back(i);
+    }
+  }
+
+  std::vector<std::vector<size_t>> candidates;
+  candidates.reserve(groups.size());
+  size_t total_combos = 1;
+  for (const auto& g : groups) {
+    candidates.push_back(CloudCountCandidates(g.size()));
+    total_combos *= candidates.back().size();
+    if (total_combos > 4 * options.sample_count) {
+      total_combos = 4 * options.sample_count;  // saturate; sampled below
+    }
+  }
+
+  auto build_placement =
+      [&](const std::vector<size_t>& counts) -> dag::Placement {
+    dag::Placement p = dag::Placement::AllOnPrem(n);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (size_t j = 0; j < counts[g] && j < groups[g].size(); ++j) {
+        p.node_loc[groups[g][j]] = dag::Loc::kCloud;
+      }
+    }
+    return p;
+  };
+
+  std::vector<PlacementProfile> profiles;
+  if (total_combos <= options.sample_count) {
+    // Exhaustive cross-product over group cloud counts.
+    std::vector<size_t> selector(groups.size(), 0);
+    for (;;) {
+      std::vector<size_t> counts(groups.size());
+      for (size_t g = 0; g < groups.size(); ++g) {
+        counts[g] = candidates[g][selector[g]];
+      }
+      SKY_ASSIGN_OR_RETURN(
+          PlacementProfile profile,
+          ProfilePlacement(graph, build_placement(counts), cluster));
+      profiles.push_back(std::move(profile));
+      // Odometer increment.
+      size_t g = 0;
+      while (g < groups.size() && ++selector[g] == candidates[g].size()) {
+        selector[g] = 0;
+        ++g;
+      }
+      if (g == groups.size()) break;
+    }
+  } else {
+    // Random sampling plus the two extremes.
+    Rng rng(options.seed);
+    std::vector<size_t> all_prem(groups.size(), 0);
+    std::vector<size_t> all_cloud(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) all_cloud[g] = groups[g].size();
+    SKY_ASSIGN_OR_RETURN(
+        PlacementProfile prem,
+        ProfilePlacement(graph, build_placement(all_prem), cluster));
+    profiles.push_back(std::move(prem));
+    SKY_ASSIGN_OR_RETURN(
+        PlacementProfile cloud,
+        ProfilePlacement(graph, build_placement(all_cloud), cluster));
+    profiles.push_back(std::move(cloud));
+    for (size_t s = 0; s < options.sample_count; ++s) {
+      std::vector<size_t> counts(groups.size());
+      for (size_t g = 0; g < groups.size(); ++g) {
+        size_t pick = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(candidates[g].size()) - 1));
+        counts[g] = candidates[g][pick];
+      }
+      SKY_ASSIGN_OR_RETURN(
+          PlacementProfile profile,
+          ProfilePlacement(graph, build_placement(counts), cluster));
+      profiles.push_back(std::move(profile));
+    }
+  }
+
+  std::vector<PlacementProfile> pareto =
+      ParetoFilterPlacements(std::move(profiles));
+  if (pareto.empty()) return Status::Internal("empty Pareto frontier");
+  return pareto;
+}
+
+}  // namespace sky::core

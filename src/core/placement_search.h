@@ -1,0 +1,48 @@
+#ifndef SKYSCRAPER_CORE_PLACEMENT_SEARCH_H_
+#define SKYSCRAPER_CORE_PLACEMENT_SEARCH_H_
+
+#include <vector>
+
+#include "dag/task_graph.h"
+#include "sim/cluster_sim.h"
+#include "util/result.h"
+
+namespace sky::core {
+
+/// One candidate execution of a knob configuration's task graph: a placement
+/// plus its simulated runtime/cost profile on the provisioned cluster.
+struct PlacementProfile {
+  dag::Placement placement;
+  double runtime_s = 0.0;        ///< per-segment makespan (Appendix M sim)
+  double cloud_usd = 0.0;        ///< cloud credits per segment
+  double onprem_core_s = 0.0;    ///< on-premise work per segment
+  double uplink_bytes = 0.0;     ///< bytes shipped to the cloud per segment
+};
+
+struct PlacementSearchOptions {
+  /// Budget of simulated placements. The search enumerates cloud-node
+  /// *counts* per interchangeability group (TaskNode::group) exhaustively
+  /// when the cross product fits the budget, and samples otherwise. The
+  /// paper uses a learned search (PlaceTo); exploiting chunk symmetry makes
+  /// exact enumeration cheap for V-ETL DAGs and yields the same downstream
+  /// Pareto set (see DESIGN.md).
+  size_t sample_count = 4096;
+  uint64_t seed = 31;
+};
+
+/// Searches placements of `graph` on `cluster` and returns the cost-runtime
+/// Pareto frontier (Appendix A.2), sorted by ascending cloud cost (so the
+/// first entry is the cheapest, typically all-on-premise, placement and
+/// later entries trade dollars for speed).
+Result<std::vector<PlacementProfile>> SearchPlacements(
+    const dag::TaskGraph& graph, const sim::ClusterSpec& cluster,
+    const PlacementSearchOptions& options = {});
+
+/// Filters a set of profiles down to the cost-runtime Pareto frontier,
+/// sorted by ascending cloud cost. Exposed for tests.
+std::vector<PlacementProfile> ParetoFilterPlacements(
+    std::vector<PlacementProfile> profiles);
+
+}  // namespace sky::core
+
+#endif  // SKYSCRAPER_CORE_PLACEMENT_SEARCH_H_

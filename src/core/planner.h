@@ -1,0 +1,46 @@
+#ifndef SKYSCRAPER_CORE_PLANNER_H_
+#define SKYSCRAPER_CORE_PLANNER_H_
+
+#include <vector>
+
+#include "core/categorizer.h"
+#include "ml/matrix.h"
+#include "util/result.h"
+
+namespace sky::core {
+
+/// A knob plan P (§4.1): one histogram alpha_c over configurations per
+/// content category, telling the switcher how often to use each
+/// configuration on content of that category.
+struct KnobPlan {
+  /// alpha(c, k): row per category, column per (filtered) configuration;
+  /// rows sum to 1.
+  ml::Matrix alpha;
+  /// The forecast r_c the plan was computed for.
+  std::vector<double> forecast;
+  /// Expected quality under the plan (LP objective).
+  double expected_quality = 0.0;
+  /// Expected work under the plan, core-seconds per video-second.
+  double expected_work = 0.0;
+};
+
+/// Solves the knob-planning linear program of §4.1:
+///
+///   maximize   sum_{k,c} alpha_{k,c} * r_c * qual(k, c)
+///   subject to sum_{k,c} alpha_{k,c} * r_c * cost(k) <= budget
+///              sum_k alpha_{k,c} = 1,  alpha >= 0        (for every c)
+///
+/// `config_costs[k]` is cost(k) in on-premise core-seconds per video-second;
+/// `budget` uses the same unit (the engine folds the cloud-credit budget
+/// into it, §4.1 footnote 4). Fails on shape mismatches; the LP itself is
+/// always feasible (alpha uniform rows satisfy the equalities, and the
+/// budget row is satisfiable whenever the cheapest configuration fits —
+/// otherwise kInfeasible is surfaced to the caller).
+Result<KnobPlan> ComputeKnobPlan(const ContentCategories& categories,
+                                 const std::vector<double>& forecast,
+                                 const std::vector<double>& config_costs,
+                                 double budget_core_s_per_video_s);
+
+}  // namespace sky::core
+
+#endif  // SKYSCRAPER_CORE_PLANNER_H_

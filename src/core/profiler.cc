@@ -1,0 +1,51 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sky::core {
+
+double ConfigProfile::MinRuntime() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const PlacementProfile& p : placements) {
+    best = std::min(best, p.runtime_s);
+  }
+  return best;
+}
+
+double ConfigProfile::OnPremRuntime() const {
+  for (const PlacementProfile& p : placements) {
+    if (p.placement.NumCloudNodes() == 0) return p.runtime_s;
+  }
+  // No pure on-prem placement on the frontier (it was dominated); fall back
+  // to the cheapest entry.
+  return placements.empty() ? 0.0 : placements.front().runtime_s;
+}
+
+Result<std::vector<ConfigProfile>> ProfileConfigs(
+    const Workload& workload, const std::vector<KnobConfig>& configs,
+    const sim::ClusterSpec& cluster, const sim::CostModel& cost_model,
+    double segment_seconds, const PlacementSearchOptions& search_options) {
+  if (configs.empty()) {
+    return Status::InvalidArgument("no configurations to profile");
+  }
+  const KnobSpace& space = workload.knob_space();
+  std::vector<ConfigProfile> profiles;
+  profiles.reserve(configs.size());
+  for (const KnobConfig& config : configs) {
+    SKY_RETURN_NOT_OK(space.ValidateConfig(config));
+    ConfigProfile profile;
+    profile.config = config;
+    profile.config_id = space.ConfigToId(config);
+    profile.work_core_s_per_video_s =
+        workload.CostCoreSecondsPerVideoSecond(config);
+    dag::TaskGraph graph =
+        workload.BuildTaskGraph(config, segment_seconds, cost_model);
+    SKY_ASSIGN_OR_RETURN(profile.placements,
+                         SearchPlacements(graph, cluster, search_options));
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace sky::core

@@ -1,0 +1,32 @@
+#ifndef SKYSCRAPER_DAG_EXECUTOR_H_
+#define SKYSCRAPER_DAG_EXECUTOR_H_
+
+#include <vector>
+
+#include "dag/task_graph.h"
+#include "dag/thread_pool.h"
+#include "util/result.h"
+
+namespace sky::dag {
+
+struct ExecutionReport {
+  /// Wall-clock makespan of the whole DAG in seconds.
+  double makespan_s = 0.0;
+  /// Per-node completion time relative to the start, seconds.
+  std::vector<double> finish_times_s;
+};
+
+/// Executes the `work` callables of a TaskGraph on a thread pool, honoring
+/// dependency edges. This is the "real hardware" counterpart to the
+/// Appendix-M simulator; the simulator-accuracy benchmark (Figs 22-23)
+/// compares the two. Nodes without a callable complete instantly.
+Result<ExecutionReport> ExecuteDag(const TaskGraph& graph, ThreadPool* pool);
+
+/// A deterministic synthetic compute kernel that busy-works for roughly
+/// `millis` milliseconds of single-core time. Used to emulate UDFs (YOLO,
+/// KCF, ...) whose real implementations are unavailable offline.
+void BusyWorkMillis(double millis);
+
+}  // namespace sky::dag
+
+#endif  // SKYSCRAPER_DAG_EXECUTOR_H_

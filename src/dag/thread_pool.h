@@ -1,0 +1,47 @@
+#ifndef SKYSCRAPER_DAG_THREAD_POOL_H_
+#define SKYSCRAPER_DAG_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sky::dag {
+
+/// Fixed-size worker pool. Plays the role Ray actors play in the paper's
+/// Python implementation: UDF invocations are mapped onto a bounded set of
+/// workers, one logical core each.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sky::dag
+
+#endif  // SKYSCRAPER_DAG_THREAD_POOL_H_

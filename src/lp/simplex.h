@@ -1,0 +1,43 @@
+#ifndef SKYSCRAPER_LP_SIMPLEX_H_
+#define SKYSCRAPER_LP_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sky::lp {
+
+/// maximize   c^T x
+/// subject to A_ub x <= b_ub
+///            A_eq x  = b_eq
+///            x >= 0
+///
+/// This is the exact shape of the knob planner's program (§4.1): one
+/// budget inequality plus one normalization equality per content category.
+struct LinearProgram {
+  std::vector<double> objective;               ///< c, length n
+  std::vector<std::vector<double>> a_ub;       ///< rows of length n
+  std::vector<double> b_ub;
+  std::vector<std::vector<double>> a_eq;       ///< rows of length n
+  std::vector<double> b_eq;
+
+  size_t NumVariables() const { return objective.size(); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective_value = 0.0;
+};
+
+/// Dense two-phase primal simplex with Bland's anti-cycling rule. Intended
+/// for the small programs Skyscraper produces (|C|·|K| variables, typically
+/// well under a thousand); fails on malformed input shapes.
+Result<LpSolution> SolveLp(const LinearProgram& lp);
+
+}  // namespace sky::lp
+
+#endif  // SKYSCRAPER_LP_SIMPLEX_H_

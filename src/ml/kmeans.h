@@ -1,0 +1,44 @@
+#ifndef SKYSCRAPER_ML_KMEANS_H_
+#define SKYSCRAPER_ML_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sky::ml {
+
+struct KMeansOptions {
+  size_t k = 4;
+  size_t max_iterations = 100;
+  size_t restarts = 4;  ///< best-of-n runs with k-means++ seeding
+  uint64_t seed = 17;
+};
+
+struct KMeansModel {
+  /// Cluster centers; centers[c] has the data dimensionality.
+  std::vector<std::vector<double>> centers;
+  /// Assignment of each input point to a center index.
+  std::vector<size_t> assignments;
+  /// Sum of squared distances to assigned centers.
+  double inertia = 0.0;
+
+  /// Index of the nearest center to `point` (full dimensionality).
+  size_t Classify(const std::vector<double>& point) const;
+
+  /// Classification using only a single vector dimension (Eq. 5 of the
+  /// paper): the knob switcher observes the quality of the *current* knob
+  /// configuration only, so it picks the center whose `dim`-th coordinate is
+  /// closest to `value`.
+  size_t ClassifyPartial(size_t dim, double value) const;
+};
+
+/// Lloyd's algorithm with k-means++ initialization. Fails if there are fewer
+/// points than clusters or inconsistent dimensionality.
+Result<KMeansModel> KMeansFit(const std::vector<std::vector<double>>& points,
+                              const KMeansOptions& options);
+
+}  // namespace sky::ml
+
+#endif  // SKYSCRAPER_ML_KMEANS_H_

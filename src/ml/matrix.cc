@@ -1,0 +1,86 @@
+#include "ml/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sky::ml {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomHe(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double stddev = std::sqrt(2.0 / static_cast<double>(cols));
+  for (double& v : m.data_) v = rng->Normal(0.0, stddev);
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& v) {
+  assert(r < rows_ && v.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) At(r, c) = v[c];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+void Matrix::AddScaled(const Matrix& other, double alpha) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+void Matrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double L2Norm(const std::vector<double>& a) {
+  double s = 0.0;
+  for (double v : a) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace sky::ml

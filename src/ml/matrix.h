@@ -1,0 +1,61 @@
+#ifndef SKYSCRAPER_ML_MATRIX_H_
+#define SKYSCRAPER_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sky::ml {
+
+/// Dense row-major matrix of doubles. Deliberately small: just the operations
+/// the forecasting network, KMeans and the LP solver need. Bounds are checked
+/// with assert in debug builds only.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  static Matrix Identity(size_t n);
+  /// He-style initialization, scaled by sqrt(2 / fan_in): suits ReLU layers.
+  static Matrix RandomHe(size_t rows, size_t cols, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double> Row(size_t r) const;
+  void SetRow(size_t r, const std::vector<double>& v);
+
+  Matrix Transpose() const;
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this += alpha * other (element-wise; shapes must match).
+  void AddScaled(const Matrix& other, double alpha);
+  void Scale(double alpha);
+  void Fill(double v);
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean distance between two equally sized vectors.
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double L2Norm(const std::vector<double>& a);
+
+}  // namespace sky::ml
+
+#endif  // SKYSCRAPER_ML_MATRIX_H_

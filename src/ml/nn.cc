@@ -1,0 +1,321 @@
+#include "ml/nn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace sky::ml {
+
+namespace {
+
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+constexpr double kLogEps = 1e-12;
+
+void ApplyActivation(Activation act, std::vector<double>* v) {
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (double& x : *v) x = x > 0.0 ? x : 0.0;
+      return;
+    case Activation::kSoftmax: {
+      double mx = *std::max_element(v->begin(), v->end());
+      double sum = 0.0;
+      for (double& x : *v) {
+        x = std::exp(x - mx);
+        sum += x;
+      }
+      for (double& x : *v) x /= sum;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+double ComputeLoss(const std::vector<double>& pred,
+                   const std::vector<double>& target, Loss loss) {
+  assert(pred.size() == target.size());
+  double out = 0.0;
+  switch (loss) {
+    case Loss::kMse:
+      for (size_t i = 0; i < pred.size(); ++i) {
+        double d = pred[i] - target[i];
+        out += d * d;
+      }
+      return out / static_cast<double>(pred.size());
+    case Loss::kCrossEntropy:
+      for (size_t i = 0; i < pred.size(); ++i) {
+        out -= target[i] * std::log(pred[i] + kLogEps);
+      }
+      return out;
+  }
+  return out;
+}
+
+FeedForwardNet::FeedForwardNet(size_t input_dim, std::vector<size_t> hidden,
+                               size_t output_dim,
+                               Activation output_activation, Rng* rng)
+    : input_dim_(input_dim), output_dim_(output_dim) {
+  size_t in = input_dim;
+  for (size_t width : hidden) {
+    Layer l;
+    l.w = Matrix::RandomHe(width, in, rng);
+    l.b.assign(width, 0.0);
+    l.act = Activation::kRelu;
+    l.mw = Matrix(width, in, 0.0);
+    l.vw = Matrix(width, in, 0.0);
+    l.mb.assign(width, 0.0);
+    l.vb.assign(width, 0.0);
+    layers_.push_back(std::move(l));
+    in = width;
+  }
+  Layer out;
+  out.w = Matrix::RandomHe(output_dim, in, rng);
+  out.b.assign(output_dim, 0.0);
+  out.act = output_activation;
+  out.mw = Matrix(output_dim, in, 0.0);
+  out.vw = Matrix(output_dim, in, 0.0);
+  out.mb.assign(output_dim, 0.0);
+  out.vb.assign(output_dim, 0.0);
+  layers_.push_back(std::move(out));
+}
+
+size_t FeedForwardNet::NumParameters() const {
+  size_t n = 0;
+  for (const Layer& l : layers_) {
+    n += l.w.rows() * l.w.cols() + l.b.size();
+  }
+  return n;
+}
+
+std::vector<double> FeedForwardNet::Forward(const std::vector<double>& x,
+                                            ForwardCache* cache) const {
+  std::vector<double> cur = x;
+  if (cache != nullptr) {
+    cache->activations.clear();
+    cache->pre_activations.clear();
+    cache->activations.push_back(cur);
+  }
+  for (const Layer& l : layers_) {
+    std::vector<double> next(l.w.rows(), 0.0);
+    for (size_t r = 0; r < l.w.rows(); ++r) {
+      const double* wrow = l.w.RowPtr(r);
+      double s = l.b[r];
+      for (size_t c = 0; c < l.w.cols(); ++c) s += wrow[c] * cur[c];
+      next[r] = s;
+    }
+    if (cache != nullptr) cache->pre_activations.push_back(next);
+    ApplyActivation(l.act, &next);
+    if (cache != nullptr) cache->activations.push_back(next);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<double> FeedForwardNet::Predict(const std::vector<double>& x) const {
+  assert(x.size() == input_dim_);
+  return Forward(x, nullptr);
+}
+
+double FeedForwardNet::BackwardAccumulate(
+    const std::vector<double>& x, const std::vector<double>& y, Loss loss,
+    std::vector<Matrix>* grad_w, std::vector<std::vector<double>>* grad_b) {
+  ForwardCache cache;
+  std::vector<double> pred = Forward(x, &cache);
+  double sample_loss = ComputeLoss(pred, y, loss);
+
+  // Delta for the output layer. Softmax + cross-entropy and identity + MSE
+  // both reduce to (pred - y) up to a constant factor.
+  std::vector<double> delta(pred.size());
+  const Layer& out_layer = layers_.back();
+  if (loss == Loss::kCrossEntropy) {
+    assert(out_layer.act == Activation::kSoftmax);
+    for (size_t i = 0; i < pred.size(); ++i) delta[i] = pred[i] - y[i];
+  } else {
+    double scale = 2.0 / static_cast<double>(pred.size());
+    for (size_t i = 0; i < pred.size(); ++i) {
+      delta[i] = scale * (pred[i] - y[i]);
+    }
+    if (out_layer.act == Activation::kRelu) {
+      const auto& pre = cache.pre_activations.back();
+      for (size_t i = 0; i < delta.size(); ++i) {
+        if (pre[i] <= 0.0) delta[i] = 0.0;
+      }
+    } else if (out_layer.act == Activation::kSoftmax) {
+      // Full softmax Jacobian for the MSE case.
+      const auto& s = cache.activations.back();
+      std::vector<double> jd(delta.size(), 0.0);
+      double dot = 0.0;
+      for (size_t i = 0; i < s.size(); ++i) dot += delta[i] * s[i];
+      for (size_t i = 0; i < s.size(); ++i) jd[i] = s[i] * (delta[i] - dot);
+      delta = std::move(jd);
+    }
+  }
+
+  for (size_t li = layers_.size(); li-- > 0;) {
+    const Layer& l = layers_[li];
+    const std::vector<double>& a_in = cache.activations[li];
+    Matrix& gw = (*grad_w)[li];
+    std::vector<double>& gb = (*grad_b)[li];
+    for (size_t r = 0; r < l.w.rows(); ++r) {
+      gb[r] += delta[r];
+      double* grow = gw.RowPtr(r);
+      double d = delta[r];
+      if (d == 0.0) continue;
+      for (size_t c = 0; c < l.w.cols(); ++c) grow[c] += d * a_in[c];
+    }
+    if (li == 0) break;
+    // Propagate delta through W and the previous layer's ReLU.
+    std::vector<double> prev_delta(l.w.cols(), 0.0);
+    for (size_t r = 0; r < l.w.rows(); ++r) {
+      const double* wrow = l.w.RowPtr(r);
+      double d = delta[r];
+      if (d == 0.0) continue;
+      for (size_t c = 0; c < l.w.cols(); ++c) prev_delta[c] += d * wrow[c];
+    }
+    const auto& prev_pre = cache.pre_activations[li - 1];
+    assert(layers_[li - 1].act == Activation::kRelu);
+    for (size_t c = 0; c < prev_delta.size(); ++c) {
+      if (prev_pre[c] <= 0.0) prev_delta[c] = 0.0;
+    }
+    delta = std::move(prev_delta);
+  }
+  return sample_loss;
+}
+
+void FeedForwardNet::AdamStep(const std::vector<Matrix>& grad_w,
+                              const std::vector<std::vector<double>>& grad_b,
+                              double lr, size_t batch) {
+  ++adam_t_;
+  double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(adam_t_));
+  double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(adam_t_));
+  double inv_batch = 1.0 / static_cast<double>(batch);
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    Layer& l = layers_[li];
+    const auto& gw = grad_w[li].data();
+    auto& w = l.w.data();
+    auto& mw = l.mw.data();
+    auto& vw = l.vw.data();
+    for (size_t i = 0; i < w.size(); ++i) {
+      double g = gw[i] * inv_batch;
+      mw[i] = kAdamBeta1 * mw[i] + (1.0 - kAdamBeta1) * g;
+      vw[i] = kAdamBeta2 * vw[i] + (1.0 - kAdamBeta2) * g * g;
+      double mhat = mw[i] / bc1;
+      double vhat = vw[i] / bc2;
+      w[i] -= lr * mhat / (std::sqrt(vhat) + kAdamEps);
+    }
+    for (size_t i = 0; i < l.b.size(); ++i) {
+      double g = grad_b[li][i] * inv_batch;
+      l.mb[i] = kAdamBeta1 * l.mb[i] + (1.0 - kAdamBeta1) * g;
+      l.vb[i] = kAdamBeta2 * l.vb[i] + (1.0 - kAdamBeta2) * g * g;
+      double mhat = l.mb[i] / bc1;
+      double vhat = l.vb[i] / bc2;
+      l.b[i] -= lr * mhat / (std::sqrt(vhat) + kAdamEps);
+    }
+  }
+}
+
+double FeedForwardNet::EvalLoss(const Matrix& X, const Matrix& Y,
+                                const std::vector<size_t>& idx,
+                                Loss loss) const {
+  if (idx.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i : idx) {
+    std::vector<double> pred = Forward(X.Row(i), nullptr);
+    total += ComputeLoss(pred, Y.Row(i), loss);
+  }
+  return total / static_cast<double>(idx.size());
+}
+
+Result<TrainReport> FeedForwardNet::Train(const Matrix& X, const Matrix& Y,
+                                          const TrainOptions& opts) {
+  if (X.rows() != Y.rows()) {
+    return Status::InvalidArgument("X and Y row counts differ");
+  }
+  if (X.cols() != input_dim_ || Y.cols() != output_dim_) {
+    return Status::InvalidArgument("X/Y widths do not match network shape");
+  }
+  if (X.rows() < 2) {
+    return Status::InvalidArgument("need at least 2 training samples");
+  }
+  if (opts.batch_size == 0 || opts.epochs == 0) {
+    return Status::InvalidArgument("batch_size and epochs must be positive");
+  }
+
+  std::vector<size_t> order(X.rows());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(opts.shuffle_seed);
+  rng.Shuffle(&order);
+
+  size_t n_val = static_cast<size_t>(
+      std::floor(opts.validation_split * static_cast<double>(X.rows())));
+  n_val = std::min(n_val, X.rows() - 1);
+  std::vector<size_t> val_idx(order.begin(), order.begin() + n_val);
+  std::vector<size_t> train_idx(order.begin() + n_val, order.end());
+
+  TrainReport report;
+  report.best_val_loss = std::numeric_limits<double>::infinity();
+
+  // Snapshot of the best weights (by validation loss), restored at the end.
+  std::vector<Layer> best_layers = layers_;
+
+  std::vector<Matrix> grad_w;
+  std::vector<std::vector<double>> grad_b;
+  for (const Layer& l : layers_) {
+    grad_w.emplace_back(l.w.rows(), l.w.cols(), 0.0);
+    grad_b.emplace_back(l.b.size(), 0.0);
+  }
+
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&train_idx);
+    double epoch_loss = 0.0;
+    size_t pos = 0;
+    while (pos < train_idx.size()) {
+      size_t batch = std::min(opts.batch_size, train_idx.size() - pos);
+      for (auto& g : grad_w) g.Fill(0.0);
+      for (auto& g : grad_b) std::fill(g.begin(), g.end(), 0.0);
+      for (size_t b = 0; b < batch; ++b) {
+        size_t i = train_idx[pos + b];
+        epoch_loss +=
+            BackwardAccumulate(X.Row(i), Y.Row(i), opts.loss, &grad_w, &grad_b);
+      }
+      AdamStep(grad_w, grad_b, opts.learning_rate, batch);
+      pos += batch;
+    }
+    epoch_loss /= static_cast<double>(std::max<size_t>(1, train_idx.size()));
+    report.train_loss_per_epoch.push_back(epoch_loss);
+
+    double val_loss = val_idx.empty()
+                          ? epoch_loss
+                          : EvalLoss(X, Y, val_idx, opts.loss);
+    report.val_loss_per_epoch.push_back(val_loss);
+    if (val_loss < report.best_val_loss) {
+      report.best_val_loss = val_loss;
+      report.best_epoch = epoch;
+      if (opts.keep_best_validation_weights) best_layers = layers_;
+    }
+  }
+
+  if (opts.keep_best_validation_weights) layers_ = std::move(best_layers);
+  return report;
+}
+
+void FeedForwardNet::OnlineUpdate(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  double learning_rate, Loss loss) {
+  std::vector<Matrix> grad_w;
+  std::vector<std::vector<double>> grad_b;
+  for (const Layer& l : layers_) {
+    grad_w.emplace_back(l.w.rows(), l.w.cols(), 0.0);
+    grad_b.emplace_back(l.b.size(), 0.0);
+  }
+  BackwardAccumulate(x, y, loss, &grad_w, &grad_b);
+  AdamStep(grad_w, grad_b, learning_rate, 1);
+}
+
+}  // namespace sky::ml

@@ -1,0 +1,109 @@
+#ifndef SKYSCRAPER_ML_NN_H_
+#define SKYSCRAPER_ML_NN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sky::ml {
+
+enum class Activation { kIdentity, kRelu, kSoftmax };
+
+/// Loss functions supported by FeedForwardNet::Train.
+enum class Loss {
+  kMse,           ///< mean squared error (use with kIdentity output)
+  kCrossEntropy,  ///< categorical cross-entropy (use with kSoftmax output)
+};
+
+struct TrainOptions {
+  size_t epochs = 40;
+  size_t batch_size = 16;
+  double learning_rate = 1e-2;
+  double validation_split = 0.2;  ///< fraction of samples held out
+  Loss loss = Loss::kCrossEntropy;
+  uint64_t shuffle_seed = 7;
+  bool keep_best_validation_weights = true;
+};
+
+struct TrainReport {
+  std::vector<double> train_loss_per_epoch;
+  std::vector<double> val_loss_per_epoch;
+  double best_val_loss = 0.0;
+  size_t best_epoch = 0;
+};
+
+/// A small fully connected network trained with Adam. This is the forecasting
+/// model of the paper (Appendix K): input -> 16 ReLU -> 8 ReLU -> |C| softmax.
+/// It is intentionally minimal — no autograd graph, just dense layers.
+class FeedForwardNet {
+ public:
+  /// Builds a network with the given layer widths. `input_dim` is the width of
+  /// the input; `hidden` lists hidden widths (ReLU); `output_dim` is the width
+  /// of the final layer with `output_activation`.
+  FeedForwardNet(size_t input_dim, std::vector<size_t> hidden,
+                 size_t output_dim, Activation output_activation, Rng* rng);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t output_dim() const { return output_dim_; }
+
+  /// Forward pass for a single sample.
+  std::vector<double> Predict(const std::vector<double>& x) const;
+
+  /// Trains on rows of X against rows of Y with Adam. Returns per-epoch loss
+  /// curves. Fails if shapes disagree or there are too few samples to split.
+  Result<TrainReport> Train(const Matrix& X, const Matrix& Y,
+                            const TrainOptions& opts);
+
+  /// One incremental Adam step on a single (x, y) pair — used for online
+  /// fine-tuning of the forecaster during ingestion (§3.3).
+  void OnlineUpdate(const std::vector<double>& x, const std::vector<double>& y,
+                    double learning_rate, Loss loss);
+
+  /// Number of trainable parameters.
+  size_t NumParameters() const;
+
+ private:
+  struct Layer {
+    Matrix w;  // out x in
+    std::vector<double> b;
+    Activation act;
+    // Adam state.
+    Matrix mw, vw;
+    std::vector<double> mb, vb;
+  };
+
+  struct ForwardCache {
+    // activations[0] = input, activations[i] = output of layer i-1.
+    std::vector<std::vector<double>> activations;
+    std::vector<std::vector<double>> pre_activations;
+  };
+
+  std::vector<double> Forward(const std::vector<double>& x,
+                              ForwardCache* cache) const;
+  /// Backprop for one sample; accumulates gradients into grads.
+  double BackwardAccumulate(const std::vector<double>& x,
+                            const std::vector<double>& y, Loss loss,
+                            std::vector<Matrix>* grad_w,
+                            std::vector<std::vector<double>>* grad_b);
+  void AdamStep(const std::vector<Matrix>& grad_w,
+                const std::vector<std::vector<double>>& grad_b, double lr,
+                size_t batch);
+  double EvalLoss(const Matrix& X, const Matrix& Y,
+                  const std::vector<size_t>& idx, Loss loss) const;
+
+  std::vector<Layer> layers_;
+  size_t input_dim_;
+  size_t output_dim_;
+  size_t adam_t_ = 0;
+};
+
+/// Loss between a prediction and a target (exposed for tests).
+double ComputeLoss(const std::vector<double>& pred,
+                   const std::vector<double>& target, Loss loss);
+
+}  // namespace sky::ml
+
+#endif  // SKYSCRAPER_ML_NN_H_

@@ -1,0 +1,29 @@
+#include "sim/buffer.h"
+
+#include <algorithm>
+
+namespace sky::sim {
+
+Status VideoBuffer::Push(uint64_t bytes) {
+  if (used_ + bytes > capacity_) {
+    return Status::ResourceExhausted("video buffer overflow");
+  }
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  return Status::Ok();
+}
+
+Status VideoBuffer::Pop(uint64_t bytes) {
+  if (bytes > used_) {
+    return Status::InvalidArgument("popping more bytes than buffered");
+  }
+  used_ -= bytes;
+  return Status::Ok();
+}
+
+void VideoBuffer::Reset() {
+  used_ = 0;
+  high_water_ = 0;
+}
+
+}  // namespace sky::sim

@@ -1,0 +1,44 @@
+#ifndef SKYSCRAPER_SIM_BUFFER_H_
+#define SKYSCRAPER_SIM_BUFFER_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace sky::sim {
+
+/// Byte-bounded video buffer (Eq. 1 of the paper): the system may lag behind
+/// the stream, but the bytes of arrived-but-unprocessed frames must never
+/// exceed the buffer size. The knob switcher queries `FreeBytes()` before
+/// committing to a configuration; `Push` fails rather than over-filling,
+/// which is how Chameleon* "crashes" in the baselines.
+class VideoBuffer {
+ public:
+  explicit VideoBuffer(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Adds bytes of buffered video; fails with kResourceExhausted on overflow
+  /// (the buffer content is left unchanged in that case).
+  Status Push(uint64_t bytes);
+
+  /// Removes processed bytes; removing more than is buffered fails.
+  Status Pop(uint64_t bytes);
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  uint64_t FreeBytes() const { return capacity_ - used_; }
+  /// Largest fill level ever observed (for the Fig. 3 trace).
+  uint64_t high_water_bytes() const { return high_water_; }
+  bool Empty() const { return used_ == 0; }
+
+  void Reset();
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  uint64_t high_water_ = 0;
+};
+
+}  // namespace sky::sim
+
+#endif  // SKYSCRAPER_SIM_BUFFER_H_

@@ -1,0 +1,31 @@
+#include "sim/cost_model.h"
+
+namespace sky::sim {
+
+const std::vector<ServerType>& ServerCatalog() {
+  // §5.3: Google Cloud shapes used as provisioned, always-on hardware.
+  static const std::vector<ServerType> kCatalog = {
+      {"e2-standard-4", 4, 0.14},   {"e2-standard-8", 8, 0.27},
+      {"e2-standard-16", 16, 0.54}, {"e2-standard-32", 32, 1.07},
+      {"c2-standard-60", 60, 2.51},
+  };
+  return kCatalog;
+}
+
+Result<ServerType> ServerByVcpus(int vcpus) {
+  for (const ServerType& s : ServerCatalog()) {
+    if (s.vcpus == vcpus) return s;
+  }
+  return Status::NotFound("no catalog server with requested vCPU count");
+}
+
+double CostModel::OnPremUsdPerCoreSecond() const {
+  // Derived from the cheapest catalog shape: price per core-hour divided by
+  // the cloud-to-on-prem ratio, then per second.
+  const ServerType& base = ServerCatalog().front();
+  double usd_per_core_hour =
+      base.usd_per_hour / static_cast<double>(base.vcpus) / ratio_;
+  return usd_per_core_hour / 3600.0;
+}
+
+}  // namespace sky::sim

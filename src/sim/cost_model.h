@@ -1,0 +1,65 @@
+#ifndef SKYSCRAPER_SIM_COST_MODEL_H_
+#define SKYSCRAPER_SIM_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sky::sim {
+
+/// One of the Google Cloud machine shapes the paper uses as stand-ins for
+/// provisioned, always-on "on-premise servers" (§5.3).
+struct ServerType {
+  std::string name;
+  int vcpus;
+  double usd_per_hour;  ///< listed VM rental price
+};
+
+/// The instance catalog of §5.3.
+const std::vector<ServerType>& ServerCatalog();
+
+/// Looks up a server type by vCPU count.
+Result<ServerType> ServerByVcpus(int vcpus);
+
+/// Monetary model of Appendix L. The paper estimates that the same amount of
+/// compute costs `cloud_to_onprem_ratio` (1.8 by default) times more on the
+/// cloud than on an owned on-premise server. Experiment totals therefore
+/// charge VM rent divided by that ratio, plus cloud (Lambda) credits. The
+/// ablation study additionally sweeps the ratio over {1.0, 1.8, 2.5}.
+class CostModel {
+ public:
+  explicit CostModel(double cloud_to_onprem_ratio = 1.8)
+      : ratio_(cloud_to_onprem_ratio) {}
+
+  double cloud_to_onprem_ratio() const { return ratio_; }
+
+  /// Effective on-premise cost of renting `server` for `hours`, USD.
+  double OnPremCost(const ServerType& server, double hours) const {
+    return server.usd_per_hour * hours / ratio_;
+  }
+
+  /// On-premise $ per core-second, derived from the cheapest catalog server.
+  double OnPremUsdPerCoreSecond() const;
+
+  /// Cloud $ per (core-equivalent) second of compute.
+  double CloudUsdPerCoreSecond() const {
+    return OnPremUsdPerCoreSecond() * ratio_;
+  }
+
+  /// Converts a cloud-credit budget in USD into the equivalent on-premise
+  /// core-seconds the knob planner reasons in (§4.1 footnote).
+  double UsdToCoreSeconds(double usd) const {
+    return usd / OnPremUsdPerCoreSecond();
+  }
+  double CoreSecondsToUsd(double core_seconds) const {
+    return core_seconds * OnPremUsdPerCoreSecond();
+  }
+
+ private:
+  double ratio_;
+};
+
+}  // namespace sky::sim
+
+#endif  // SKYSCRAPER_SIM_COST_MODEL_H_

@@ -1,0 +1,72 @@
+#ifndef SKYSCRAPER_UTIL_RESULT_H_
+#define SKYSCRAPER_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace sky {
+
+/// Either a value of type T or an error Status. Library functions that can
+/// fail and produce a value return Result<T>; the caller must check ok()
+/// before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (error path).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `alternative` if this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sky
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define SKY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define SKY_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define SKY_ASSIGN_OR_RETURN_CONCAT(x, y) SKY_ASSIGN_OR_RETURN_CONCAT_(x, y)
+#define SKY_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SKY_ASSIGN_OR_RETURN_IMPL(             \
+      SKY_ASSIGN_OR_RETURN_CONCAT(_sky_result_, __LINE__), lhs, rexpr)
+
+#endif  // SKYSCRAPER_UTIL_RESULT_H_

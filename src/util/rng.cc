@@ -1,0 +1,49 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+namespace sky {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int64_t Rng::Poisson(double mean) {
+  std::poisson_distribution<int64_t> dist(mean);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+Rng Rng::Fork(std::string_view tag) const {
+  // FNV-1a over the tag, mixed with a snapshot of the parent engine state.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : tag) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  std::mt19937_64 copy = engine_;
+  uint64_t salt = copy();
+  return Rng(h ^ (salt * 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace sky

@@ -1,0 +1,29 @@
+#ifndef SKYSCRAPER_UTIL_SIM_TIME_H_
+#define SKYSCRAPER_UTIL_SIM_TIME_H_
+
+#include <cmath>
+
+namespace sky {
+
+/// Simulated time is a double holding seconds since the start of the
+/// experiment. End-to-end experiments advance a virtual clock; nothing in the
+/// library sleeps on wall-clock time.
+using SimTime = double;
+
+constexpr SimTime Seconds(double s) { return s; }
+constexpr SimTime Minutes(double m) { return m * 60.0; }
+constexpr SimTime Hours(double h) { return h * 3600.0; }
+constexpr SimTime Days(double d) { return d * 86400.0; }
+
+/// Seconds into the current (simulated) day, in [0, 86400).
+inline double TimeOfDay(SimTime t) {
+  double d = std::fmod(t, 86400.0);
+  return d < 0 ? d + 86400.0 : d;
+}
+
+/// Fractional hour of day in [0, 24).
+inline double HourOfDay(SimTime t) { return TimeOfDay(t) / 3600.0; }
+
+}  // namespace sky
+
+#endif  // SKYSCRAPER_UTIL_SIM_TIME_H_

@@ -1,0 +1,93 @@
+#ifndef SKYSCRAPER_UTIL_STATUS_H_
+#define SKYSCRAPER_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace sky {
+
+/// Error categories used across the library. Modeled after the Arrow /
+/// RocksDB status idiom: library functions never throw across module
+/// boundaries; they return a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,  ///< e.g. video buffer overflow, budget exhausted
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the OK case (no allocation);
+/// error states carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  /// Returns an OK status. Prefer this over the default constructor for
+  /// readability at return sites.
+  static Status Ok() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  const std::string& message() const;
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; keeps the success path allocation-free on copy.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace sky
+
+/// Propagates a non-OK Status to the caller.
+#define SKY_RETURN_NOT_OK(expr)               \
+  do {                                        \
+    ::sky::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#endif  // SKYSCRAPER_UTIL_STATUS_H_

@@ -1,0 +1,92 @@
+#include "video/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sky::video {
+
+double EstimateH264FrameBytes(double density) {
+  // Calibrated so the mean over a diurnal density cycle is ~3 KB/frame
+  // (7.8 GB/day at 30 fps, footnote 2 of the paper).
+  double d = std::clamp(density, 0.0, 1.0);
+  return 1800.0 + 3600.0 * d;
+}
+
+double EstimateStreamBytesPerSecond(double density) {
+  return EstimateH264FrameBytes(density) * 30.0;
+}
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 24) & 0xFF));
+}
+
+bool GetU32(const std::vector<uint8_t>& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = static_cast<uint32_t>(in[*pos]) |
+       (static_cast<uint32_t>(in[*pos + 1]) << 8) |
+       (static_cast<uint32_t>(in[*pos + 2]) << 16) |
+       (static_cast<uint32_t>(in[*pos + 3]) << 24);
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BlockRleCodec::Encode(const Frame& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(frame.luma.size() / 4 + 16);
+  PutU32(&out, static_cast<uint32_t>(frame.width));
+  PutU32(&out, static_cast<uint32_t>(frame.height));
+  // Run-length encode (value, run) pairs with runs up to 255.
+  size_t i = 0;
+  while (i < frame.luma.size()) {
+    uint8_t value = frame.luma[i];
+    size_t run = 1;
+    while (i + run < frame.luma.size() && frame.luma[i + run] == value &&
+           run < 255) {
+      ++run;
+    }
+    out.push_back(value);
+    out.push_back(static_cast<uint8_t>(run));
+    i += run;
+  }
+  return out;
+}
+
+Result<Frame> BlockRleCodec::Decode(const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  uint32_t width = 0;
+  uint32_t height = 0;
+  if (!GetU32(bytes, &pos, &width) || !GetU32(bytes, &pos, &height)) {
+    return Status::InvalidArgument("truncated codec header");
+  }
+  if (width == 0 || height == 0 || width > 16384 || height > 16384) {
+    return Status::InvalidArgument("implausible frame dimensions");
+  }
+  Frame frame;
+  frame.width = static_cast<int>(width);
+  frame.height = static_cast<int>(height);
+  size_t expected = static_cast<size_t>(width) * height;
+  frame.luma.reserve(expected);
+  while (pos + 1 < bytes.size()) {
+    uint8_t value = bytes[pos];
+    uint8_t run = bytes[pos + 1];
+    pos += 2;
+    if (run == 0) return Status::InvalidArgument("zero-length run");
+    for (uint8_t r = 0; r < run; ++r) frame.luma.push_back(value);
+    if (frame.luma.size() > expected) {
+      return Status::InvalidArgument("decoded size exceeds dimensions");
+    }
+  }
+  if (frame.luma.size() != expected) {
+    return Status::InvalidArgument("decoded size does not match dimensions");
+  }
+  return frame;
+}
+
+}  // namespace sky::video

@@ -1,0 +1,37 @@
+#ifndef SKYSCRAPER_VIDEO_CODEC_H_
+#define SKYSCRAPER_VIDEO_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "video/frame.h"
+
+namespace sky::video {
+
+/// Byte-rate model for the (not actually stored) H.264 source stream. The
+/// paper's camera produces 7.8 GB/day at 30 fps HD, i.e. ~3 KB per frame on
+/// average; busier scenes compress worse. Used for buffer accounting.
+double EstimateH264FrameBytes(double density);
+
+/// Average stream byte rate at the given content density (bytes/second of
+/// video at 30 fps).
+double EstimateStreamBytesPerSecond(double density);
+
+/// A small intra-frame codec standing in for H.264 in the runnable parts of
+/// the system: delta + run-length coding of the luma plane. It is lossless,
+/// its output size grows with scene complexity, and its encode/decode cost is
+/// measurable — which is all the decode-cost experiment (§5.1) needs.
+class BlockRleCodec {
+ public:
+  /// Encodes the luma plane (objects/metadata are not serialized).
+  static std::vector<uint8_t> Encode(const Frame& frame);
+
+  /// Decodes into a frame with the stored dimensions; fails on truncated or
+  /// corrupt input.
+  static Result<Frame> Decode(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace sky::video
+
+#endif  // SKYSCRAPER_VIDEO_CODEC_H_

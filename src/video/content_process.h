@@ -1,0 +1,131 @@
+#ifndef SKYSCRAPER_VIDEO_CONTENT_PROCESS_H_
+#define SKYSCRAPER_VIDEO_CONTENT_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace sky::video {
+
+/// Latent state of the streamed content at an instant. The workload models
+/// map (knob configuration, ContentState) to result quality; the paper's
+/// systems only ever observe the resulting quality values, never this state.
+struct ContentState {
+  /// Scene business: pedestrian/vehicle density, in [0, 1].
+  double density = 0.0;
+  /// Fraction of objects occluding each other, in [0, 1]. The dominant
+  /// quality driver for detection/tracking workloads (§2.2, Fig. 3).
+  double occlusion = 0.0;
+  /// Daylight level in [0, 1] (1 = noon).
+  double lighting = 1.0;
+  /// Generic analysis difficulty in [0, 1] (speech clarity etc., MOSEI).
+  double difficulty = 0.0;
+  /// Number of concurrently live streams (MOSEI); 1 for single-camera feeds.
+  double stream_count = 1.0;
+};
+
+/// A deterministic, seekable content process: At(t) must return the same
+/// state for the same t (random access), which the training-data builder and
+/// the engine rely on.
+class ContentProcess {
+ public:
+  virtual ~ContentProcess() = default;
+  virtual ContentState At(SimTime t) const = 0;
+  /// Time span covered; At(t) clamps beyond it.
+  virtual SimTime horizon() const = 0;
+};
+
+/// Piecewise-smooth value noise: uniform knots every `knot_spacing` seconds,
+/// cosine-interpolated. Deterministic given the seed.
+class SmoothNoise {
+ public:
+  SmoothNoise(double amplitude, double knot_spacing_s, SimTime horizon,
+              uint64_t seed);
+  double At(SimTime t) const;
+
+ private:
+  double amplitude_;
+  double spacing_;
+  std::vector<double> knots_;
+};
+
+/// Diurnal single-camera content (traffic intersection or shopping street):
+/// a time-of-day base curve, slow and fast noise, day-to-day drift, and
+/// randomly timed short "events" (e.g. a group of pedestrians passing) whose
+/// exact timing is unpredictable — the source of Type-B switcher errors and
+/// of forecast smoothing (§5.6).
+class DiurnalContentProcess : public ContentProcess {
+ public:
+  enum class Profile {
+    kTrafficIntersection,  ///< morning + evening rush hours (MOT, EV)
+    kShoppingStreet,       ///< single broad midday-evening peak (COVID)
+  };
+
+  struct Options {
+    Profile profile = Profile::kTrafficIntersection;
+    double fine_noise_amplitude = 0.07;   ///< 30 s scale
+    double slow_noise_amplitude = 0.10;   ///< 10 min scale
+    double event_rate_per_hour = 14.0;    ///< short density bumps
+    double event_magnitude = 0.35;
+    double day_to_day_drift = 0.18;
+    SimTime horizon = Days(24);
+    uint64_t seed = 101;
+  };
+
+  explicit DiurnalContentProcess(const Options& options);
+
+  ContentState At(SimTime t) const override;
+  SimTime horizon() const override { return options_.horizon; }
+
+  /// The deterministic time-of-day base density for a profile (no noise).
+  static double BaseDensity(Profile profile, double hour_of_day);
+
+ private:
+  struct Event {
+    SimTime start;
+    double duration_s;
+    double magnitude;
+  };
+
+  double EventBoost(SimTime t) const;
+
+  Options options_;
+  SmoothNoise fine_noise_;
+  SmoothNoise slow_noise_;
+  SmoothNoise occlusion_noise_;
+  SmoothNoise day_drift_;  ///< very slow (daily) multiplicative drift
+  std::vector<Event> events_;
+};
+
+/// Social-media stream-count content for the MOSEI workloads: a Twitch-like
+/// diurnal live-stream count plus synthetic spikes. kHigh injects short peaks
+/// of 62 concurrent streams (hard for cloud bursting: bandwidth); kLong
+/// injects a multi-hour plateau (hard for buffering: capacity).
+class TwitchContentProcess : public ContentProcess {
+ public:
+  enum class SpikeKind { kHigh, kLong };
+
+  struct Options {
+    SpikeKind spike_kind = SpikeKind::kHigh;
+    double max_streams = 62.0;
+    double base_peak_streams = 26.0;
+    SimTime horizon = Days(14);
+    uint64_t seed = 202;
+  };
+
+  explicit TwitchContentProcess(const Options& options);
+
+  ContentState At(SimTime t) const override;
+  SimTime horizon() const override { return options_.horizon; }
+
+ private:
+  Options options_;
+  SmoothNoise difficulty_noise_;
+  SmoothNoise count_noise_;
+  std::vector<double> spike_offsets_s_;  ///< spike start within each day
+};
+
+}  // namespace sky::video
+
+#endif  // SKYSCRAPER_VIDEO_CONTENT_PROCESS_H_

@@ -1,0 +1,52 @@
+#ifndef SKYSCRAPER_VIDEO_SCENE_H_
+#define SKYSCRAPER_VIDEO_SCENE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "video/frame.h"
+
+namespace sky::video {
+
+struct SceneOptions {
+  int width = 160;
+  int height = 90;
+  double fps = 30.0;
+  /// Expected number of simultaneously visible objects at density 1.0.
+  double max_objects = 24.0;
+  /// Fraction of spawned vehicles that are electric (green plates; trivially
+  /// distinguishable per the paper's EV example).
+  double electric_fraction = 0.18;
+  uint64_t seed = 11;
+};
+
+/// Stateful synthetic scene: objects enter at the frame edges, move with a
+/// constant velocity, and leave. The instantaneous `density` parameter
+/// controls the spawn rate, so the caller can drive the scene with a
+/// ContentProcess. Renders a luma plane with one bright blob per object.
+class SceneGenerator {
+ public:
+  explicit SceneGenerator(const SceneOptions& options);
+
+  /// Advances the scene by one frame interval and renders it. `density` is
+  /// the instantaneous content density in [0, 1].
+  Frame NextFrame(double density);
+
+  int64_t frames_generated() const { return frame_index_; }
+  const std::vector<SceneObject>& live_objects() const { return objects_; }
+
+ private:
+  void SpawnObject(double density);
+  void Render(Frame* frame) const;
+
+  SceneOptions options_;
+  Rng rng_;
+  std::vector<SceneObject> objects_;
+  int64_t next_object_id_ = 1;
+  int64_t frame_index_ = 0;
+};
+
+}  // namespace sky::video
+
+#endif  // SKYSCRAPER_VIDEO_SCENE_H_

@@ -1,0 +1,48 @@
+#ifndef SKYSCRAPER_WORKLOADS_COVID_H_
+#define SKYSCRAPER_WORKLOADS_COVID_H_
+
+#include <memory>
+
+#include "core/workload.h"
+#include "video/content_process.h"
+
+namespace sky::workloads {
+
+/// The COVID-19 safety-measures workload (§5.2 / Appendix J): YOLOv5
+/// pedestrian detection + KCF tracking + homography distancing + mask
+/// classification, run on an 8-day stream of a busy Tokyo shopping street.
+///
+/// Knobs:
+///   frame_rate    {30, 15, 10, 5, 1} FPS
+///   det_interval  detector every {1, 5, 30, 60} frames
+///   tiles         {1 (1x1), 4 (2x2)} detector tiles
+///
+/// Quality is person-seconds recorded relative to ground truth; the
+/// response surface is calibrated so that cheap configurations match the
+/// expensive ones on quiet/low-occlusion content and fall off sharply on
+/// dense, occluded content (the premise of content-adaptive tuning).
+class CovidWorkload : public core::Workload {
+ public:
+  explicit CovidWorkload(uint64_t seed = 1001);
+
+  std::string name() const override { return "COVID"; }
+  const core::KnobSpace& knob_space() const override { return space_; }
+  double CostCoreSecondsPerVideoSecond(
+      const core::KnobConfig& config) const override;
+  double TrueQuality(const core::KnobConfig& config,
+                     const video::ContentState& content) const override;
+  dag::TaskGraph BuildTaskGraph(const core::KnobConfig& config,
+                                double segment_seconds,
+                                const sim::CostModel& cost_model) const override;
+  const video::ContentProcess& content_process() const override {
+    return content_;
+  }
+
+ private:
+  core::KnobSpace space_;
+  video::DiurnalContentProcess content_;
+};
+
+}  // namespace sky::workloads
+
+#endif  // SKYSCRAPER_WORKLOADS_COVID_H_

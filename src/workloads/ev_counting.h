@@ -1,0 +1,43 @@
+#ifndef SKYSCRAPER_WORKLOADS_EV_COUNTING_H_
+#define SKYSCRAPER_WORKLOADS_EV_COUNTING_H_
+
+#include "core/workload.h"
+#include "video/content_process.h"
+
+namespace sky::workloads {
+
+/// The electric-vehicle counting example of §1 / Fig. 1 / Appendix F: a
+/// YOLO detector finds cars, a KCF tracker follows them so they are not
+/// double-counted, and EVs are recognized by their green license plates.
+///
+/// Knobs (matching the Appendix F code snippet):
+///   det_interval  detector every {1, 5, 10} frames
+///   yolo_size     {0 (small), 1 (medium), 2 (large)}
+///
+/// This is the workload of the Fig. 3 processing example (24 h of a traffic
+/// camera, 4 GB buffer).
+class EvCountingWorkload : public core::Workload {
+ public:
+  explicit EvCountingWorkload(uint64_t seed = 4004);
+
+  std::string name() const override { return "EV-COUNT"; }
+  const core::KnobSpace& knob_space() const override { return space_; }
+  double CostCoreSecondsPerVideoSecond(
+      const core::KnobConfig& config) const override;
+  double TrueQuality(const core::KnobConfig& config,
+                     const video::ContentState& content) const override;
+  dag::TaskGraph BuildTaskGraph(const core::KnobConfig& config,
+                                double segment_seconds,
+                                const sim::CostModel& cost_model) const override;
+  const video::ContentProcess& content_process() const override {
+    return content_;
+  }
+
+ private:
+  core::KnobSpace space_;
+  video::DiurnalContentProcess content_;
+};
+
+}  // namespace sky::workloads
+
+#endif  // SKYSCRAPER_WORKLOADS_EV_COUNTING_H_

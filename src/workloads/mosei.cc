@@ -1,0 +1,113 @@
+#include "workloads/mosei.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/udf_costs.h"
+
+namespace sky::workloads {
+
+namespace {
+
+// Sentiment-model inference cost per analyzed stream-second by model size.
+constexpr double kSentimentModelCost[] = {0.40, 0.80, 1.60};
+constexpr double kSentimentModelPenalty[] = {0.25, 0.12, 0.0};
+// Transcription (CMUSphinx stand-in) and feature extraction (MTCNN/DeepFace
+// + acoustic features) per stream-second.
+constexpr double kTranscribeCost = 0.08;
+constexpr double kFeatureCost = 0.50;
+
+video::TwitchContentProcess::Options MoseiContentOptions(
+    video::TwitchContentProcess::SpikeKind kind, uint64_t seed) {
+  video::TwitchContentProcess::Options opts;
+  opts.spike_kind = kind;
+  opts.horizon = Days(14);  // 10 d synthetic train + 2 d test + slack
+  opts.seed = seed;
+  return opts;
+}
+
+}  // namespace
+
+MoseiWorkload::MoseiWorkload(SpikeKind kind, uint64_t seed)
+    : kind_(kind), content_(MoseiContentOptions(kind, seed)) {
+  (void)space_.AddKnob("skip_sentences", {0, 1, 2, 3, 4, 5, 6});
+  (void)space_.AddKnob("frame_fraction",
+                       {1.0 / 6, 1.0 / 3, 1.0 / 2, 2.0 / 3, 5.0 / 6, 1.0});
+  (void)space_.AddKnob("model_size", {0, 1, 2});
+  (void)space_.AddKnob("streams", {4, 8, 16, 32, 62});
+}
+
+double MoseiWorkload::CostCoreSecondsPerVideoSecond(
+    const core::KnobConfig& config) const {
+  double skip = space_.Value(config, 0);
+  double frac = space_.Value(config, 1);
+  size_t model = static_cast<size_t>(space_.Value(config, 2));
+  double streams = space_.Value(config, 3);
+
+  double per_stream = kTranscribeCost + kFeatureCost * frac +
+                      (1.0 / (1.0 + skip)) * frac *
+                          kSentimentModelCost[model];
+  return streams * per_stream;
+}
+
+double MoseiWorkload::TrueQuality(const core::KnobConfig& config,
+                                  const video::ContentState& content) const {
+  double skip = space_.Value(config, 0);
+  double frac = space_.Value(config, 1);
+  size_t model = static_cast<size_t>(space_.Value(config, 2));
+  double streams = space_.Value(config, 3);
+  double d = content.difficulty;
+
+  double live = std::max(1.0, content.stream_count);
+  double coverage = std::min(streams, live) / live;
+
+  // Per-stream accuracy: skipping sentences misses volatile sentiment;
+  // analyzing fewer frames per sentence and smaller models hurt on hard
+  // (unclear) speakers.
+  double skip_penalty =
+      0.40 * std::pow(skip / 6.0, 0.8) * (0.25 + 0.75 * d);
+  double frac_penalty = 0.35 * (1.0 - frac) * (0.15 + 0.85 * d);
+  double model_penalty = kSentimentModelPenalty[model] * (0.25 + 0.75 * d);
+  double accuracy =
+      (1.0 - skip_penalty) * (1.0 - frac_penalty) * (1.0 - model_penalty);
+  return std::clamp(coverage * accuracy, 0.0, 1.0);
+}
+
+dag::TaskGraph MoseiWorkload::BuildTaskGraph(
+    const core::KnobConfig& config, double segment_seconds,
+    const sim::CostModel& cost_model) const {
+  double skip = space_.Value(config, 0);
+  double frac = space_.Value(config, 1);
+  size_t model = static_cast<size_t>(space_.Value(config, 2));
+  double streams = space_.Value(config, 3);
+  double L = segment_seconds;
+
+  // Payloads scale with the number of analyzed streams: this is what makes
+  // cloud bursting bandwidth-bound during the MOSEI-HIGH spikes (62 streams
+  // at ~360 KB/s each is ~1.8x the uplink; the MOSEI-LONG plateau of ~28
+  // streams fits). Each analyzed stream ships ~3.6 JPEG frames/s.
+  double visual_bytes = streams * frac * 3.6 * kJpegBytesPerFrame * L;
+  double audio_bytes = streams * 16e3 * L;
+
+  double chunk = L / 4.0;
+  dag::TaskGraph g;
+  size_t capture = g.AddNode(MakeUdfNode(
+      "capture_decode", streams * 0.002 * L,
+      streams * 24e3 * L, visual_bytes + audio_bytes, cost_model));
+  // Per-stream tasks are independent: chunk each UDF across streams.
+  std::vector<size_t> features = AddChunkedUdf(
+      &g, "extract_features", 0, streams * kFeatureCost * frac * L,
+      visual_bytes, streams * 12e3 * L, cost_model, chunk, {capture});
+  std::vector<size_t> transcribe = AddChunkedUdf(
+      &g, "transcribe", 1, streams * kTranscribeCost * L, audio_bytes,
+      streams * 2e3 * L, cost_model, chunk, {capture});
+  std::vector<size_t> sentiment = AddChunkedUdf(
+      &g, "sentiment", 2,
+      streams * (1.0 / (1.0 + skip)) * frac * kSentimentModelCost[model] * L,
+      streams * 14e3 * L, streams * 1e3 * L, cost_model, chunk, {});
+  PipelineLink(&g, features, sentiment);
+  PipelineLink(&g, transcribe, sentiment);
+  return g;
+}
+
+}  // namespace sky::workloads

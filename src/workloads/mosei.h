@@ -1,0 +1,55 @@
+#ifndef SKYSCRAPER_WORKLOADS_MOSEI_H_
+#define SKYSCRAPER_WORKLOADS_MOSEI_H_
+
+#include "core/workload.h"
+#include "video/content_process.h"
+
+namespace sky::workloads {
+
+/// The multi-modal opinion-sentiment workloads (§5.2 / Appendix J): a
+/// synthetic Twitch-like deployment where a varying number of talking-head
+/// streams is analyzed with a transcription + feature-extraction + sentiment
+/// pipeline (the CMU-MOSEI stand-in).
+///
+/// Knobs:
+///   skip_sentences  analyze sentiment every {1..7}-th sentence ({0..6} skips)
+///   frame_fraction  {1/6, 1/3, 1/2, 2/3, 5/6, 1} of each analyzed sentence
+///   model_size      {0 (small), 1 (medium), 2 (large)}
+///   streams         {4, 8, 16, 32, 62} streams provisioned for analysis
+///
+/// Quality is the certainty-weighted sum over ingested streams: coverage of
+/// the live streams times per-stream accuracy.
+///
+/// Two spike variants (§5.2): kHigh has short 62-stream peaks that choke the
+/// uplink (cloud bursting struggles); kLong has an 8-hour plateau that
+/// overruns any buffer (buffering struggles).
+class MoseiWorkload : public core::Workload {
+ public:
+  using SpikeKind = video::TwitchContentProcess::SpikeKind;
+
+  explicit MoseiWorkload(SpikeKind kind, uint64_t seed = 3003);
+
+  std::string name() const override {
+    return kind_ == SpikeKind::kHigh ? "MOSEI-HIGH" : "MOSEI-LONG";
+  }
+  const core::KnobSpace& knob_space() const override { return space_; }
+  double CostCoreSecondsPerVideoSecond(
+      const core::KnobConfig& config) const override;
+  double TrueQuality(const core::KnobConfig& config,
+                     const video::ContentState& content) const override;
+  dag::TaskGraph BuildTaskGraph(const core::KnobConfig& config,
+                                double segment_seconds,
+                                const sim::CostModel& cost_model) const override;
+  const video::ContentProcess& content_process() const override {
+    return content_;
+  }
+
+ private:
+  SpikeKind kind_;
+  core::KnobSpace space_;
+  video::TwitchContentProcess content_;
+};
+
+}  // namespace sky::workloads
+
+#endif  // SKYSCRAPER_WORKLOADS_MOSEI_H_

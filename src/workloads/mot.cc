@@ -1,0 +1,119 @@
+#include "workloads/mot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "video/codec.h"
+#include "workloads/udf_costs.h"
+
+namespace sky::workloads {
+
+namespace {
+
+// TransMOT inference cost per processed frame by model size (core-seconds,
+// before the tiling/history multipliers).
+constexpr double kTransMotModelCost[] = {0.20, 0.42, 0.85};
+// Quality penalty scale per model size (large model has none).
+constexpr double kTransMotModelPenalty[] = {0.35, 0.15, 0.0};
+
+video::DiurnalContentProcess::Options MotContentOptions(uint64_t seed) {
+  video::DiurnalContentProcess::Options opts;
+  opts.profile = video::DiurnalContentProcess::Profile::kTrafficIntersection;
+  opts.horizon = Days(26);
+  opts.seed = seed;
+  return opts;
+}
+
+}  // namespace
+
+MotWorkload::MotWorkload(uint64_t seed) : content_(MotContentOptions(seed)) {
+  (void)space_.AddKnob("frame_interval", {1, 5, 30, 60});
+  (void)space_.AddKnob("tiles", {1, 4});
+  (void)space_.AddKnob("history", {1, 2, 3, 5});
+  (void)space_.AddKnob("model_size", {0, 1, 2});
+}
+
+double MotWorkload::CostCoreSecondsPerVideoSecond(
+    const core::KnobConfig& config) const {
+  double interval = space_.Value(config, 0);
+  double tiles = space_.Value(config, 1);
+  double history = space_.Value(config, 2);
+  size_t model = static_cast<size_t>(space_.Value(config, 3));
+
+  double fps_eff = 30.0 / interval;
+  double tile_factor = tiles >= 4.0 ? 2.4 : 1.0;
+  double history_factor = 0.8 + 0.1 * history;
+  double decode = 30.0 * kDecodeCostPerFrame;
+  return decode +
+         fps_eff * tile_factor * kTransMotModelCost[model] * history_factor;
+}
+
+double MotWorkload::TrueQuality(const core::KnobConfig& config,
+                                const video::ContentState& content) const {
+  double interval = space_.Value(config, 0);
+  double tiles = space_.Value(config, 1);
+  double history = space_.Value(config, 2);
+  size_t model = static_cast<size_t>(space_.Value(config, 3));
+  double rho = content.density;
+  double occ = content.occlusion;
+  double difficulty = 0.5 * rho + 0.5 * occ;
+
+  // Long gaps between processed frames break identity association,
+  // especially under occlusion.
+  double interval_penalty = std::min(
+      1.0,
+      std::pow((interval - 1.0) / 59.0, 0.7) * (0.03 + 1.15 * std::pow(occ, 1.1)));
+  double tile_penalty =
+      tiles >= 4.0 ? 0.0
+                   : std::min(1.0, 0.02 + 0.50 * std::pow(rho, 1.2));
+  double model_penalty =
+      kTransMotModelPenalty[model] * (0.20 + 0.80 * difficulty);
+  // Short history hurts re-identification through occlusions.
+  double history_penalty = (0.15 / history) * (0.10 + 0.90 * occ);
+
+  double q = (1.0 - interval_penalty) * (1.0 - tile_penalty) *
+             (1.0 - model_penalty) * (1.0 - history_penalty);
+  return std::clamp(q, 0.0, 1.0);
+}
+
+dag::TaskGraph MotWorkload::BuildTaskGraph(
+    const core::KnobConfig& config, double segment_seconds,
+    const sim::CostModel& cost_model) const {
+  double interval = space_.Value(config, 0);
+  double tiles = space_.Value(config, 1);
+  double history = space_.Value(config, 2);
+  size_t model = static_cast<size_t>(space_.Value(config, 3));
+  double L = segment_seconds;
+  double fps_eff = 30.0 / interval;
+  double frames = fps_eff * L;
+  double tile_factor = tiles >= 4.0 ? 2.4 : 1.0;
+
+  // TransMOT splits into detector+embedding (per frame) and the graph
+  // transformer (per frame, scaled by history).
+  double detect_cost = frames * tile_factor * kTransMotModelCost[model] * 0.55;
+  double transformer_cost =
+      frames * kTransMotModelCost[model] * 0.45 * (0.8 + 0.1 * history) *
+      tile_factor;
+
+  double h264_bytes = video::EstimateStreamBytesPerSecond(0.5) * L;
+  double chunk = L / 4.0;
+  dag::TaskGraph g;
+  size_t decode = g.AddNode(MakeUdfNode("decode",
+                                        30.0 * kDecodeCostPerFrame * L,
+                                        h264_bytes,
+                                        frames * kJpegBytesPerFrame,
+                                        cost_model));
+  std::vector<size_t> detect = AddChunkedUdf(
+      &g, "detect_embed", 0, detect_cost, frames * kJpegBytesPerFrame,
+      8e3 * L, cost_model, chunk, {decode});
+  std::vector<size_t> transformer = AddChunkedUdf(
+      &g, "graph_transformer", 1, transformer_cost,
+      frames * 16e3 * history, 4e3 * L, cost_model, chunk, {});
+  PipelineLink(&g, detect, transformer);
+  size_t tracks = g.AddNode(
+      MakeUdfNode("emit_tracks", 0.002 * L, 4e3 * L, 2e3 * L, cost_model));
+  PipelineLink(&g, transformer, {tracks});
+  return g;
+}
+
+}  // namespace sky::workloads

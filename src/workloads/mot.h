@@ -1,0 +1,44 @@
+#ifndef SKYSCRAPER_WORKLOADS_MOT_H_
+#define SKYSCRAPER_WORKLOADS_MOT_H_
+
+#include "core/workload.h"
+#include "video/content_process.h"
+
+namespace sky::workloads {
+
+/// The multi-object-tracking workload (§5.2 / Appendix J): a TransMOT-style
+/// graph-transformer tracker over a Tokyo traffic-intersection stream.
+///
+/// Knobs:
+///   frame_interval  process every {1, 5, 30, 60}-th frame
+///   tiles           {1 (1x1), 4 (2x2)}
+///   history         {1, 2, 3, 5} historical frames fed to the transformer
+///   model_size      {0 (small), 1 (medium), 2 (large)}
+///
+/// Quality is the certainty-weighted number of correctly tracked
+/// pedestrians, relative to running the most expensive setting.
+class MotWorkload : public core::Workload {
+ public:
+  explicit MotWorkload(uint64_t seed = 2002);
+
+  std::string name() const override { return "MOT"; }
+  const core::KnobSpace& knob_space() const override { return space_; }
+  double CostCoreSecondsPerVideoSecond(
+      const core::KnobConfig& config) const override;
+  double TrueQuality(const core::KnobConfig& config,
+                     const video::ContentState& content) const override;
+  dag::TaskGraph BuildTaskGraph(const core::KnobConfig& config,
+                                double segment_seconds,
+                                const sim::CostModel& cost_model) const override;
+  const video::ContentProcess& content_process() const override {
+    return content_;
+  }
+
+ private:
+  core::KnobSpace space_;
+  video::DiurnalContentProcess content_;
+};
+
+}  // namespace sky::workloads
+
+#endif  // SKYSCRAPER_WORKLOADS_MOT_H_

@@ -1,0 +1,61 @@
+#include "workloads/udf_costs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sky::workloads {
+
+dag::TaskNode MakeUdfNode(std::string name, double onprem_runtime_s,
+                          double input_bytes, double output_bytes,
+                          const sim::CostModel& cost_model) {
+  dag::TaskNode node;
+  node.name = std::move(name);
+  node.onprem_runtime_s = onprem_runtime_s;
+  node.cloud_runtime_s = onprem_runtime_s / kCloudSpeedup + kCloudRttSeconds;
+  node.input_bytes = input_bytes;
+  node.output_bytes = output_bytes;
+  // Cloud credits bill the same amount of compute at the cloud rate.
+  node.cloud_cost_usd =
+      onprem_runtime_s * cost_model.CloudUsdPerCoreSecond();
+  return node;
+}
+
+std::vector<size_t> AddChunkedUdf(dag::TaskGraph* graph, std::string name,
+                                  int group, double total_runtime_s,
+                                  double total_input_bytes,
+                                  double total_output_bytes,
+                                  const sim::CostModel& cost_model,
+                                  double chunk_core_seconds,
+                                  const std::vector<size_t>& parents) {
+  size_t chunks = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(total_runtime_s / std::max(1e-9, chunk_core_seconds))));
+  // Cap the fan-out so placement search and simulation stay fast; 24 chunks
+  // saturate the useful parallelism of the largest catalog server for one
+  // UDF while keeping per-chunk runtimes near the chunk target.
+  chunks = std::min<size_t>(chunks, 24);
+  std::vector<size_t> ids;
+  ids.reserve(chunks);
+  double inv = 1.0 / static_cast<double>(chunks);
+  for (size_t i = 0; i < chunks; ++i) {
+    dag::TaskNode node = MakeUdfNode(
+        name + "#" + std::to_string(i), total_runtime_s * inv,
+        total_input_bytes * inv, total_output_bytes * inv, cost_model);
+    node.group = group;
+    size_t id = graph->AddNode(std::move(node));
+    for (size_t p : parents) (void)graph->AddEdge(p, id);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void PipelineLink(dag::TaskGraph* graph, const std::vector<size_t>& parents,
+                  const std::vector<size_t>& children) {
+  if (parents.empty() || children.empty()) return;
+  for (size_t i = 0; i < children.size(); ++i) {
+    size_t p = i * parents.size() / children.size();
+    (void)graph->AddEdge(parents[p], children[i]);
+  }
+}
+
+}  // namespace sky::workloads

@@ -1,0 +1,65 @@
+#ifndef SKYSCRAPER_WORKLOADS_UDF_COSTS_H_
+#define SKYSCRAPER_WORKLOADS_UDF_COSTS_H_
+
+#include <string>
+
+#include "dag/task_graph.h"
+#include "sim/cost_model.h"
+
+namespace sky::workloads {
+
+/// Single-core UDF runtimes calibrated to the paper's measurements (§5.1 /
+/// Appendix K.2 on an Intel Xeon: YOLOv5 86 ms per inference on 4 cores,
+/// decode 1.6 ms per frame ~= 5% of total runtime). All values are
+/// core-seconds per invocation.
+inline constexpr double kDecodeCostPerFrame = 0.0016;
+inline constexpr double kYoloCostPerTile = 0.344;
+inline constexpr double kKcfCostPerFrame = 0.012;
+inline constexpr double kHomographyCostPerFrame = 0.004;
+inline constexpr double kMaskClassifierCostPerDetection = 0.06;
+
+/// Cloud execution model: an AWS-Lambda-style 3 GB function is roughly two
+/// vCPUs (compute runs ~2x faster than one on-prem core), plus a warm-start
+/// round-trip overhead.
+inline constexpr double kCloudSpeedup = 2.0;
+inline constexpr double kCloudRttSeconds = 0.18;
+
+/// JPEG-compressed HD frame shipped to the cloud (§5.1).
+inline constexpr double kJpegBytesPerFrame = 100e3;
+
+/// TFLOP per core-second conversion used when reporting workload in
+/// TFLOP/s (Fig. 3; calibrated so the most expensive EV configuration is
+/// the paper's constant 5.2 TFLOP/s).
+inline constexpr double kTflopPerCoreSecond = 0.288;
+
+/// Builds a task node from an on-premise runtime and payload sizes: the
+/// cloud runtime and cloud price are derived from the cloud model above and
+/// the cost model's cloud rate.
+dag::TaskNode MakeUdfNode(std::string name, double onprem_runtime_s,
+                          double input_bytes, double output_bytes,
+                          const sim::CostModel& cost_model);
+
+/// Adds one UDF to `graph` as a set of parallel sibling chunk nodes (one
+/// per frame batch, mirroring the paper's per-frame Ray tasks — e.g. the
+/// "60 YOLO tasks" DAG of Appendix M.2). The UDF's total runtime and
+/// payloads are split evenly over ceil(total / chunk_core_seconds) chunks
+/// sharing interchangeability group `group`; every chunk depends on all of
+/// `parents`. Returns the chunk node indices so callers can wire children.
+std::vector<size_t> AddChunkedUdf(dag::TaskGraph* graph, std::string name,
+                                  int group, double total_runtime_s,
+                                  double total_input_bytes,
+                                  double total_output_bytes,
+                                  const sim::CostModel& cost_model,
+                                  double chunk_core_seconds,
+                                  const std::vector<size_t>& parents);
+
+/// Wires two chunked stages in pipelined fashion: child chunk i depends on
+/// parent chunk floor(i * |parents| / |children|), so a downstream stage
+/// starts as soon as its share of the upstream work is done (frames flow
+/// through the DAG; there is no per-segment barrier between UDFs).
+void PipelineLink(dag::TaskGraph* graph, const std::vector<size_t>& parents,
+                  const std::vector<size_t>& children);
+
+}  // namespace sky::workloads
+
+#endif  // SKYSCRAPER_WORKLOADS_UDF_COSTS_H_

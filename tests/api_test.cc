@@ -1,0 +1,120 @@
+#include "api/skyscraper.h"
+
+#include <gtest/gtest.h>
+
+#include "api/callback_workload.h"
+#include "workloads/ev_counting.h"
+
+namespace sky::api {
+namespace {
+
+core::OfflineOptions FastOffline() {
+  core::OfflineOptions opts;
+  opts.segment_seconds = 4.0;
+  opts.train_horizon = Days(4);
+  opts.num_categories = 3;
+  opts.forecaster.input_span = Days(1);
+  opts.forecaster.planned_interval = Days(1);
+  return opts;
+}
+
+TEST(SkyscraperApiTest, IngestRequiresFit) {
+  workloads::EvCountingWorkload job;
+  Skyscraper sky(&job);
+  auto result = sky.Ingest(Days(4));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SkyscraperApiTest, FitThenIngestEndToEnd) {
+  workloads::EvCountingWorkload job;
+  Skyscraper sky(&job);
+  Resources res;
+  res.cores = 4;
+  res.buffer_bytes = 4ull << 30;
+  res.cloud_budget_usd_per_interval = 1.0;
+  sky.SetResources(res);
+  ASSERT_TRUE(sky.Fit(FastOffline()).ok());
+  EXPECT_TRUE(sky.fitted());
+
+  core::EngineOptions run;
+  run.duration = Hours(12);
+  run.plan_interval = Days(1);
+  auto result = sky.Ingest(Days(4), run);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->mean_quality, 0.4);
+  EXPECT_EQ(result->overflow_events, 0u);
+}
+
+TEST(SkyscraperApiTest, SetResourcesInvalidatesFit) {
+  workloads::EvCountingWorkload job;
+  Skyscraper sky(&job);
+  Resources res;
+  res.cores = 4;
+  sky.SetResources(res);
+  ASSERT_TRUE(sky.Fit(FastOffline()).ok());
+  res.cores = 8;
+  sky.SetResources(res);
+  EXPECT_FALSE(sky.fitted());
+}
+
+TEST(CallbackWorkloadTest, RoutesCallbacks) {
+  video::DiurnalContentProcess::Options copts;
+  copts.horizon = Days(2);
+  copts.seed = 5;
+  video::DiurnalContentProcess content(copts);
+
+  core::KnobSpace space;
+  ASSERT_TRUE(space.AddKnob("rate", {1, 2, 4}).ok());
+
+  CallbackWorkload job(
+      "custom", std::move(space), &content,
+      [](const core::KnobConfig& k) { return 1.0 + 2.0 * k[0]; },
+      [](const core::KnobConfig& k, const video::ContentState& c) {
+        return std::clamp(1.0 - (1.0 - k[0] / 2.0) * c.density, 0.0, 1.0);
+      });
+  EXPECT_EQ(job.name(), "custom");
+  EXPECT_DOUBLE_EQ(job.CostCoreSecondsPerVideoSecond({2}), 5.0);
+  video::ContentState dense;
+  dense.density = 1.0;
+  EXPECT_NEAR(job.TrueQuality({0}, dense), 0.0, 1e-12);
+  EXPECT_NEAR(job.TrueQuality({2}, dense), 1.0, 1e-12);
+
+  sim::CostModel cm(1.8);
+  dag::TaskGraph g = job.BuildTaskGraph({1}, 4.0, cm);
+  EXPECT_EQ(g.NumNodes(), 1u);
+  EXPECT_NEAR(g.TotalOnPremWork(), 3.0 * 4.0, 1e-9);
+}
+
+TEST(CallbackWorkloadTest, WorksWithFullPipeline) {
+  video::DiurnalContentProcess::Options copts;
+  copts.horizon = Days(4);
+  copts.seed = 6;
+  video::DiurnalContentProcess content(copts);
+
+  core::KnobSpace space;
+  ASSERT_TRUE(space.AddKnob("effort", {0, 1, 2, 3}).ok());
+  CallbackWorkload job(
+      "pipeline", std::move(space), &content,
+      [](const core::KnobConfig& k) { return 0.3 + 1.5 * k[0]; },
+      [](const core::KnobConfig& k, const video::ContentState& c) {
+        double penalty = (1.0 - k[0] / 3.0) * (0.1 + 0.8 * c.occlusion);
+        return std::clamp(1.0 - penalty, 0.0, 1.0);
+      });
+  Skyscraper sky(&job);
+  Resources res;
+  res.cores = 2;
+  sky.SetResources(res);
+  core::OfflineOptions opts = FastOffline();
+  opts.train_horizon = Days(3);
+  ASSERT_TRUE(sky.Fit(opts).ok());
+  core::EngineOptions run;
+  run.duration = Hours(6);
+  run.plan_interval = Hours(6);
+  auto result = sky.Ingest(Days(3), run);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->segments, 0u);
+}
+
+}  // namespace
+}  // namespace sky::api

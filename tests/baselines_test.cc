@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "baselines/chameleon.h"
+#include "baselines/idealized.h"
+#include "baselines/optimum.h"
+#include "baselines/static_baseline.h"
+#include "baselines/videostorm.h"
+#include "core/offline.h"
+#include "workloads/ev_counting.h"
+
+namespace sky::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new workloads::EvCountingWorkload();
+    cluster_.cores = 4;
+    cost_model_ = new sim::CostModel(1.8);
+    core::OfflineOptions opts;
+    opts.segment_seconds = 4.0;
+    opts.train_horizon = Days(4);
+    opts.num_categories = 3;
+    opts.train_forecaster = false;
+    auto model =
+        core::RunOfflinePhase(*workload_, cluster_, *cost_model_, opts);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = new core::OfflineModel(std::move(*model));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete cost_model_;
+    delete workload_;
+  }
+
+  static workloads::EvCountingWorkload* workload_;
+  static sim::ClusterSpec cluster_;
+  static sim::CostModel* cost_model_;
+  static core::OfflineModel* model_;
+};
+
+workloads::EvCountingWorkload* BaselinesTest::workload_ = nullptr;
+sim::ClusterSpec BaselinesTest::cluster_;
+sim::CostModel* BaselinesTest::cost_model_ = nullptr;
+core::OfflineModel* BaselinesTest::model_ = nullptr;
+
+TEST_F(BaselinesTest, StaticBaselineScoresAConfig) {
+  core::KnobConfig cheapest = core::CheapestConfig(*workload_);
+  auto result = RunStaticBaseline(*workload_, cheapest, cluster_,
+                                  *cost_model_, 4.0, Days(1), Days(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->real_time);
+  EXPECT_GT(result->mean_quality, 0.0);
+  EXPECT_GT(result->work_core_seconds, 0.0);
+}
+
+TEST_F(BaselinesTest, StaticDetectsNonRealTimeConfigs) {
+  sim::ClusterSpec tiny;
+  tiny.cores = 1;
+  core::KnobConfig expensive = core::MostQualitativeConfig(*workload_);
+  auto result = RunStaticBaseline(*workload_, expensive, tiny, *cost_model_,
+                                  4.0, Days(1), Days(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->real_time);
+}
+
+TEST_F(BaselinesTest, BestStaticImprovesWithBiggerServers) {
+  sim::ClusterSpec small;
+  small.cores = 4;
+  sim::ClusterSpec big;
+  big.cores = 60;
+  auto s = BestStaticBaseline(*workload_, small, *cost_model_, 4.0, Days(1),
+                              Days(4));
+  auto b = BestStaticBaseline(*workload_, big, *cost_model_, 4.0, Days(1),
+                              Days(4));
+  ASSERT_TRUE(s.ok() && b.ok());
+  EXPECT_GE(b->total_quality, s->total_quality);
+  EXPECT_TRUE(b->real_time);
+}
+
+TEST_F(BaselinesTest, ChameleonAdaptsButPaysProfilingOverhead) {
+  ChameleonOptions opts;
+  opts.quality_target = 0.85;
+  auto result = RunChameleonBaseline(*workload_, model_->profiles, cluster_,
+                                     4.0, Days(1), Days(4), opts);
+  ASSERT_TRUE(result.ok());
+  if (!result->crashed) {
+    EXPECT_GT(result->profiling_core_seconds, 0.0);
+    EXPECT_GT(result->mean_quality, 0.4);
+    EXPECT_GT(result->work_core_seconds, result->profiling_core_seconds);
+  }
+}
+
+TEST_F(BaselinesTest, ChameleonCrashesWithTinyBuffer) {
+  ChameleonOptions opts;
+  opts.quality_target = 0.999;  // chases expensive configs
+  opts.buffer_bytes = 4 << 20;  // 4 MB: overruns quickly on 4 cores
+  auto result = RunChameleonBaseline(*workload_, model_->profiles, cluster_,
+                                     4.0, Days(1), Days(4), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->crashed);
+  EXPECT_GT(result->crash_time, 0.0);
+}
+
+TEST_F(BaselinesTest, VideoStormFillsBufferThenActsStatic) {
+  VideoStormOptions opts;
+  auto result = RunVideoStormBaseline(*workload_, model_->profiles, 4.0,
+                                      Days(1), Days(4), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->mean_quality, 0.0);
+  // The buffer gets (nearly) filled during the first peak (Appendix G).
+  EXPECT_GT(result->buffer_high_water_bytes, opts.buffer_bytes / 2);
+}
+
+TEST_F(BaselinesTest, OptimumQualityMonotoneInBudget) {
+  double prev = 0.0;
+  double duration = Days(1);
+  for (double budget_rate : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    auto result = RunOptimumBaseline(*workload_, model_->profiles, 4.0,
+                                     duration, Days(4),
+                                     budget_rate * duration);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->total_quality, prev - 1e-9);
+    EXPECT_LE(result->work_core_seconds, budget_rate * duration + 1e-6);
+    prev = result->total_quality;
+  }
+}
+
+TEST_F(BaselinesTest, OptimumBeatsStaticAtSameWork) {
+  // At the work rate of the best real-time static config, the oracle must
+  // do at least as well.
+  auto static_result = BestStaticBaseline(*workload_, cluster_, *cost_model_,
+                                          4.0, Days(1), Days(4));
+  ASSERT_TRUE(static_result.ok());
+  auto optimum =
+      RunOptimumBaseline(*workload_, model_->profiles, 4.0, Days(1), Days(4),
+                         static_result->work_core_seconds);
+  ASSERT_TRUE(optimum.ok());
+  EXPECT_GE(optimum->total_quality, static_result->total_quality * 0.999);
+}
+
+TEST_F(BaselinesTest, IdealizedUnderperformsItsOwnForecast) {
+  // Appendix B.1: per-instant forecasts are over-optimistic; realized
+  // quality lands below predicted quality.
+  auto result = RunIdealizedSystem(*workload_, model_->profiles, 4.0,
+                                   Days(1), Days(4), 2.0 * Days(1), 2.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->predicted_quality, 0.0);
+  EXPECT_LT(result->total_quality, result->predicted_quality);
+}
+
+TEST_F(BaselinesTest, IdealizedRequiresLookbackRoom) {
+  auto result = RunIdealizedSystem(*workload_, model_->profiles, 4.0,
+                                   Days(1), Days(1), Days(1), 2.0);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace sky::baselines

@@ -1,0 +1,65 @@
+#include "sim/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace sky::sim {
+namespace {
+
+TEST(BufferTest, PushPopAccounting) {
+  VideoBuffer buf(100);
+  EXPECT_TRUE(buf.Push(40).ok());
+  EXPECT_TRUE(buf.Push(30).ok());
+  EXPECT_EQ(buf.used_bytes(), 70u);
+  EXPECT_EQ(buf.FreeBytes(), 30u);
+  EXPECT_TRUE(buf.Pop(50).ok());
+  EXPECT_EQ(buf.used_bytes(), 20u);
+}
+
+TEST(BufferTest, OverflowFailsWithoutMutation) {
+  VideoBuffer buf(100);
+  ASSERT_TRUE(buf.Push(90).ok());
+  Status s = buf.Push(20);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(buf.used_bytes(), 90u);  // unchanged on failure
+}
+
+TEST(BufferTest, PopMoreThanBufferedFails) {
+  VideoBuffer buf(100);
+  ASSERT_TRUE(buf.Push(10).ok());
+  EXPECT_FALSE(buf.Pop(20).ok());
+  EXPECT_EQ(buf.used_bytes(), 10u);
+}
+
+TEST(BufferTest, HighWaterTracksPeak) {
+  VideoBuffer buf(100);
+  ASSERT_TRUE(buf.Push(60).ok());
+  ASSERT_TRUE(buf.Pop(50).ok());
+  ASSERT_TRUE(buf.Push(20).ok());
+  EXPECT_EQ(buf.high_water_bytes(), 60u);
+}
+
+TEST(BufferTest, ExactCapacityFits) {
+  VideoBuffer buf(100);
+  EXPECT_TRUE(buf.Push(100).ok());
+  EXPECT_EQ(buf.FreeBytes(), 0u);
+  EXPECT_FALSE(buf.Push(1).ok());
+}
+
+TEST(BufferTest, ZeroCapacityRejectsEverything) {
+  VideoBuffer buf(0);
+  EXPECT_FALSE(buf.Push(1).ok());
+  EXPECT_TRUE(buf.Push(0).ok());
+  EXPECT_TRUE(buf.Empty());
+}
+
+TEST(BufferTest, ResetClearsState) {
+  VideoBuffer buf(100);
+  ASSERT_TRUE(buf.Push(80).ok());
+  buf.Reset();
+  EXPECT_TRUE(buf.Empty());
+  EXPECT_EQ(buf.high_water_bytes(), 0u);
+  EXPECT_TRUE(buf.Push(100).ok());
+}
+
+}  // namespace
+}  // namespace sky::sim

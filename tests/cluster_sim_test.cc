@@ -1,0 +1,146 @@
+#include "sim/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace sky::sim {
+namespace {
+
+dag::TaskNode Node(double onprem_s, double cloud_s = 0.0, double in_b = 0.0,
+                   double out_b = 0.0, double usd = 0.0) {
+  dag::TaskNode n;
+  n.onprem_runtime_s = onprem_s;
+  n.cloud_runtime_s = cloud_s;
+  n.input_bytes = in_b;
+  n.output_bytes = out_b;
+  n.cloud_cost_usd = usd;
+  return n;
+}
+
+TEST(ClusterSimTest, IndependentTasksFillCores) {
+  // Four 1 s tasks on 2 cores: makespan 2 s.
+  dag::TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(Node(1.0));
+  ClusterSpec cluster;
+  cluster.cores = 2;
+  auto r = SimulateDag(g, dag::Placement::AllOnPrem(4), cluster);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->makespan_s, 2.0);
+  EXPECT_DOUBLE_EQ(r->onprem_core_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(r->cloud_cost_usd, 0.0);
+}
+
+TEST(ClusterSimTest, ChainIsSerial) {
+  dag::TaskGraph g;
+  size_t a = g.AddNode(Node(1.0));
+  size_t b = g.AddNode(Node(2.0));
+  size_t c = g.AddNode(Node(3.0));
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  ClusterSpec cluster;
+  cluster.cores = 8;
+  auto r = SimulateDag(g, dag::Placement::AllOnPrem(3), cluster);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->makespan_s, 6.0);
+  EXPECT_DOUBLE_EQ(r->finish_times_s[c], 6.0);
+}
+
+TEST(ClusterSimTest, MoreCoresNeverSlower) {
+  dag::TaskGraph g;
+  for (int i = 0; i < 9; ++i) g.AddNode(Node(1.0 + i * 0.3));
+  for (int cores : {1, 2, 4, 8}) {
+    ClusterSpec a;
+    a.cores = cores;
+    ClusterSpec b;
+    b.cores = cores * 2;
+    auto ra = SimulateDag(g, dag::Placement::AllOnPrem(9), a);
+    auto rb = SimulateDag(g, dag::Placement::AllOnPrem(9), b);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_LE(rb->makespan_s, ra->makespan_s + 1e-9);
+  }
+}
+
+TEST(ClusterSimTest, CloudTaskIncludesTransferAndCost) {
+  dag::TaskGraph g;
+  g.AddNode(Node(10.0, /*cloud_s=*/1.0, /*in_b=*/1e6, /*out_b=*/0.5e6,
+                 /*usd=*/0.07));
+  ClusterSpec cluster;
+  cluster.cores = 1;
+  cluster.uplink_bytes_per_s = 1e6;    // upload takes 1 s
+  cluster.downlink_bytes_per_s = 1e6;  // download takes 0.5 s
+  auto r = SimulateDag(g, dag::Placement::AllCloud(1), cluster);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->makespan_s, 1.0 + 1.0 + 0.5);
+  EXPECT_DOUBLE_EQ(r->cloud_cost_usd, 0.07);
+  EXPECT_DOUBLE_EQ(r->onprem_core_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r->uplink_bytes, 1e6);
+}
+
+TEST(ClusterSimTest, UplinkSerializesCloudUploads) {
+  // Two cloud tasks each uploading 1 MB over a 1 MB/s uplink: the second
+  // upload waits for the first (bandwidth occupancy, Appendix M.1).
+  dag::TaskGraph g;
+  g.AddNode(Node(5.0, 0.5, 1e6, 0, 0.01));
+  g.AddNode(Node(5.0, 0.5, 1e6, 0, 0.01));
+  ClusterSpec cluster;
+  cluster.cores = 1;
+  cluster.cloud_workers = 2;
+  cluster.uplink_bytes_per_s = 1e6;
+  auto r = SimulateDag(g, dag::Placement::AllCloud(2), cluster);
+  ASSERT_TRUE(r.ok());
+  // First: upload [0,1], compute [1,1.5]. Second: upload [1,2], compute
+  // [2,2.5].
+  EXPECT_DOUBLE_EQ(r->makespan_s, 2.5);
+}
+
+TEST(ClusterSimTest, SingleCloudWorkerSerializesCompute) {
+  dag::TaskGraph g;
+  g.AddNode(Node(5.0, 2.0, 0, 0, 0));
+  g.AddNode(Node(5.0, 2.0, 0, 0, 0));
+  ClusterSpec cluster;
+  cluster.cores = 1;
+  cluster.cloud_workers = 1;
+  auto r = SimulateDag(g, dag::Placement::AllCloud(2), cluster);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->makespan_s, 4.0);
+}
+
+TEST(ClusterSimTest, OffloadingHelpsWhenCoresBusy) {
+  // 3 independent 2 s tasks on 1 core: 6 s on-prem. Putting one on the
+  // cloud (1.2 s round trip, no payload) cuts the makespan.
+  dag::TaskGraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode(Node(2.0, 1.2, 0, 0, 0.01));
+  ClusterSpec cluster;
+  cluster.cores = 1;
+  auto all_prem = SimulateDag(g, dag::Placement::AllOnPrem(3), cluster);
+  dag::Placement mixed{{dag::Loc::kOnPrem, dag::Loc::kOnPrem,
+                        dag::Loc::kCloud}};
+  auto offload = SimulateDag(g, mixed, cluster);
+  ASSERT_TRUE(all_prem.ok() && offload.ok());
+  EXPECT_DOUBLE_EQ(all_prem->makespan_s, 6.0);
+  EXPECT_DOUBLE_EQ(offload->makespan_s, 4.0);
+}
+
+TEST(ClusterSimTest, RejectsBadInput) {
+  dag::TaskGraph g;
+  g.AddNode(Node(1.0));
+  ClusterSpec cluster;
+  EXPECT_FALSE(SimulateDag(g, dag::Placement::AllOnPrem(2), cluster).ok());
+  ClusterSpec bad;
+  bad.cores = 0;
+  EXPECT_FALSE(SimulateDag(g, dag::Placement::AllOnPrem(1), bad).ok());
+}
+
+TEST(ClusterSimTest, DependencyDelaysChild) {
+  dag::TaskGraph g;
+  size_t a = g.AddNode(Node(2.0));
+  size_t b = g.AddNode(Node(1.0));
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ClusterSpec cluster;
+  cluster.cores = 4;
+  auto r = SimulateDag(g, dag::Placement::AllOnPrem(2), cluster);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->finish_times_s[b], 3.0);
+}
+
+}  // namespace
+}  // namespace sky::sim

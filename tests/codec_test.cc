@@ -1,0 +1,91 @@
+#include "video/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "video/scene.h"
+
+namespace sky::video {
+namespace {
+
+TEST(ByteModelTest, CalibratedToPaperNumbers) {
+  // Footnote 2: one camera produces ~7.8 GB/day. At a mid diurnal density
+  // of ~0.35 the model should land near 3 KB/frame.
+  double bytes = EstimateH264FrameBytes(0.35);
+  EXPECT_NEAR(bytes, 3060, 200);
+  double per_day = EstimateStreamBytesPerSecond(0.35) * 86400;
+  EXPECT_NEAR(per_day / 1e9, 7.9, 0.6);
+}
+
+TEST(ByteModelTest, MonotoneInDensityAndClamped) {
+  EXPECT_LT(EstimateH264FrameBytes(0.1), EstimateH264FrameBytes(0.9));
+  EXPECT_DOUBLE_EQ(EstimateH264FrameBytes(-1), EstimateH264FrameBytes(0));
+  EXPECT_DOUBLE_EQ(EstimateH264FrameBytes(2), EstimateH264FrameBytes(1));
+}
+
+TEST(CodecTest, RoundTripLossless) {
+  SceneOptions opts;
+  opts.seed = 31;
+  SceneGenerator gen(opts);
+  for (int i = 0; i < 5; ++i) {
+    Frame f = gen.NextFrame(0.6);
+    std::vector<uint8_t> bytes = BlockRleCodec::Encode(f);
+    auto decoded = BlockRleCodec::Decode(bytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->width, f.width);
+    EXPECT_EQ(decoded->height, f.height);
+    EXPECT_EQ(decoded->luma, f.luma);
+  }
+}
+
+TEST(CodecTest, BusyScenesCompressWorse) {
+  SceneOptions opts;
+  opts.seed = 32;
+  SceneGenerator quiet(opts);
+  SceneGenerator busy(opts);
+  // Warm both scenes up.
+  size_t quiet_bytes = 0, busy_bytes = 0;
+  for (int i = 0; i < 300; ++i) {
+    quiet_bytes += BlockRleCodec::Encode(quiet.NextFrame(0.02)).size();
+    busy_bytes += BlockRleCodec::Encode(busy.NextFrame(0.95)).size();
+  }
+  EXPECT_GT(busy_bytes, quiet_bytes);
+}
+
+TEST(CodecTest, DecodeRejectsCorruptInput) {
+  EXPECT_FALSE(BlockRleCodec::Decode({}).ok());
+  EXPECT_FALSE(BlockRleCodec::Decode({1, 2, 3}).ok());
+
+  Frame f;
+  f.width = 4;
+  f.height = 2;
+  f.luma.assign(8, 100);
+  std::vector<uint8_t> bytes = BlockRleCodec::Encode(f);
+  // Truncate the payload: size check must fail.
+  bytes.pop_back();
+  bytes.pop_back();
+  EXPECT_FALSE(BlockRleCodec::Decode(bytes).ok());
+
+  // Zero-length run is invalid.
+  std::vector<uint8_t> zero_run(bytes.begin(), bytes.begin() + 8);
+  zero_run.push_back(5);
+  zero_run.push_back(0);
+  EXPECT_FALSE(BlockRleCodec::Decode(zero_run).ok());
+}
+
+TEST(CodecTest, DecodeRejectsImplausibleDimensions) {
+  std::vector<uint8_t> bytes;
+  for (int i = 0; i < 8; ++i) bytes.push_back(0xFF);
+  EXPECT_FALSE(BlockRleCodec::Decode(bytes).ok());
+}
+
+TEST(CodecTest, UniformFrameCompressesWell) {
+  Frame f;
+  f.width = 160;
+  f.height = 90;
+  f.luma.assign(160 * 90, 16);
+  std::vector<uint8_t> bytes = BlockRleCodec::Encode(f);
+  EXPECT_LT(bytes.size(), f.luma.size() / 50);
+}
+
+}  // namespace
+}  // namespace sky::video

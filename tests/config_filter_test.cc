@@ -1,0 +1,107 @@
+#include "core/config_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/covid.h"
+#include "workloads/mot.h"
+
+namespace sky::core {
+namespace {
+
+TEST(MaxMinSampleTest, StartsAtSmallestNorm) {
+  std::vector<std::vector<double>> pts = {{5, 5}, {0.1, 0.1}, {9, 0}};
+  std::vector<size_t> picked = MaxMinSample(pts, 1);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], 1u);
+}
+
+TEST(MaxMinSampleTest, PicksSpreadOutPoints) {
+  std::vector<std::vector<double>> pts = {
+      {0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}, {5, 8}};
+  std::vector<size_t> picked = MaxMinSample(pts, 3);
+  ASSERT_EQ(picked.size(), 3u);
+  // The three picks should come from the three distinct clusters.
+  std::set<int> groups;
+  for (size_t i : picked) {
+    if (pts[i][0] < 1) groups.insert(0);
+    else if (pts[i][1] > 4) groups.insert(2);
+    else groups.insert(1);
+  }
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(MaxMinSampleTest, EdgeCases) {
+  EXPECT_TRUE(MaxMinSample({}, 3).empty());
+  EXPECT_TRUE(MaxMinSample({{1.0}}, 0).empty());
+  // Requesting more than available returns all (distinct) points.
+  std::vector<std::vector<double>> pts = {{0.0}, {1.0}};
+  EXPECT_EQ(MaxMinSample(pts, 5).size(), 2u);
+  // All-identical points: only one can be selected.
+  std::vector<std::vector<double>> same(4, {2.0, 2.0});
+  EXPECT_EQ(MaxMinSample(same, 3).size(), 1u);
+}
+
+TEST(ConfigFilterTest, ReturnsCostSortedSubsetWithExtremes) {
+  workloads::CovidWorkload covid;
+  ConfigFilterOptions opts;
+  opts.presample_count = 30;
+  opts.search_segment_count = 4;
+  opts.train_horizon = Days(4);
+  auto filtered = FilterKnobConfigs(covid, opts);
+  ASSERT_TRUE(filtered.ok());
+  // A useful filtered set: more than 2, far fewer than the full 40.
+  EXPECT_GE(filtered->size(), 3u);
+  EXPECT_LT(filtered->size(), covid.knob_space().NumConfigs());
+  // Sorted by cost.
+  for (size_t i = 1; i < filtered->size(); ++i) {
+    EXPECT_LE(covid.CostCoreSecondsPerVideoSecond((*filtered)[i - 1]),
+              covid.CostCoreSecondsPerVideoSecond((*filtered)[i]) + 1e-12);
+  }
+  // Contains the cheapest and the most qualitative configuration.
+  const KnobSpace& space = covid.knob_space();
+  size_t cheapest_id = space.ConfigToId(CheapestConfig(covid));
+  size_t best_id = space.ConfigToId(MostQualitativeConfig(covid));
+  bool has_cheapest = false, has_best = false;
+  for (const KnobConfig& c : *filtered) {
+    has_cheapest |= space.ConfigToId(c) == cheapest_id;
+    has_best |= space.ConfigToId(c) == best_id;
+  }
+  EXPECT_TRUE(has_cheapest);
+  EXPECT_TRUE(has_best);
+}
+
+TEST(ConfigFilterTest, FilteredSetSpansQualityRange) {
+  workloads::MotWorkload mot;
+  ConfigFilterOptions opts;
+  opts.presample_count = 30;
+  opts.search_segment_count = 4;
+  opts.train_horizon = Days(4);
+  auto filtered = FilterKnobConfigs(mot, opts);
+  ASSERT_TRUE(filtered.ok());
+  video::ContentState hard;
+  hard.density = 0.85;
+  hard.occlusion = 0.8;
+  double min_q = 2, max_q = -1;
+  for (const KnobConfig& c : *filtered) {
+    double q = mot.TrueQuality(c, hard);
+    min_q = std::min(min_q, q);
+    max_q = std::max(max_q, q);
+  }
+  EXPECT_GT(max_q - min_q, 0.25);
+}
+
+TEST(ConfigFilterTest, DeterministicGivenSeed) {
+  workloads::CovidWorkload covid;
+  ConfigFilterOptions opts;
+  opts.presample_count = 20;
+  opts.search_segment_count = 3;
+  opts.train_horizon = Days(3);
+  opts.seed = 77;
+  auto a = FilterKnobConfigs(covid, opts);
+  auto b = FilterKnobConfigs(covid, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace sky::core

@@ -1,0 +1,164 @@
+#include "video/content_process.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace sky::video {
+namespace {
+
+TEST(SmoothNoiseTest, DeterministicAndBounded) {
+  SmoothNoise a(0.5, 30.0, Hours(2), 7);
+  SmoothNoise b(0.5, 30.0, Hours(2), 7);
+  for (double t = 0; t < Hours(2); t += 17.0) {
+    EXPECT_DOUBLE_EQ(a.At(t), b.At(t));
+    EXPECT_LE(std::abs(a.At(t)), 0.5 + 1e-12);
+  }
+}
+
+TEST(SmoothNoiseTest, ContinuousBetweenKnots) {
+  SmoothNoise n(1.0, 100.0, Hours(1), 8);
+  for (double t = 0; t < Minutes(30); t += 1.0) {
+    EXPECT_LE(std::abs(n.At(t + 1.0) - n.At(t)), 0.2);
+  }
+}
+
+TEST(DiurnalTest, BaseCurveShapes) {
+  using P = DiurnalContentProcess::Profile;
+  // Traffic: rush hours clearly busier than 3 AM.
+  EXPECT_GT(DiurnalContentProcess::BaseDensity(P::kTrafficIntersection, 8.0),
+            DiurnalContentProcess::BaseDensity(P::kTrafficIntersection, 3.0) +
+                0.3);
+  EXPECT_GT(DiurnalContentProcess::BaseDensity(P::kTrafficIntersection, 17.5),
+            0.5);
+  // Shopping street: single mid-afternoon peak.
+  EXPECT_GT(DiurnalContentProcess::BaseDensity(P::kShoppingStreet, 15.5),
+            DiurnalContentProcess::BaseDensity(P::kShoppingStreet, 5.0) + 0.4);
+}
+
+TEST(DiurnalTest, StatesAreValidAndDeterministic) {
+  DiurnalContentProcess::Options opts;
+  opts.horizon = Days(3);
+  opts.seed = 41;
+  DiurnalContentProcess a(opts), b(opts);
+  for (double t = 0; t < Days(3); t += 631.0) {
+    ContentState sa = a.At(t);
+    ContentState sb = b.At(t);
+    EXPECT_DOUBLE_EQ(sa.density, sb.density);
+    EXPECT_GE(sa.density, 0.0);
+    EXPECT_LE(sa.density, 1.0);
+    EXPECT_GE(sa.occlusion, 0.0);
+    EXPECT_LE(sa.occlusion, 1.0);
+    EXPECT_GE(sa.lighting, 0.0);
+    EXPECT_LE(sa.lighting, 1.0);
+    EXPECT_DOUBLE_EQ(sa.stream_count, 1.0);
+  }
+}
+
+TEST(DiurnalTest, NightIsQuieterThanDay) {
+  DiurnalContentProcess::Options opts;
+  opts.horizon = Days(4);
+  opts.seed = 42;
+  DiurnalContentProcess p(opts);
+  double night = 0.0, day = 0.0;
+  int count = 0;
+  for (int d = 0; d < 4; ++d) {
+    for (int m = 0; m < 60; m += 10) {
+      night += p.At(Days(d) + Hours(3) + Minutes(m)).density;
+      day += p.At(Days(d) + Hours(17) + Minutes(m)).density;
+      ++count;
+    }
+  }
+  EXPECT_GT(day / count, night / count + 0.25);
+}
+
+TEST(DiurnalTest, LightingFollowsSun) {
+  DiurnalContentProcess::Options opts;
+  opts.seed = 43;
+  DiurnalContentProcess p(opts);
+  EXPECT_GT(p.At(Hours(12)).lighting, 0.9);
+  EXPECT_LT(p.At(Hours(2)).lighting, 0.3);
+}
+
+TEST(DiurnalTest, OcclusionCorrelatesWithDensity) {
+  DiurnalContentProcess::Options opts;
+  opts.horizon = Days(2);
+  opts.seed = 44;
+  DiurnalContentProcess p(opts);
+  // Average occlusion in the busiest hour must exceed the quietest hour's.
+  double busy = 0.0, quiet = 0.0;
+  for (int m = 0; m < 60; ++m) {
+    busy += p.At(Hours(17) + Minutes(m)).occlusion;
+    quiet += p.At(Hours(3) + Minutes(m)).occlusion;
+  }
+  EXPECT_GT(busy, quiet);
+}
+
+TEST(DiurnalTest, ContentVariesOnSwitcherTimescale) {
+  // §5.3: content categories change every ~30-45 s on average. The latent
+  // state must show meaningful variation across 30 s steps.
+  DiurnalContentProcess::Options opts;
+  opts.horizon = Days(1);
+  opts.seed = 45;
+  DiurnalContentProcess p(opts);
+  sky::OnlineStats deltas;
+  for (double t = Hours(10); t < Hours(14); t += 30.0) {
+    deltas.Add(std::abs(p.At(t + 30.0).density - p.At(t).density));
+  }
+  EXPECT_GT(deltas.mean(), 0.01);
+}
+
+TEST(TwitchTest, HighSpikesReachMaxStreams) {
+  TwitchContentProcess::Options opts;
+  opts.spike_kind = TwitchContentProcess::SpikeKind::kHigh;
+  opts.horizon = Days(3);
+  opts.seed = 46;
+  TwitchContentProcess p(opts);
+  double peak = 0.0;
+  for (double t = 0; t < Days(2); t += 60.0) {
+    peak = std::max(peak, p.At(t).stream_count);
+  }
+  EXPECT_GT(peak, 0.95 * opts.max_streams);
+}
+
+TEST(TwitchTest, LongSpikeIsSustained) {
+  TwitchContentProcess::Options opts;
+  opts.spike_kind = TwitchContentProcess::SpikeKind::kLong;
+  opts.horizon = Days(2);
+  opts.seed = 47;
+  TwitchContentProcess p(opts);
+  // Count how much of day 0 sits above 50% of max: the long plateau spans
+  // ~8 h and the diurnal base stays below that level.
+  double above = 0.0;
+  for (double t = 0; t < Days(1); t += 60.0) {
+    if (p.At(t).stream_count > 0.5 * opts.max_streams) above += 60.0;
+  }
+  EXPECT_GT(above, Hours(5));
+  EXPECT_LT(above, Hours(12));
+}
+
+TEST(TwitchTest, StatesValid) {
+  TwitchContentProcess::Options opts;
+  opts.seed = 48;
+  TwitchContentProcess p(opts);
+  for (double t = 0; t < Days(1); t += 313.0) {
+    ContentState s = p.At(t);
+    EXPECT_GE(s.stream_count, 0.0);
+    EXPECT_LE(s.stream_count, opts.max_streams);
+    EXPECT_GE(s.difficulty, 0.0);
+    EXPECT_LE(s.difficulty, 1.0);
+  }
+}
+
+TEST(ContentProcessTest, HorizonClamps) {
+  DiurnalContentProcess::Options opts;
+  opts.horizon = Days(1);
+  opts.seed = 49;
+  DiurnalContentProcess p(opts);
+  ContentState end = p.At(Days(1));
+  ContentState beyond = p.At(Days(5));
+  EXPECT_DOUBLE_EQ(end.density, beyond.density);
+}
+
+}  // namespace
+}  // namespace sky::video

@@ -1,0 +1,65 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sky::sim {
+namespace {
+
+TEST(CostModelTest, CatalogMatchesPaper) {
+  const auto& catalog = ServerCatalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog[0].name, "e2-standard-4");
+  EXPECT_EQ(catalog[0].vcpus, 4);
+  EXPECT_DOUBLE_EQ(catalog[0].usd_per_hour, 0.14);
+  EXPECT_EQ(catalog[4].name, "c2-standard-60");
+  EXPECT_EQ(catalog[4].vcpus, 60);
+  EXPECT_DOUBLE_EQ(catalog[4].usd_per_hour, 2.51);
+}
+
+TEST(CostModelTest, ServerByVcpus) {
+  auto s = ServerByVcpus(16);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->name, "e2-standard-16");
+  EXPECT_FALSE(ServerByVcpus(7).ok());
+}
+
+TEST(CostModelTest, OnPremCostDividesByRatio) {
+  CostModel model(1.8);
+  ServerType s{"x", 4, 0.18};
+  // 10 hours at $0.18/h, divided by the 1.8 TCO ratio -> $1.
+  EXPECT_NEAR(model.OnPremCost(s, 10.0), 1.0, 1e-12);
+}
+
+TEST(CostModelTest, Table2CostReproduction) {
+  // Table 2: an e2-standard-4 over 8 days costs $14.9 total.
+  CostModel model(1.8);
+  auto server = ServerByVcpus(4);
+  ASSERT_TRUE(server.ok());
+  EXPECT_NEAR(model.OnPremCost(*server, 8 * 24.0), 14.9, 0.05);
+  // And c2-standard-60 costs ~$267.7.
+  auto big = ServerByVcpus(60);
+  ASSERT_TRUE(big.ok());
+  EXPECT_NEAR(model.OnPremCost(*big, 8 * 24.0), 267.7, 0.5);
+}
+
+TEST(CostModelTest, UsdCoreSecondRoundTrip) {
+  CostModel model(1.8);
+  double usd = 3.0;
+  EXPECT_NEAR(model.CoreSecondsToUsd(model.UsdToCoreSeconds(usd)), usd,
+              1e-9);
+  EXPECT_GT(model.UsdToCoreSeconds(1.0), 0.0);
+}
+
+TEST(CostModelTest, CloudRateScalesWithRatio) {
+  CostModel cheap(1.0);
+  CostModel expensive(2.5);
+  EXPECT_NEAR(expensive.CloudUsdPerCoreSecond() /
+                  expensive.OnPremUsdPerCoreSecond(),
+              2.5, 1e-9);
+  EXPECT_NEAR(cheap.CloudUsdPerCoreSecond() /
+                  cheap.OnPremUsdPerCoreSecond(),
+              1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sky::sim

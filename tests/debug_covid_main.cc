@@ -1,0 +1,70 @@
+// Scratch diagnostic (not registered with ctest): prints the filtered
+// configuration set, plan, and engine statistics for COVID on 4 cores.
+#include <cstdio>
+
+#include "baselines/static_baseline.h"
+#include "core/engine.h"
+#include "core/offline.h"
+#include "workloads/covid.h"
+
+using namespace sky;
+
+int main() {
+  workloads::CovidWorkload covid;
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  sim::CostModel cost_model(1.8);
+  core::OfflineOptions opts;
+  opts.segment_seconds = 4.0;
+  opts.train_horizon = Days(8);
+  opts.num_categories = 3;
+  opts.forecaster.input_span = Days(2);
+  opts.forecaster.planned_interval = Days(2);
+  auto model = core::RunOfflinePhase(covid, cluster, cost_model, opts);
+  if (!model.ok()) {
+    printf("offline failed: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  printf("filtered configs (%zu):\n", model->configs.size());
+  for (size_t i = 0; i < model->configs.size(); ++i) {
+    const auto& p = model->profiles[i];
+    printf("  [%zu] %-40s cost=%6.2f onprem_rt=%6.2f min_rt=%6.2f #pl=%zu\n",
+           i, covid.knob_space().ToString(model->configs[i]).c_str(),
+           p.work_core_s_per_video_s, p.OnPremRuntime(), p.MinRuntime(),
+           p.placements.size());
+  }
+  printf("category centers (3 x %zu):\n", model->configs.size());
+  for (size_t c = 0; c < 3; ++c) {
+    printf("  c%zu:", c);
+    for (size_t k = 0; k < model->configs.size(); ++k) {
+      printf(" %.2f", model->categories.CenterQuality(c, k));
+    }
+    printf("\n");
+  }
+
+  core::EngineOptions eopts;
+  eopts.duration = Days(2);
+  eopts.plan_interval = Days(2);
+  eopts.cloud_budget_usd_per_interval = 3.0;
+  core::IngestionEngine engine(&covid, &*model, cluster, &cost_model, eopts);
+  auto result = engine.Run(Days(8));
+  if (!result.ok()) {
+    printf("engine failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  printf("sky: mean_q=%.3f work=%.0f onprem=%.0f cloud=$%.2f hw=%.2fGB "
+         "switches=%zu degraded=%zu miscls=%.3f\n",
+         result->mean_quality, result->work_core_seconds,
+         result->onprem_core_seconds, result->cloud_usd,
+         result->buffer_high_water_bytes / 1e9, result->switch_count,
+         result->degraded_count, result->MisclassificationRate());
+
+  auto st = baselines::BestStaticBaseline(covid, cluster, cost_model, 4.0,
+                                          Days(2), Days(8));
+  if (st.ok()) {
+    printf("static: %-40s mean_q=%.3f work=%.0f\n",
+           covid.knob_space().ToString(st->config).c_str(), st->mean_quality,
+           st->work_core_seconds);
+  }
+  return 0;
+}

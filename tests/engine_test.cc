@@ -1,0 +1,208 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "video/stream_source.h"
+#include "workloads/ev_counting.h"
+
+namespace sky::core {
+namespace {
+
+/// Shared fixture: one offline fit on the EV workload (small but real), a
+/// 4-core server. Reused across tests to keep the suite fast.
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new workloads::EvCountingWorkload();
+    cluster_.cores = 4;
+    cost_model_ = new sim::CostModel(1.8);
+    OfflineOptions opts;
+    opts.segment_seconds = 4.0;
+    opts.train_horizon = Days(6);
+    opts.num_categories = 3;
+    opts.forecaster.input_span = Days(1);
+    opts.forecaster.planned_interval = Days(1);
+    auto model = RunOfflinePhase(*workload_, cluster_, *cost_model_, opts);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = new OfflineModel(std::move(*model));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete cost_model_;
+    delete workload_;
+  }
+
+  static EngineOptions BaseOptions() {
+    EngineOptions opts;
+    opts.duration = Days(1);
+    opts.plan_interval = Days(1);
+    opts.cloud_budget_usd_per_interval = 2.0;
+    opts.buffer_bytes = 4ull << 30;
+    return opts;
+  }
+
+  static workloads::EvCountingWorkload* workload_;
+  static sim::ClusterSpec cluster_;
+  static sim::CostModel* cost_model_;
+  static OfflineModel* model_;
+};
+
+workloads::EvCountingWorkload* EngineTest::workload_ = nullptr;
+sim::ClusterSpec EngineTest::cluster_;
+sim::CostModel* EngineTest::cost_model_ = nullptr;
+OfflineModel* EngineTest::model_ = nullptr;
+
+TEST_F(EngineTest, OfflineModelIsComplete) {
+  EXPECT_GE(model_->configs.size(), 3u);
+  EXPECT_EQ(model_->profiles.size(), model_->configs.size());
+  EXPECT_EQ(model_->categories.NumCategories(), 3u);
+  EXPECT_TRUE(model_->forecaster.has_value());
+  EXPECT_FALSE(model_->train_category_sequence.empty());
+  for (const ConfigProfile& p : model_->profiles) {
+    EXPECT_FALSE(p.placements.empty());
+    EXPECT_GT(p.work_core_s_per_video_s, 0.0);
+  }
+}
+
+TEST_F(EngineTest, RunsWithoutOverflowAndProducesQuality) {
+  IngestionEngine engine(workload_, model_, cluster_, cost_model_,
+                         BaseOptions());
+  auto result = engine.Run(Days(6));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->overflow_events, 0u);
+  EXPECT_GT(result->segments, 20000u);
+  EXPECT_GT(result->mean_quality, 0.5);
+  EXPECT_LE(result->mean_quality, 1.0);
+  EXPECT_GT(result->switch_count, 10u);
+  EXPECT_LE(result->buffer_high_water_bytes, BaseOptions().buffer_bytes);
+}
+
+TEST_F(EngineTest, AdaptiveBeatsBestRealTimeStaticOnQualityPerWork) {
+  IngestionEngine engine(workload_, model_, cluster_, cost_model_,
+                         BaseOptions());
+  auto result = engine.Run(Days(6));
+  ASSERT_TRUE(result.ok());
+  // Best static config that fits 4 cores in real time.
+  double best_static_quality = 0.0;
+  video::StreamSource source(&workload_->content_process(), 4.0);
+  for (const ConfigProfile& p : model_->profiles) {
+    if (p.OnPremRuntime() > 4.0) continue;
+    double q = 0.0;
+    for (int64_t i = 0; i < static_cast<int64_t>(result->segments); ++i) {
+      q += workload_->TrueQuality(
+          p.config, source.Segment(static_cast<int64_t>(Days(6) / 4.0) + i)
+                        .content);
+    }
+    best_static_quality = std::max(best_static_quality, q);
+  }
+  EXPECT_GT(result->total_quality, best_static_quality);
+}
+
+TEST_F(EngineTest, BufferDisabledNeverLags) {
+  EngineOptions opts = BaseOptions();
+  opts.enable_buffer = false;
+  opts.enable_cloud = false;
+  IngestionEngine engine(workload_, model_, cluster_, cost_model_, opts);
+  auto result = engine.Run(Days(6));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->buffer_high_water_bytes, 0u);
+  EXPECT_DOUBLE_EQ(result->cloud_usd, 0.0);
+}
+
+TEST_F(EngineTest, CloudSpendRespectsBudget) {
+  EngineOptions opts = BaseOptions();
+  opts.cloud_budget_usd_per_interval = 0.5;
+  opts.buffer_bytes = 64ull << 20;  // small buffer forces cloud usage
+  IngestionEngine engine(workload_, model_, cluster_, cost_model_, opts);
+  auto result = engine.Run(Days(6));
+  ASSERT_TRUE(result.ok());
+  // One planned interval in this run: spend bounded by the budget.
+  EXPECT_LE(result->cloud_usd, 0.5 + 1e-9);
+}
+
+TEST_F(EngineTest, GroundTruthTogglesImproveAccuracy) {
+  EngineOptions standard = BaseOptions();
+  EngineOptions truth = BaseOptions();
+  truth.use_ground_truth_categories = true;
+  IngestionEngine e1(workload_, model_, cluster_, cost_model_, standard);
+  IngestionEngine e2(workload_, model_, cluster_, cost_model_, truth);
+  auto r1 = e1.Run(Days(6));
+  auto r2 = e2.Run(Days(6));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_GT(r1->misclassified, 0u);
+  EXPECT_EQ(r2->misclassified, 0u);
+  EXPECT_GE(r2->total_quality, r1->total_quality * 0.98);
+}
+
+TEST_F(EngineTest, NoTypeBLeavesOnlyTypeAErrors) {
+  EngineOptions opts = BaseOptions();
+  opts.eliminate_type_b_errors = true;
+  IngestionEngine engine(workload_, model_, cluster_, cost_model_, opts);
+  auto result = engine.Run(Days(6));
+  ASSERT_TRUE(result.ok());
+  // Misclassification should drop well below the standard switcher's.
+  EngineOptions std_opts = BaseOptions();
+  IngestionEngine std_engine(workload_, model_, cluster_, cost_model_,
+                             std_opts);
+  auto std_result = std_engine.Run(Days(6));
+  ASSERT_TRUE(std_result.ok());
+  EXPECT_LT(result->MisclassificationRate(),
+            std_result->MisclassificationRate());
+}
+
+TEST_F(EngineTest, ErrorTaxonomySumsToMisclassified) {
+  IngestionEngine engine(workload_, model_, cluster_, cost_model_,
+                         BaseOptions());
+  auto result = engine.Run(Days(6));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->type_a_errors + result->type_b_errors,
+            result->misclassified);
+}
+
+TEST_F(EngineTest, TraceRecordsFig3Series) {
+  EngineOptions opts = BaseOptions();
+  opts.record_trace = true;
+  opts.trace_resolution_s = 600.0;
+  IngestionEngine engine(workload_, model_, cluster_, cost_model_, opts);
+  auto result = engine.Run(Days(6));
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->trace.size(), 100u);
+  for (const TracePoint& p : result->trace) {
+    EXPECT_GE(p.quality, 0.0);
+    EXPECT_LE(p.quality, 1.0);
+    EXPECT_GE(p.work_core_s_per_s, 0.0);
+    EXPECT_GE(p.buffer_bytes, 0.0);
+  }
+  // Cumulative cloud spend is monotone.
+  for (size_t i = 1; i < result->trace.size(); ++i) {
+    EXPECT_GE(result->trace[i].cloud_usd_cumulative,
+              result->trace[i - 1].cloud_usd_cumulative);
+  }
+}
+
+TEST_F(EngineTest, WorkBudgetOverrideCapsPlannedWork) {
+  EngineOptions opts = BaseOptions();
+  opts.work_budget_override = 1.0;  // far below 4 cores
+  IngestionEngine tight(workload_, model_, cluster_, cost_model_, opts);
+  opts.work_budget_override = 100.0;
+  IngestionEngine loose(workload_, model_, cluster_, cost_model_, opts);
+  auto r_tight = tight.Run(Days(6));
+  auto r_loose = loose.Run(Days(6));
+  ASSERT_TRUE(r_tight.ok() && r_loose.ok());
+  EXPECT_LT(r_tight->work_core_seconds, r_loose->work_core_seconds);
+  EXPECT_LE(r_tight->total_quality, r_loose->total_quality + 1e-9);
+}
+
+TEST_F(EngineTest, DeterministicGivenSeed) {
+  IngestionEngine a(workload_, model_, cluster_, cost_model_, BaseOptions());
+  IngestionEngine b(workload_, model_, cluster_, cost_model_, BaseOptions());
+  auto ra = a.Run(Days(6));
+  auto rb = b.Run(Days(6));
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_DOUBLE_EQ(ra->total_quality, rb->total_quality);
+  EXPECT_EQ(ra->switch_count, rb->switch_count);
+  EXPECT_DOUBLE_EQ(ra->cloud_usd, rb->cloud_usd);
+}
+
+}  // namespace
+}  // namespace sky::core

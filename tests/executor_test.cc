@@ -1,0 +1,103 @@
+#include "dag/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace sky::dag {
+namespace {
+
+TEST(ExecutorTest, RunsNodesInDependencyOrder) {
+  TaskGraph g;
+  std::atomic<int> step{0};
+  std::atomic<int> a_step{-1}, b_step{-1}, c_step{-1};
+  TaskNode a;
+  a.name = "a";
+  a.work = [&] { a_step = step.fetch_add(1); };
+  TaskNode b;
+  b.name = "b";
+  b.work = [&] { b_step = step.fetch_add(1); };
+  TaskNode c;
+  c.name = "c";
+  c.work = [&] { c_step = step.fetch_add(1); };
+  size_t ia = g.AddNode(a);
+  size_t ib = g.AddNode(b);
+  size_t ic = g.AddNode(c);
+  ASSERT_TRUE(g.AddEdge(ia, ib).ok());
+  ASSERT_TRUE(g.AddEdge(ib, ic).ok());
+
+  ThreadPool pool(4);
+  auto report = ExecuteDag(g, &pool);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(a_step.load(), b_step.load());
+  EXPECT_LT(b_step.load(), c_step.load());
+  EXPECT_EQ(report->finish_times_s.size(), 3u);
+  EXPECT_GE(report->makespan_s, 0.0);
+}
+
+TEST(ExecutorTest, IndependentNodesRunInParallel) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) {
+    TaskNode n;
+    n.name = "busy";
+    n.work = [] { BusyWorkMillis(30); };
+    g.AddNode(n);
+  }
+  ThreadPool pool(4);
+  auto report = ExecuteDag(g, &pool);
+  ASSERT_TRUE(report.ok());
+  // Four 30 ms tasks on four threads should take well under 4 * 30 ms.
+  EXPECT_LT(report->makespan_s, 0.100);
+}
+
+TEST(ExecutorTest, ChainSerializes) {
+  TaskGraph g;
+  size_t prev = std::numeric_limits<size_t>::max();
+  for (int i = 0; i < 3; ++i) {
+    TaskNode n;
+    n.name = "busy";
+    n.work = [] { BusyWorkMillis(20); };
+    size_t idx = g.AddNode(n);
+    if (prev != std::numeric_limits<size_t>::max()) {
+      ASSERT_TRUE(g.AddEdge(prev, idx).ok());
+    }
+    prev = idx;
+  }
+  ThreadPool pool(4);
+  auto report = ExecuteDag(g, &pool);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->makespan_s, 0.055);  // ~3 x 20 ms serial
+}
+
+TEST(ExecutorTest, EmptyGraphAndNullPool) {
+  TaskGraph g;
+  ThreadPool pool(1);
+  auto report = ExecuteDag(g, &pool);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->makespan_s, 0.0);
+  EXPECT_FALSE(ExecuteDag(g, nullptr).ok());
+}
+
+TEST(ExecutorTest, RejectsCyclicGraph) {
+  TaskGraph g;
+  size_t a = g.AddNode(TaskNode{});
+  size_t b = g.AddNode(TaskNode{});
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, a).ok());
+  ThreadPool pool(1);
+  EXPECT_FALSE(ExecuteDag(g, &pool).ok());
+}
+
+TEST(ExecutorTest, BusyWorkDurationRoughlyAccurate) {
+  auto start = std::chrono::steady_clock::now();
+  BusyWorkMillis(50);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.045);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+}  // namespace
+}  // namespace sky::dag

@@ -1,0 +1,130 @@
+#include "core/forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sky::core {
+namespace {
+
+/// A synthetic category sequence with a deterministic diurnal structure:
+/// category 0 at "night", category 1 at "day", category 2 in randomly
+/// placed short bursts.
+std::vector<size_t> DiurnalCategories(double segment_seconds, double days,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  size_t per_day = static_cast<size_t>(Days(1) / segment_seconds);
+  size_t n = static_cast<size_t>(days * per_day);
+  std::vector<size_t> seq(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    double hour = HourOfDay(i * segment_seconds);
+    seq[i] = (hour > 8 && hour < 20) ? 1 : 0;
+    if (rng.Bernoulli(0.05)) seq[i] = 2;
+  }
+  return seq;
+}
+
+ForecasterOptions FastOptions() {
+  ForecasterOptions opts;
+  opts.input_span = Days(1);
+  opts.input_splits = 4;
+  opts.planned_interval = Days(1);
+  opts.training_stride = Minutes(30);
+  opts.train_options.epochs = 30;
+  return opts;
+}
+
+TEST(ForecastDatasetTest, ShapesAndNormalization) {
+  std::vector<size_t> seq = DiurnalCategories(60.0, 4, 1);
+  ForecasterOptions opts = FastOptions();
+  auto data = BuildForecastDataset(seq, 60.0, 3, opts);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->inputs.cols(), 4u * 3);
+  EXPECT_EQ(data->targets.cols(), 3u);
+  EXPECT_GT(data->inputs.rows(), 50u);
+  // Every target row is a distribution.
+  for (size_t r = 0; r < data->targets.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 3; ++c) sum += data->targets.At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ForecastDatasetTest, RejectsTooShortSequences) {
+  ForecasterOptions opts = FastOptions();
+  std::vector<size_t> tiny(10, 0);
+  EXPECT_FALSE(BuildForecastDataset(tiny, 60.0, 3, opts).ok());
+  EXPECT_FALSE(BuildForecastDataset(tiny, 60.0, 0, opts).ok());
+  EXPECT_FALSE(BuildForecastDataset(tiny, -1.0, 3, opts).ok());
+}
+
+TEST(CategoryHistogramTest, CountsAndNormalizes) {
+  std::vector<size_t> seq = {0, 0, 1, 2, 2, 2};
+  std::vector<double> h = CategoryHistogram(seq, 0, 6, 3);
+  EXPECT_NEAR(h[0], 2.0 / 6, 1e-12);
+  EXPECT_NEAR(h[2], 3.0 / 6, 1e-12);
+  // Out-of-range end is clamped.
+  std::vector<double> h2 = CategoryHistogram(seq, 4, 100, 3);
+  EXPECT_NEAR(h2[2], 1.0, 1e-12);
+}
+
+TEST(ForecasterTest, LearnsStationaryDistribution) {
+  std::vector<size_t> seq = DiurnalCategories(60.0, 8, 2);
+  ForecasterOptions opts = FastOptions();
+  auto forecaster = Forecaster::Train(seq, 60.0, 3, opts);
+  ASSERT_TRUE(forecaster.ok());
+
+  // Forecast from the tail of the training data; the diurnal mix is stable
+  // day over day, so the forecast should match the overall distribution.
+  std::vector<double> features = forecaster->FeaturesFromHistory(seq, 60.0);
+  std::vector<double> pred = forecaster->Forecast(features);
+  std::vector<double> actual = CategoryHistogram(seq, 0, seq.size(), 3);
+  ASSERT_EQ(pred.size(), 3u);
+  EXPECT_LT(MeanAbsoluteError(pred, actual), 0.08);
+}
+
+TEST(ForecasterTest, EvaluateMaeSmallOnHeldOutData) {
+  std::vector<size_t> train = DiurnalCategories(60.0, 8, 3);
+  std::vector<size_t> test = DiurnalCategories(60.0, 4, 99);
+  ForecasterOptions opts = FastOptions();
+  auto forecaster = Forecaster::Train(train, 60.0, 3, opts);
+  ASSERT_TRUE(forecaster.ok());
+  auto mae = forecaster->EvaluateMae(test, 60.0);
+  ASSERT_TRUE(mae.ok());
+  EXPECT_LT(*mae, 0.1);  // paper reports 0.04-0.15 at paper scales
+}
+
+TEST(ForecasterTest, FeaturesAreSplitHistograms) {
+  std::vector<size_t> seq(2880, 0);  // 2 days at 60 s, all category 0
+  ForecasterOptions opts = FastOptions();
+  auto forecaster = Forecaster::Train(DiurnalCategories(60.0, 6, 4), 60.0, 3,
+                                      opts);
+  ASSERT_TRUE(forecaster.ok());
+  std::vector<double> f = forecaster->FeaturesFromHistory(seq, 60.0);
+  ASSERT_EQ(f.size(), 4u * 3);
+  for (size_t split = 0; split < 4; ++split) {
+    EXPECT_NEAR(f[split * 3 + 0], 1.0, 1e-9);
+    EXPECT_NEAR(f[split * 3 + 1], 0.0, 1e-9);
+  }
+}
+
+TEST(ForecasterTest, OnlineUpdateShiftsForecast) {
+  std::vector<size_t> seq = DiurnalCategories(60.0, 6, 5);
+  ForecasterOptions opts = FastOptions();
+  auto forecaster = Forecaster::Train(seq, 60.0, 3, opts);
+  ASSERT_TRUE(forecaster.ok());
+  std::vector<double> features = forecaster->FeaturesFromHistory(seq, 60.0);
+  std::vector<double> target = {0.0, 0.0, 1.0};
+  double before = forecaster->Forecast(features)[2];
+  for (int i = 0; i < 100; ++i) {
+    forecaster->OnlineUpdate(features, target, 0.01);
+  }
+  double after = forecaster->Forecast(features)[2];
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace sky::core

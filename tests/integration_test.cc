@@ -1,0 +1,138 @@
+// Cross-module integration tests: the complete offline -> online pipeline on
+// real workloads, checking the end-to-end properties the paper's headline
+// claims rest on (throughput guarantee, content-adaptivity, cost savings).
+
+#include <gtest/gtest.h>
+
+#include "baselines/static_baseline.h"
+#include "core/engine.h"
+#include "core/offline.h"
+#include "workloads/covid.h"
+#include "workloads/mosei.h"
+
+namespace sky {
+namespace {
+
+using core::EngineOptions;
+using core::IngestionEngine;
+using core::OfflineModel;
+using core::OfflineOptions;
+
+OfflineOptions CovidOffline() {
+  OfflineOptions opts;
+  opts.segment_seconds = 4.0;
+  opts.train_horizon = Days(8);
+  opts.num_categories = 3;
+  opts.forecaster.input_span = Days(2);
+  opts.forecaster.planned_interval = Days(2);
+  return opts;
+}
+
+TEST(IntegrationTest, CovidEndToEndOnSmallServer) {
+  workloads::CovidWorkload covid;
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  sim::CostModel cost_model(1.8);
+  auto model = core::RunOfflinePhase(covid, cluster, cost_model,
+                                     CovidOffline());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  EngineOptions opts;
+  opts.duration = Days(2);
+  opts.plan_interval = Days(2);
+  opts.cloud_budget_usd_per_interval = 3.0;
+  IngestionEngine engine(&covid, &*model, cluster, &cost_model, opts);
+  auto result = engine.Run(Days(8));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Throughput guarantee: the buffer never overflowed.
+  EXPECT_EQ(result->overflow_events, 0u);
+  // Content adaptivity: thousands of knob switches over 2 days (§5.3
+  // reports 4500 over 24 h on the EV workload).
+  EXPECT_GT(result->switch_count, 1000u);
+
+  // Cost claim: Skyscraper on 4 cores beats the best real-time static
+  // config on the same 4 cores by a clear margin.
+  auto static_result = baselines::BestStaticBaseline(
+      covid, cluster, cost_model, 4.0, Days(2), Days(8));
+  ASSERT_TRUE(static_result.ok());
+  EXPECT_GT(result->total_quality, 1.1 * static_result->total_quality);
+}
+
+TEST(IntegrationTest, CovidQualityImprovesWithCores) {
+  workloads::CovidWorkload covid;
+  sim::CostModel cost_model(1.8);
+  double prev_quality = 0.0;
+  for (int cores : {4, 16, 60}) {
+    sim::ClusterSpec cluster;
+    cluster.cores = cores;
+    auto model = core::RunOfflinePhase(covid, cluster, cost_model,
+                                       CovidOffline());
+    ASSERT_TRUE(model.ok());
+    EngineOptions opts;
+    opts.duration = Days(1);
+    opts.plan_interval = Days(1);
+    IngestionEngine engine(&covid, &*model, cluster, &cost_model, opts);
+    auto result = engine.Run(Days(8));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->mean_quality, prev_quality - 0.02);
+    prev_quality = result->mean_quality;
+  }
+  EXPECT_GT(prev_quality, 0.9);  // 60 cores: near-perfect quality
+}
+
+TEST(IntegrationTest, MoseiLongNeedsCloudNotJustBuffer) {
+  // §5.4: for MOSEI-LONG, buffering alone cannot absorb the plateau, cloud
+  // bursting can. Compare only-buffering vs buffering+cloud on mid hardware.
+  workloads::MoseiWorkload mosei(workloads::MoseiWorkload::SpikeKind::kLong);
+  sim::ClusterSpec cluster;
+  cluster.cores = 16;
+  sim::CostModel cost_model(1.8);
+  OfflineOptions offline;
+  offline.segment_seconds = 7.0;
+  offline.train_horizon = Days(6);
+  offline.num_categories = 5;
+  offline.forecaster.input_span = Days(1);
+  offline.forecaster.planned_interval = Days(1);
+  auto model = core::RunOfflinePhase(mosei, cluster, cost_model, offline);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  EngineOptions buffer_only;
+  buffer_only.duration = Days(2);
+  buffer_only.plan_interval = Days(1);
+  buffer_only.enable_cloud = false;
+  IngestionEngine e1(&mosei, &*model, cluster, &cost_model, buffer_only);
+  auto r1 = e1.Run(Days(6));
+  ASSERT_TRUE(r1.ok());
+
+  EngineOptions with_cloud = buffer_only;
+  with_cloud.enable_cloud = true;
+  with_cloud.cloud_budget_usd_per_interval = 10.0;
+  IngestionEngine e2(&mosei, &*model, cluster, &cost_model, with_cloud);
+  auto r2 = e2.Run(Days(6));
+  ASSERT_TRUE(r2.ok());
+
+  EXPECT_GT(r2->total_quality, r1->total_quality);
+  EXPECT_GT(r2->cloud_usd, 0.0);
+  EXPECT_EQ(r1->overflow_events, 0u);
+  EXPECT_EQ(r2->overflow_events, 0u);
+}
+
+TEST(IntegrationTest, OfflineStepRuntimesRecorded) {
+  workloads::CovidWorkload covid;
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  sim::CostModel cost_model(1.8);
+  auto model =
+      core::RunOfflinePhase(covid, cluster, cost_model, CovidOffline());
+  ASSERT_TRUE(model.ok());
+  const core::OfflineStepRuntimes& rt = model->step_runtimes;
+  EXPECT_GT(rt.filter_configs_s, 0.0);
+  EXPECT_GT(rt.filter_placements_s, 0.0);
+  EXPECT_GT(rt.content_categories_s, 0.0);
+  EXPECT_GT(rt.forecast_training_data_s, 0.0);
+  EXPECT_GT(rt.forecast_training_s, 0.0);
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,121 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace sky::ml {
+namespace {
+
+std::vector<std::vector<double>> ThreeBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> pts;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      pts.push_back({centers[b][0] + rng.Normal(0, 0.5),
+                     centers[b][1] + rng.Normal(0, 0.5)});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  auto pts = ThreeBlobs(50, 3);
+  KMeansOptions opts;
+  opts.k = 3;
+  auto model = KMeansFit(pts, opts);
+  ASSERT_TRUE(model.ok());
+  // Every blob should map to a single distinct cluster.
+  std::set<size_t> blob_clusters;
+  for (int b = 0; b < 3; ++b) {
+    size_t c = model->assignments[b * 50];
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(model->assignments[b * 50 + i], c);
+    }
+    blob_clusters.insert(c);
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquaredDistances) {
+  std::vector<std::vector<double>> pts = {{0.0}, {1.0}, {10.0}, {11.0}};
+  KMeansOptions opts;
+  opts.k = 2;
+  auto model = KMeansFit(pts, opts);
+  ASSERT_TRUE(model.ok());
+  // Optimal clustering: {0,1} and {10,11}, centers 0.5 and 10.5.
+  EXPECT_NEAR(model->inertia, 4 * 0.25, 1e-9);
+}
+
+TEST(KMeansTest, ClassifyMatchesNearestCenter) {
+  auto pts = ThreeBlobs(30, 4);
+  KMeansOptions opts;
+  opts.k = 3;
+  auto model = KMeansFit(pts, opts);
+  ASSERT_TRUE(model.ok());
+  size_t c = model->Classify({10.2, -0.1});
+  EXPECT_NEAR(model->centers[c][0], 10.0, 1.0);
+  EXPECT_NEAR(model->centers[c][1], 0.0, 1.0);
+}
+
+TEST(KMeansTest, ClassifyPartialUsesSingleDimension) {
+  KMeansModel model;
+  model.centers = {{0.9, 0.2}, {0.5, 0.8}, {0.1, 0.5}};
+  // Using only dimension 0 (the current config's quality), value 0.45 is
+  // closest to center 1 (0.5).
+  EXPECT_EQ(model.ClassifyPartial(0, 0.45), 1u);
+  EXPECT_EQ(model.ClassifyPartial(0, 0.95), 0u);
+  EXPECT_EQ(model.ClassifyPartial(1, 0.55), 2u);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  KMeansOptions opts;
+  opts.k = 5;
+  EXPECT_FALSE(KMeansFit({{1.0}, {2.0}}, opts).ok());
+  opts.k = 0;
+  EXPECT_FALSE(KMeansFit({{1.0}}, opts).ok());
+  opts.k = 1;
+  EXPECT_FALSE(KMeansFit({{1.0}, {1.0, 2.0}}, opts).ok());
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  auto pts = ThreeBlobs(40, 5);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 99;
+  auto a = KMeansFit(pts, opts);
+  auto b = KMeansFit(pts, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  std::vector<std::vector<double>> pts(10, {1.0, 1.0});
+  pts.push_back({5.0, 5.0});
+  KMeansOptions opts;
+  opts.k = 2;
+  auto model = KMeansFit(pts, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->centers.size(), 2u);
+}
+
+// Property sweep: inertia never increases with k.
+class KMeansInertiaSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KMeansInertiaSweep, MoreClustersNeverWorse) {
+  auto pts = ThreeBlobs(30, 6);
+  KMeansOptions small;
+  small.k = GetParam();
+  KMeansOptions big;
+  big.k = GetParam() + 1;
+  auto a = KMeansFit(pts, small);
+  auto b = KMeansFit(pts, big);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LE(b->inertia, a->inertia + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(KRange, KMeansInertiaSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace sky::ml

@@ -1,0 +1,97 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sky::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 7.0);
+}
+
+TEST(MatrixTest, IdentityAndMatMul) {
+  Matrix id = Matrix::Identity(3);
+  Matrix m(3, 2);
+  int v = 0;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) m.At(r, c) = ++v;
+  }
+  Matrix prod = id.MatMul(m);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(prod.At(r, c), m.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  Matrix b(2, 2);
+  b.At(0, 0) = 5;
+  b.At(0, 1) = 6;
+  b.At(1, 0) = 7;
+  b.At(1, 1) = 8;
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3);
+  m.At(0, 2) = 9.0;
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 9.0);
+}
+
+TEST(MatrixTest, RowRoundTrip) {
+  Matrix m(2, 2);
+  m.SetRow(1, {3.0, 4.0});
+  std::vector<double> row = m.Row(1);
+  EXPECT_EQ(row, (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(MatrixTest, AddScaledAndScale) {
+  Matrix a(1, 2, 1.0);
+  Matrix b(1, 2, 2.0);
+  a.AddScaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 2.0);
+  a.Scale(3.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 6.0);
+  a.Fill(0.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RandomHeHasExpectedScale) {
+  Rng rng(9);
+  Matrix m = Matrix::RandomHe(64, 64, &rng);
+  double sum = 0.0, sq = 0.0;
+  for (double v : m.data()) {
+    sum += v;
+    sq += v * v;
+  }
+  double n = static_cast<double>(m.data().size());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 2.0 / 64.0, 0.01);
+}
+
+TEST(VectorOpsTest, Distances) {
+  EXPECT_DOUBLE_EQ(L2Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(L2Norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(L2Norm({}), 0.0);
+}
+
+}  // namespace
+}  // namespace sky::ml

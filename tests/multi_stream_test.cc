@@ -1,0 +1,93 @@
+#include "core/multi_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/kmeans.h"
+
+namespace sky::core {
+namespace {
+
+ContentCategories MakeCategories(double easy_gain, double hard_gain) {
+  ml::KMeansModel km;
+  km.centers = {{0.9, 0.9 + easy_gain},   // easy: small gain from upgrade
+                {0.4, 0.4 + hard_gain}};  // hard: large gain from upgrade
+  return ContentCategories::FromKMeans(std::move(km));
+}
+
+TEST(FairCoreShareTest, FloorsAndClamps) {
+  EXPECT_EQ(FairCoreShare(8, 2), 4);
+  EXPECT_EQ(FairCoreShare(8, 3), 2);
+  EXPECT_EQ(FairCoreShare(2, 5), 1);  // at least one core
+  EXPECT_EQ(FairCoreShare(8, 0), 8);
+}
+
+TEST(JointPlannerTest, SharedBudgetAllocatedAcrossStreams) {
+  ContentCategories cats_a = MakeCategories(0.05, 0.5);
+  ContentCategories cats_b = MakeCategories(0.05, 0.5);
+  StreamPlanInput a{&cats_a, {0.5, 0.5}, {1.0, 6.0}};
+  StreamPlanInput b{&cats_b, {0.5, 0.5}, {1.0, 6.0}};
+  auto plans = ComputeJointKnobPlan({a, b}, 6.0);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 2u);
+  double total_work = 0.0;
+  for (const KnobPlan& p : *plans) {
+    total_work += p.expected_work;
+    for (size_t c = 0; c < 2; ++c) {
+      double row = 0.0;
+      for (size_t k = 0; k < 2; ++k) row += p.alpha.At(c, k);
+      EXPECT_NEAR(row, 1.0, 1e-6);
+    }
+  }
+  EXPECT_LE(total_work, 6.0 + 1e-6);
+}
+
+TEST(JointPlannerTest, BudgetFlowsToStreamWithMoreToGain) {
+  // Stream A gains little from its expensive config; stream B gains a lot.
+  ContentCategories cats_a = MakeCategories(0.02, 0.08);
+  ContentCategories cats_b = MakeCategories(0.05, 0.55);
+  StreamPlanInput a{&cats_a, {0.5, 0.5}, {1.0, 6.0}};
+  StreamPlanInput b{&cats_b, {0.5, 0.5}, {1.0, 6.0}};
+  auto plans = ComputeJointKnobPlan({a, b}, 2.0 + 3.5);
+  ASSERT_TRUE(plans.ok());
+  // Expensive usage on B's hard category should exceed A's.
+  EXPECT_GT((*plans)[1].alpha.At(1, 1), (*plans)[0].alpha.At(1, 1) + 0.2);
+}
+
+TEST(JointPlannerTest, MatchesSingleStreamPlannerWhenAlone) {
+  ContentCategories cats = MakeCategories(0.05, 0.5);
+  std::vector<double> forecast = {0.6, 0.4};
+  std::vector<double> costs = {1.0, 6.0};
+  auto single = ComputeKnobPlan(cats, forecast, costs, 3.0);
+  auto joint = ComputeJointKnobPlan({{&cats, forecast, costs}}, 3.0);
+  ASSERT_TRUE(single.ok() && joint.ok());
+  EXPECT_NEAR(single->expected_quality, (*joint)[0].expected_quality, 1e-6);
+}
+
+TEST(JointPlannerTest, InfeasibleAndMalformedInputs) {
+  ContentCategories cats = MakeCategories(0.05, 0.5);
+  StreamPlanInput stream{&cats, {0.5, 0.5}, {2.0, 6.0}};
+  auto too_tight = ComputeJointKnobPlan({stream, stream}, 1.0);
+  EXPECT_FALSE(too_tight.ok());
+  EXPECT_EQ(too_tight.status().code(), StatusCode::kResourceExhausted);
+
+  EXPECT_FALSE(ComputeJointKnobPlan({}, 5.0).ok());
+  StreamPlanInput bad{&cats, {0.5}, {2.0, 6.0}};  // wrong forecast arity
+  EXPECT_FALSE(ComputeJointKnobPlan({bad}, 5.0).ok());
+  StreamPlanInput null_cats{nullptr, {0.5, 0.5}, {2.0, 6.0}};
+  EXPECT_FALSE(ComputeJointKnobPlan({null_cats}, 5.0).ok());
+}
+
+TEST(JointPlannerTest, ScalesToManyStreams) {
+  ContentCategories cats = MakeCategories(0.05, 0.5);
+  std::vector<StreamPlanInput> streams(
+      8, StreamPlanInput{&cats, {0.5, 0.5}, {1.0, 6.0}});
+  auto plans = ComputeJointKnobPlan(streams, 20.0);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 8u);
+  double total = 0.0;
+  for (const KnobPlan& p : *plans) total += p.expected_work;
+  EXPECT_LE(total, 20.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace sky::core

@@ -1,0 +1,133 @@
+#include "ml/nn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sky::ml {
+namespace {
+
+TEST(NnTest, PredictShapesAndSoftmaxSumsToOne) {
+  Rng rng(1);
+  FeedForwardNet net(4, {16, 8}, 3, Activation::kSoftmax, &rng);
+  std::vector<double> out = net.Predict({0.1, 0.2, 0.3, 0.4});
+  ASSERT_EQ(out.size(), 3u);
+  double sum = 0.0;
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NnTest, ParameterCount) {
+  Rng rng(1);
+  // Appendix K architecture on a 32-d input with 4 categories.
+  FeedForwardNet net(32, {16, 8}, 4, Activation::kSoftmax, &rng);
+  EXPECT_EQ(net.NumParameters(),
+            32u * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4);
+}
+
+TEST(NnTest, TrainRejectsBadShapes) {
+  Rng rng(1);
+  FeedForwardNet net(2, {4}, 2, Activation::kSoftmax, &rng);
+  Matrix x(10, 3), y(10, 2);
+  EXPECT_FALSE(net.Train(x, y, TrainOptions{}).ok());
+  Matrix x2(10, 2), y2(9, 2);
+  EXPECT_FALSE(net.Train(x2, y2, TrainOptions{}).ok());
+}
+
+TEST(NnTest, LearnsLinearlySeparableClassification) {
+  Rng rng(5);
+  FeedForwardNet net(2, {16, 8}, 2, Activation::kSoftmax, &rng);
+  // Class 0: x0 > x1; class 1 otherwise.
+  size_t n = 400;
+  Matrix x(n, 2), y(n, 2);
+  Rng data_rng(6);
+  for (size_t i = 0; i < n; ++i) {
+    double a = data_rng.Uniform(0, 1);
+    double b = data_rng.Uniform(0, 1);
+    x.At(i, 0) = a;
+    x.At(i, 1) = b;
+    y.At(i, a > b ? 0 : 1) = 1.0;
+  }
+  TrainOptions opts;
+  opts.epochs = 80;
+  opts.learning_rate = 0.02;
+  auto report = net.Train(x, y, opts);
+  ASSERT_TRUE(report.ok());
+  // Evaluate accuracy on fresh data.
+  size_t correct = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    double a = data_rng.Uniform(0, 1);
+    double b = data_rng.Uniform(0, 1);
+    std::vector<double> pred = net.Predict({a, b});
+    size_t cls = pred[0] > pred[1] ? 0 : 1;
+    if (cls == (a > b ? 0u : 1u)) ++correct;
+  }
+  EXPECT_GE(correct, 180u);  // >= 90% accuracy
+}
+
+TEST(NnTest, LearnsRegressionWithMse) {
+  Rng rng(7);
+  FeedForwardNet net(1, {16}, 1, Activation::kIdentity, &rng);
+  size_t n = 200;
+  Matrix x(n, 1), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    double v = static_cast<double>(i) / n;
+    x.At(i, 0) = v;
+    y.At(i, 0) = 2.0 * v + 0.5;
+  }
+  TrainOptions opts;
+  opts.epochs = 150;
+  opts.learning_rate = 0.01;
+  opts.loss = Loss::kMse;
+  auto report = net.Train(x, y, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(net.Predict({0.5})[0], 1.5, 0.1);
+  EXPECT_NEAR(net.Predict({0.1})[0], 0.7, 0.12);
+}
+
+TEST(NnTest, TrainingLossDecreases) {
+  Rng rng(8);
+  FeedForwardNet net(3, {8}, 2, Activation::kSoftmax, &rng);
+  size_t n = 120;
+  Matrix x(n, 3), y(n, 2);
+  Rng data_rng(9);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 3; ++c) x.At(i, c) = data_rng.Uniform(0, 1);
+    y.At(i, x.At(i, 0) > 0.5 ? 0 : 1) = 1.0;
+  }
+  TrainOptions opts;
+  opts.epochs = 40;
+  auto report = net.Train(x, y, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->train_loss_per_epoch.back(),
+            report->train_loss_per_epoch.front());
+  EXPECT_LE(report->best_val_loss,
+            report->val_loss_per_epoch.front() + 1e-12);
+}
+
+TEST(NnTest, OnlineUpdateMovesPredictionTowardTarget) {
+  Rng rng(10);
+  FeedForwardNet net(2, {8}, 2, Activation::kSoftmax, &rng);
+  std::vector<double> input = {0.4, 0.6};
+  std::vector<double> target = {1.0, 0.0};
+  double before = net.Predict(input)[0];
+  for (int i = 0; i < 50; ++i) {
+    net.OnlineUpdate(input, target, 0.05, Loss::kCrossEntropy);
+  }
+  double after = net.Predict(input)[0];
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.9);
+}
+
+TEST(NnTest, ComputeLossValues) {
+  EXPECT_NEAR(ComputeLoss({0.5, 0.5}, {1.0, 0.0}, Loss::kCrossEntropy),
+              -std::log(0.5), 1e-9);
+  EXPECT_DOUBLE_EQ(ComputeLoss({1.0, 3.0}, {0.0, 0.0}, Loss::kMse), 5.0);
+}
+
+}  // namespace
+}  // namespace sky::ml

@@ -1,0 +1,102 @@
+#include "core/placement_search.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "workloads/covid.h"
+#include "workloads/udf_costs.h"
+
+namespace sky::core {
+namespace {
+
+dag::TaskGraph HeavyChain(const sim::CostModel& cost_model) {
+  dag::TaskGraph g;
+  size_t a = g.AddNode(
+      workloads::MakeUdfNode("decode", 0.2, 1e5, 5e5, cost_model));
+  size_t b = g.AddNode(
+      workloads::MakeUdfNode("detect", 8.0, 5e5, 1e4, cost_model));
+  size_t c = g.AddNode(
+      workloads::MakeUdfNode("track", 1.0, 5e5, 1e4, cost_model));
+  (void)g.AddEdge(a, b);
+  (void)g.AddEdge(a, c);
+  (void)g.AddEdge(b, c);
+  return g;
+}
+
+TEST(PlacementSearchTest, FrontierIsParetoAndSorted) {
+  sim::CostModel cost_model(1.8);
+  dag::TaskGraph g = HeavyChain(cost_model);
+  sim::ClusterSpec cluster;
+  cluster.cores = 2;
+  auto frontier = SearchPlacements(g, cluster);
+  ASSERT_TRUE(frontier.ok());
+  ASSERT_FALSE(frontier->empty());
+  for (size_t i = 1; i < frontier->size(); ++i) {
+    // Cost strictly ascending, runtime strictly descending.
+    EXPECT_GT((*frontier)[i].cloud_usd, (*frontier)[i - 1].cloud_usd);
+    EXPECT_LT((*frontier)[i].runtime_s, (*frontier)[i - 1].runtime_s);
+  }
+}
+
+TEST(PlacementSearchTest, CheapestEntryIsAllOnPrem) {
+  sim::CostModel cost_model(1.8);
+  dag::TaskGraph g = HeavyChain(cost_model);
+  sim::ClusterSpec cluster;
+  cluster.cores = 2;
+  auto frontier = SearchPlacements(g, cluster);
+  ASSERT_TRUE(frontier.ok());
+  EXPECT_EQ(frontier->front().placement.NumCloudNodes(), 0u);
+  EXPECT_DOUBLE_EQ(frontier->front().cloud_usd, 0.0);
+}
+
+TEST(PlacementSearchTest, CloudEntriesReduceRuntimeOnConstrainedCores) {
+  sim::CostModel cost_model(1.8);
+  dag::TaskGraph g = HeavyChain(cost_model);
+  sim::ClusterSpec cluster;
+  cluster.cores = 1;  // the 8 s detect node swamps a single core
+  auto frontier = SearchPlacements(g, cluster);
+  ASSERT_TRUE(frontier.ok());
+  // There must be at least one cloud-using placement that beats on-prem.
+  EXPECT_GT(frontier->size(), 1u);
+  EXPECT_LT(frontier->back().runtime_s, frontier->front().runtime_s);
+  EXPECT_GT(frontier->back().cloud_usd, 0.0);
+}
+
+TEST(PlacementSearchTest, RejectsEmptyGraph) {
+  sim::ClusterSpec cluster;
+  dag::TaskGraph g;
+  EXPECT_FALSE(SearchPlacements(g, cluster).ok());
+}
+
+TEST(ParetoFilterTest, RemovesDominatedPoints) {
+  std::vector<PlacementProfile> pts(4);
+  pts[0].cloud_usd = 0.0;
+  pts[0].runtime_s = 10.0;
+  pts[1].cloud_usd = 1.0;
+  pts[1].runtime_s = 12.0;  // dominated by 0
+  pts[2].cloud_usd = 2.0;
+  pts[2].runtime_s = 5.0;
+  pts[3].cloud_usd = 3.0;
+  pts[3].runtime_s = 5.0;  // dominated by 2
+  auto pareto = ParetoFilterPlacements(pts);
+  ASSERT_EQ(pareto.size(), 2u);
+  EXPECT_DOUBLE_EQ(pareto[0].cloud_usd, 0.0);
+  EXPECT_DOUBLE_EQ(pareto[1].cloud_usd, 2.0);
+}
+
+TEST(PlacementSearchTest, WorkloadGraphsProduceUsableFrontiers) {
+  workloads::CovidWorkload covid;
+  sim::CostModel cost_model(1.8);
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  // The most expensive config must have a multi-point frontier on a small
+  // server (cloud helps); the cheapest config runs real-time anyway.
+  KnobConfig expensive = MostQualitativeConfig(covid);
+  dag::TaskGraph g = covid.BuildTaskGraph(expensive, 4.0, cost_model);
+  auto frontier = SearchPlacements(g, cluster);
+  ASSERT_TRUE(frontier.ok());
+  EXPECT_GE(frontier->size(), 2u);
+}
+
+}  // namespace
+}  // namespace sky::core

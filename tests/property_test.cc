@@ -1,0 +1,241 @@
+// Parameterized property sweeps over system invariants: buffer safety,
+// plan adherence, LP vs knapsack consistency, and simulator sanity across
+// randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/offline.h"
+#include "core/planner.h"
+#include "lp/knapsack.h"
+#include "lp/simplex.h"
+#include "sim/cluster_sim.h"
+#include "util/rng.h"
+#include "workloads/ev_counting.h"
+
+namespace sky {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: the engine never overflows the buffer, across provisionings.
+// ---------------------------------------------------------------------------
+
+struct ProvisioningCase {
+  int cores;
+  uint64_t buffer_bytes;
+  double cloud_usd;
+};
+
+class BufferSafetySweep : public ::testing::TestWithParam<ProvisioningCase> {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new workloads::EvCountingWorkload();
+  }
+  static void TearDownTestSuite() { delete workload_; }
+  static workloads::EvCountingWorkload* workload_;
+};
+workloads::EvCountingWorkload* BufferSafetySweep::workload_ = nullptr;
+
+TEST_P(BufferSafetySweep, NoOverflowUnderAnyProvisioning) {
+  ProvisioningCase c = GetParam();
+  sim::ClusterSpec cluster;
+  cluster.cores = c.cores;
+  sim::CostModel cost_model(1.8);
+  core::OfflineOptions offline;
+  offline.segment_seconds = 4.0;
+  offline.train_horizon = Days(3);
+  offline.num_categories = 3;
+  offline.train_forecaster = false;
+  auto model = core::RunOfflinePhase(*workload_, cluster, cost_model, offline);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  core::EngineOptions opts;
+  opts.duration = Hours(8);
+  opts.plan_interval = Hours(8);
+  opts.buffer_bytes = c.buffer_bytes;
+  opts.cloud_budget_usd_per_interval = c.cloud_usd;
+  opts.enable_cloud = c.cloud_usd > 0;
+  core::IngestionEngine engine(workload_, &*model, cluster, &cost_model,
+                               opts);
+  auto result = engine.Run(Days(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->overflow_events, 0u);
+  EXPECT_LE(result->buffer_high_water_bytes, c.buffer_bytes);
+  EXPECT_LE(result->cloud_usd, c.cloud_usd + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Provisionings, BufferSafetySweep,
+    ::testing::Values(ProvisioningCase{2, 64ull << 20, 0.0},
+                      ProvisioningCase{2, 4ull << 30, 0.5},
+                      ProvisioningCase{4, 16ull << 20, 0.0},
+                      ProvisioningCase{4, 4ull << 30, 2.0},
+                      ProvisioningCase{8, 512ull << 20, 1.0},
+                      ProvisioningCase{16, 1ull << 30, 0.0}));
+
+// ---------------------------------------------------------------------------
+// Property: the LP-based plan never beats the knapsack upper bound but gets
+// close for block-structured instances.
+// ---------------------------------------------------------------------------
+
+class PlannerBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerBoundSweep, LpPlanIsOptimalAmongHistogramPlans) {
+  Rng rng(GetParam());
+  size_t num_c = 2 + static_cast<size_t>(rng.UniformInt(0, 3));
+  size_t num_k = 2 + static_cast<size_t>(rng.UniformInt(0, 4));
+  ml::KMeansModel km;
+  std::vector<double> costs;
+  for (size_t k = 0; k < num_k; ++k) {
+    costs.push_back(rng.Uniform(0.5, 10.0));
+  }
+  for (size_t c = 0; c < num_c; ++c) {
+    std::vector<double> center;
+    for (size_t k = 0; k < num_k; ++k) center.push_back(rng.Uniform(0.2, 1.0));
+    km.centers.push_back(center);
+  }
+  core::ContentCategories cats =
+      core::ContentCategories::FromKMeans(std::move(km));
+  std::vector<double> forecast(num_c, 0.0);
+  for (double& f : forecast) f = rng.Uniform(0.1, 1.0);
+  double sum = 0;
+  for (double f : forecast) sum += f;
+  for (double& f : forecast) f /= sum;
+
+  double min_cost = *std::min_element(costs.begin(), costs.end());
+  double budget = min_cost * rng.Uniform(1.05, 3.0);
+  auto plan = core::ComputeKnobPlan(cats, forecast, costs, budget);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  // Compare against brute force over pure (one config per category)
+  // assignments: the LP (which may mix) must be at least as good.
+  double best_pure = 0.0;
+  size_t assignments = 1;
+  for (size_t c = 0; c < num_c; ++c) assignments *= num_k;
+  for (size_t a = 0; a < assignments; ++a) {
+    size_t x = a;
+    double quality = 0.0, cost = 0.0;
+    for (size_t c = 0; c < num_c; ++c) {
+      size_t k = x % num_k;
+      x /= num_k;
+      quality += forecast[c] * cats.CenterQuality(c, k);
+      cost += forecast[c] * costs[k];
+    }
+    if (cost <= budget + 1e-9) best_pure = std::max(best_pure, quality);
+  }
+  EXPECT_GE(plan->expected_quality, best_pure - 1e-6);
+  EXPECT_LE(plan->expected_work, budget + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerBoundSweep,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// ---------------------------------------------------------------------------
+// Property: simulator makespan bounds — never below the critical path or
+// total-work/cores; never above total work (plus transfers).
+// ---------------------------------------------------------------------------
+
+class SimBoundsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimBoundsSweep, MakespanWithinTheoreticalBounds) {
+  Rng rng(GetParam());
+  dag::TaskGraph g;
+  size_t n = 3 + static_cast<size_t>(rng.UniformInt(0, 9));
+  for (size_t i = 0; i < n; ++i) {
+    dag::TaskNode node;
+    node.onprem_runtime_s = rng.Uniform(0.1, 3.0);
+    g.AddNode(node);
+  }
+  // Random forward edges.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.25)) ASSERT_TRUE(g.AddEdge(i, j).ok());
+    }
+  }
+  sim::ClusterSpec cluster;
+  cluster.cores = 1 + static_cast<int>(rng.UniformInt(0, 7));
+  auto result =
+      sim::SimulateDag(g, dag::Placement::AllOnPrem(n), cluster);
+  ASSERT_TRUE(result.ok());
+
+  double total = g.TotalOnPremWork();
+  // Critical path lower bound.
+  std::vector<double> cp(n, 0.0);
+  auto order = g.TopoOrder();
+  ASSERT_TRUE(order.ok());
+  double critical = 0.0;
+  for (size_t u : *order) {
+    cp[u] += g.node(u).onprem_runtime_s;
+    for (size_t p : g.Parents(u)) {
+      cp[u] = std::max(cp[u], cp[p] + g.node(u).onprem_runtime_s);
+    }
+    critical = std::max(critical, cp[u]);
+  }
+  EXPECT_GE(result->makespan_s,
+            std::max(critical, total / cluster.cores) - 1e-9);
+  EXPECT_LE(result->makespan_s, total + 1e-9);
+  EXPECT_NEAR(result->onprem_core_seconds, total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimBoundsSweep,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// Property: greedy multiple-choice knapsack is within 1% of the LP
+// relaxation bound on random instances (it is near-optimal for the
+// segment-assignment instances Skyscraper produces).
+// ---------------------------------------------------------------------------
+
+class KnapsackVsLpSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnapsackVsLpSweep, GreedyNearLpBound) {
+  Rng rng(GetParam());
+  size_t groups = 20 + static_cast<size_t>(rng.UniformInt(0, 30));
+  size_t options = 3;
+  std::vector<std::vector<double>> values(groups), weights(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    double w = 1.0, v = rng.Uniform(0.2, 0.5);
+    for (size_t o = 0; o < options; ++o) {
+      values[g].push_back(std::min(1.0, v));
+      weights[g].push_back(w);
+      w *= rng.Uniform(1.5, 3.0);
+      v += rng.Uniform(0.05, 0.3);
+    }
+  }
+  double max_weight = 0;
+  for (size_t g = 0; g < groups; ++g) max_weight += weights[g].back();
+  double capacity = max_weight * rng.Uniform(0.2, 0.8);
+
+  auto greedy = lp::MultipleChoiceKnapsackGreedy(values, weights, capacity);
+  ASSERT_TRUE(greedy.ok());
+
+  // LP relaxation upper bound.
+  lp::LinearProgram relax;
+  size_t nvars = groups * options;
+  relax.objective.assign(nvars, 0.0);
+  std::vector<double> budget_row(nvars, 0.0);
+  for (size_t g = 0; g < groups; ++g) {
+    std::vector<double> norm(nvars, 0.0);
+    for (size_t o = 0; o < options; ++o) {
+      relax.objective[g * options + o] = values[g][o];
+      budget_row[g * options + o] = weights[g][o];
+      norm[g * options + o] = 1.0;
+    }
+    relax.a_eq.push_back(norm);
+    relax.b_eq.push_back(1.0);
+  }
+  relax.a_ub.push_back(budget_row);
+  relax.b_ub.push_back(capacity);
+  auto bound = lp::SolveLp(relax);
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->status, lp::LpStatus::kOptimal);
+
+  EXPECT_LE(greedy->total_value, bound->objective_value + 1e-6);
+  EXPECT_GE(greedy->total_value, bound->objective_value * 0.99 - 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackVsLpSweep,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace sky

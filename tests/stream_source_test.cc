@@ -1,0 +1,70 @@
+#include "video/stream_source.h"
+
+#include <gtest/gtest.h>
+
+#include "video/content_process.h"
+
+namespace sky::video {
+namespace {
+
+DiurnalContentProcess MakeProcess(uint64_t seed = 61) {
+  DiurnalContentProcess::Options opts;
+  opts.horizon = Days(2);
+  opts.seed = seed;
+  return DiurnalContentProcess(opts);
+}
+
+TEST(StreamSourceTest, SegmentsTileTheTimeline) {
+  DiurnalContentProcess content = MakeProcess();
+  StreamSource source(&content, 4.0);
+  for (int64_t i = 0; i < 100; ++i) {
+    SegmentInfo seg = source.Segment(i);
+    EXPECT_EQ(seg.index, i);
+    EXPECT_DOUBLE_EQ(seg.start, 4.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(seg.duration_s, 4.0);
+  }
+  EXPECT_EQ(source.NumSegments(Days(1)), 21600);
+}
+
+TEST(StreamSourceTest, BytesTrackContentDensity) {
+  DiurnalContentProcess content = MakeProcess();
+  StreamSource source(&content, 4.0);
+  // Busiest afternoon segment must carry more bytes than a 3 AM segment.
+  int64_t night = static_cast<int64_t>(Hours(3) / 4.0);
+  int64_t day = static_cast<int64_t>(Hours(17) / 4.0);
+  EXPECT_GT(source.Segment(day).bytes, source.Segment(night).bytes);
+  // Bytes stay within the codec model's bounds.
+  for (int64_t i = 0; i < 2000; i += 37) {
+    SegmentInfo seg = source.Segment(i);
+    EXPECT_GE(seg.bytes, 4.0 * EstimateStreamBytesPerSecond(0.0) * 0.99);
+    EXPECT_LE(seg.bytes, 4.0 * EstimateStreamBytesPerSecond(1.0) * 1.01);
+  }
+}
+
+TEST(StreamSourceTest, MultiStreamContentScalesBytes) {
+  TwitchContentProcess::Options opts;
+  opts.horizon = Days(2);
+  opts.seed = 62;
+  TwitchContentProcess twitch(opts);
+  StreamSource source(&twitch, 7.0);
+  // Find a spike segment and a quiet segment; bytes must scale with the
+  // live stream count.
+  uint64_t max_bytes = 0, min_bytes = ~0ull;
+  for (int64_t i = 0; i < source.NumSegments(Days(1)); i += 5) {
+    uint64_t b = source.Segment(i).bytes;
+    max_bytes = std::max(max_bytes, b);
+    min_bytes = std::min(min_bytes, b);
+  }
+  EXPECT_GT(max_bytes, 3 * min_bytes);
+}
+
+TEST(StreamSourceTest, ContentSampledAtMidpoint) {
+  DiurnalContentProcess content = MakeProcess();
+  StreamSource source(&content, 10.0);
+  SegmentInfo seg = source.Segment(100);
+  ContentState expected = content.At(1005.0);
+  EXPECT_DOUBLE_EQ(seg.content.density, expected.density);
+}
+
+}  // namespace
+}  // namespace sky::video

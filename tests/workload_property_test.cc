@@ -1,0 +1,133 @@
+// Parameterized property sweeps over all four paper workloads: monotone
+// quality responses, Pareto structure of the knob space, and end-to-end
+// engine invariants per workload.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "core/offline.h"
+#include "workloads/covid.h"
+#include "workloads/ev_counting.h"
+#include "workloads/mosei.h"
+#include "workloads/mot.h"
+
+namespace sky {
+namespace {
+
+enum class Kind { kCovid, kMot, kMoseiHigh, kMoseiLong, kEv };
+
+std::unique_ptr<core::Workload> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kCovid:
+      return std::make_unique<workloads::CovidWorkload>();
+    case Kind::kMot:
+      return std::make_unique<workloads::MotWorkload>();
+    case Kind::kMoseiHigh:
+      return std::make_unique<workloads::MoseiWorkload>(
+          workloads::MoseiWorkload::SpikeKind::kHigh);
+    case Kind::kMoseiLong:
+      return std::make_unique<workloads::MoseiWorkload>(
+          workloads::MoseiWorkload::SpikeKind::kLong);
+    case Kind::kEv:
+      return std::make_unique<workloads::EvCountingWorkload>();
+  }
+  return nullptr;
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(WorkloadSweep, QualityDegradesMonotonicallyWithContentDifficulty) {
+  std::unique_ptr<core::Workload> w = Make(GetParam());
+  // For every configuration, quality at harder content must not be better
+  // than at easier content (holding everything else fixed).
+  video::ContentState easy, mid, hard;
+  easy.density = 0.1;
+  easy.occlusion = 0.05;
+  easy.difficulty = 0.1;
+  easy.stream_count = 10;
+  mid.density = 0.5;
+  mid.occlusion = 0.4;
+  mid.difficulty = 0.5;
+  mid.stream_count = 30;
+  hard.density = 0.9;
+  hard.occlusion = 0.85;
+  hard.difficulty = 0.9;
+  hard.stream_count = 60;
+  for (const core::KnobConfig& c : w->knob_space().AllConfigs()) {
+    double qe = w->TrueQuality(c, easy);
+    double qm = w->TrueQuality(c, mid);
+    double qh = w->TrueQuality(c, hard);
+    EXPECT_GE(qe, qm - 1e-9) << w->knob_space().ToString(c);
+    EXPECT_GE(qm, qh - 1e-9) << w->knob_space().ToString(c);
+  }
+}
+
+TEST_P(WorkloadSweep, KnobSpaceHasNontrivialParetoFrontier) {
+  std::unique_ptr<core::Workload> w = Make(GetParam());
+  // Count configurations on the (cost, hard-content-quality) Pareto
+  // frontier: the premise of knob tuning is a ladder of trade-offs, not a
+  // single dominant configuration.
+  video::ContentState hard;
+  hard.density = 0.85;
+  hard.occlusion = 0.8;
+  hard.difficulty = 0.85;
+  hard.stream_count = 55;
+  std::vector<std::pair<double, double>> points;  // (cost, quality)
+  for (const core::KnobConfig& c : w->knob_space().AllConfigs()) {
+    points.push_back(
+        {w->CostCoreSecondsPerVideoSecond(c), w->TrueQuality(c, hard)});
+  }
+  std::sort(points.begin(), points.end());
+  size_t frontier = 0;
+  double best_q = -1.0;
+  for (const auto& [cost, q] : points) {
+    if (q > best_q + 1e-9) {
+      best_q = q;
+      ++frontier;
+    }
+  }
+  EXPECT_GE(frontier, 4u);
+}
+
+TEST_P(WorkloadSweep, EngineInvariantsHoldEndToEnd) {
+  std::unique_ptr<core::Workload> w = Make(GetParam());
+  sim::ClusterSpec cluster;
+  cluster.cores = 8;
+  sim::CostModel cost_model(1.8);
+  core::OfflineOptions offline;
+  offline.segment_seconds = 6.0;
+  offline.train_horizon = Days(3);
+  offline.num_categories = 3;
+  offline.train_forecaster = false;
+  auto model = core::RunOfflinePhase(*w, cluster, cost_model, offline);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  core::EngineOptions run;
+  run.duration = Hours(12);
+  run.plan_interval = Hours(12);
+  run.cloud_budget_usd_per_interval = 1.0;
+  core::IngestionEngine engine(w.get(), &*model, cluster, &cost_model, run);
+  auto result = engine.Run(Days(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Invariants: throughput guarantee, budget adherence, bounded quality,
+  // consistent error taxonomy, and work >= on-prem share.
+  EXPECT_EQ(result->overflow_events, 0u);
+  EXPECT_LE(result->cloud_usd, 1.0 + 1e-9);
+  EXPECT_GT(result->mean_quality, 0.0);
+  EXPECT_LE(result->mean_quality, 1.0);
+  EXPECT_EQ(result->type_a_errors + result->type_b_errors,
+            result->misclassified);
+  EXPECT_LE(result->buffer_high_water_bytes, run.buffer_bytes);
+  EXPECT_GT(result->work_core_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweep,
+                         ::testing::Values(Kind::kCovid, Kind::kMot,
+                                           Kind::kMoseiHigh, Kind::kMoseiLong,
+                                           Kind::kEv));
+
+}  // namespace
+}  // namespace sky

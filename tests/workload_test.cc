@@ -1,0 +1,170 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+#include "workloads/udf_costs.h"
+#include "workloads/covid.h"
+#include "workloads/ev_counting.h"
+#include "workloads/mosei.h"
+#include "workloads/mot.h"
+
+namespace sky::workloads {
+namespace {
+
+using core::KnobConfig;
+
+template <typename W>
+class WorkloadContractTest : public ::testing::Test {
+ public:
+  W workload_;
+};
+
+class MoseiHigh : public MoseiWorkload {
+ public:
+  MoseiHigh() : MoseiWorkload(SpikeKind::kHigh) {}
+};
+
+using Workloads =
+    ::testing::Types<CovidWorkload, MotWorkload, MoseiHigh,
+                     EvCountingWorkload>;
+TYPED_TEST_SUITE(WorkloadContractTest, Workloads);
+
+TYPED_TEST(WorkloadContractTest, CostsArePositiveAndVary) {
+  const auto& space = this->workload_.knob_space();
+  double min_cost = 1e18, max_cost = 0;
+  for (const KnobConfig& c : space.AllConfigs()) {
+    double cost = this->workload_.CostCoreSecondsPerVideoSecond(c);
+    EXPECT_GT(cost, 0.0);
+    min_cost = std::min(min_cost, cost);
+    max_cost = std::max(max_cost, cost);
+  }
+  // Knob space must span a wide work range (the premise of knob tuning).
+  EXPECT_GT(max_cost / min_cost, 10.0);
+}
+
+TYPED_TEST(WorkloadContractTest, QualityInUnitRange) {
+  const auto& space = this->workload_.knob_space();
+  const auto& content = this->workload_.content_process();
+  for (const KnobConfig& c : space.AllConfigs()) {
+    for (double t = 0; t < Days(1); t += Hours(3)) {
+      double q = this->workload_.TrueQuality(c, content.At(t));
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+  }
+}
+
+TYPED_TEST(WorkloadContractTest, MostExpensiveConfigIsBestOnHardContent) {
+  const auto& space = this->workload_.knob_space();
+  KnobConfig cheapest = core::CheapestConfig(this->workload_);
+  KnobConfig best = core::MostQualitativeConfig(this->workload_);
+  EXPECT_GT(this->workload_.CostCoreSecondsPerVideoSecond(best),
+            this->workload_.CostCoreSecondsPerVideoSecond(cheapest));
+  // On difficult content the qualitative config must clearly win.
+  video::ContentState hard;
+  hard.density = 0.9;
+  hard.occlusion = 0.85;
+  hard.difficulty = 0.9;
+  hard.stream_count = 60;
+  EXPECT_GT(this->workload_.TrueQuality(best, hard),
+            this->workload_.TrueQuality(cheapest, hard) + 0.15);
+  (void)space;
+}
+
+TYPED_TEST(WorkloadContractTest, CheapConfigCompetitiveOnEasyContent) {
+  KnobConfig cheapest = core::CheapestConfig(this->workload_);
+  KnobConfig best = core::MostQualitativeConfig(this->workload_);
+  video::ContentState easy;
+  easy.density = 0.04;
+  easy.occlusion = 0.02;
+  easy.difficulty = 0.05;
+  easy.stream_count = 2;
+  double gap = this->workload_.TrueQuality(best, easy) -
+               this->workload_.TrueQuality(cheapest, easy);
+  EXPECT_LT(gap, 0.3);
+}
+
+TYPED_TEST(WorkloadContractTest, MeasuredQualityIsNoisyButUnbiased) {
+  KnobConfig best = core::MostQualitativeConfig(this->workload_);
+  video::ContentState mid = this->workload_.content_process().At(Hours(12));
+  double true_q = this->workload_.TrueQuality(best, mid);
+  Rng rng(5);
+  double sum = 0.0;
+  bool varied = false;
+  double first = this->workload_.MeasuredQuality(best, mid, &rng);
+  for (int i = 0; i < 500; ++i) {
+    double m = this->workload_.MeasuredQuality(best, mid, &rng);
+    sum += m;
+    if (m != first) varied = true;
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+  EXPECT_TRUE(varied);
+  EXPECT_NEAR(sum / 500.0, true_q,
+              0.03);  // clamping may bias slightly near 1.0
+}
+
+TYPED_TEST(WorkloadContractTest, TaskGraphMatchesCostModel) {
+  sim::CostModel cost_model(1.8);
+  const auto& space = this->workload_.knob_space();
+  for (size_t id = 0; id < space.NumConfigs(); id += 7) {
+    KnobConfig c = space.IdToConfig(id);
+    dag::TaskGraph g = this->workload_.BuildTaskGraph(c, 4.0, cost_model);
+    EXPECT_TRUE(g.Validate().ok());
+    EXPECT_GT(g.NumNodes(), 1u);
+    // Total DAG work should track cost(k) * segment within a tolerance
+    // (auxiliary nodes may add a little).
+    double dag_work = g.TotalOnPremWork();
+    double expected = this->workload_.CostCoreSecondsPerVideoSecond(c) * 4.0;
+    EXPECT_NEAR(dag_work, expected, 0.25 * expected + 0.05);
+  }
+}
+
+TEST(CovidWorkloadTest, KnobDomainsMatchPaper) {
+  CovidWorkload w;
+  const core::KnobSpace& s = w.knob_space();
+  EXPECT_EQ(s.NumConfigs(), 5u * 4 * 2);
+  EXPECT_EQ(s.knob(0).name, "frame_rate");
+  EXPECT_EQ(s.knob(0).values, (std::vector<double>{30, 15, 10, 5, 1}));
+  EXPECT_EQ(s.knob(1).values, (std::vector<double>{1, 5, 30, 60}));
+  EXPECT_EQ(s.knob(2).values, (std::vector<double>{1, 4}));
+}
+
+TEST(MotWorkloadTest, KnobDomainsMatchPaper) {
+  MotWorkload w;
+  EXPECT_EQ(w.knob_space().NumConfigs(), 4u * 2 * 4 * 3);
+}
+
+TEST(MoseiWorkloadTest, KnobDomainsAndNames) {
+  MoseiWorkload high(MoseiWorkload::SpikeKind::kHigh);
+  MoseiWorkload lng(MoseiWorkload::SpikeKind::kLong);
+  EXPECT_EQ(high.name(), "MOSEI-HIGH");
+  EXPECT_EQ(lng.name(), "MOSEI-LONG");
+  EXPECT_EQ(high.knob_space().NumConfigs(), 7u * 6 * 3 * 5);
+}
+
+TEST(MoseiWorkloadTest, QualityDropsWhenUnderProvisionedForSpike) {
+  MoseiWorkload w(MoseiWorkload::SpikeKind::kHigh);
+  // Config analyzing only 4 streams: quality collapses when 62 are live.
+  core::KnobConfig few = {0, 5, 2, 0};   // best models, 4 streams
+  core::KnobConfig many = {0, 5, 2, 4};  // best models, 62 streams
+  video::ContentState spike;
+  spike.stream_count = 62;
+  spike.difficulty = 0.4;
+  EXPECT_LT(w.TrueQuality(few, spike), 0.15);
+  EXPECT_GT(w.TrueQuality(many, spike), 0.8);
+}
+
+TEST(EvWorkloadTest, ExpensiveConfigMatchesFig3Workload) {
+  // Fig. 3: always using the most expensive configuration is a constant
+  // 5.2 TFLOP/s.
+  EvCountingWorkload w;
+  core::KnobConfig expensive = core::MostQualitativeConfig(w);
+  double tflops = w.CostCoreSecondsPerVideoSecond(expensive) *
+                  kTflopPerCoreSecond;
+  EXPECT_NEAR(tflops, 5.2, 0.4);
+}
+
+}  // namespace
+}  // namespace sky::workloads
