@@ -2,6 +2,11 @@
 // sharing one cloud-credit budget, versus splitting the budget evenly and
 // planning each stream independently. The joint LP (Eqs. 7-9) allocates
 // credits to the streams whose hard content benefits most.
+//
+// The per-stream offline phases and the per-stream ingestion engines are
+// independent simulations, so both fan out on one shared thread pool; the
+// serial-vs-concurrent engine wall times land in
+// BENCH_appd_multistream.json.
 
 #include <iostream>
 #include <memory>
@@ -9,6 +14,7 @@
 #include "bench_common.h"
 #include "core/multi_stream.h"
 #include "core/planner.h"
+#include "dag/thread_pool.h"
 #include "util/table.h"
 #include "workloads/ev_counting.h"
 
@@ -33,18 +39,30 @@ int main() {
   cluster.cores = core::FairCoreShare(16, streams.size());
   sim::CostModel cost_model(1.8);
 
+  dag::ThreadPool pool(dag::DefaultThreadCount());
+
+  // Per-stream offline phases are independent: one stream per pool slot.
   ExperimentSetup setup = EvSetup();
-  std::vector<core::OfflineModel> models;
-  std::vector<core::StreamPlanInput> inputs;
-  for (size_t s = 0; s < streams.size(); ++s) {
+  std::vector<core::OfflineModel> models(streams.size());
+  std::vector<Status> fit_statuses(streams.size(), Status::Ok());
+  WallTimer offline_timer;
+  dag::ParallelFor(&pool, streams.size(), [&](size_t s) {
     auto model = FitOffline(*streams[s], setup, cluster, cost_model,
-                            /*train_forecaster=*/false);
-    if (!model.ok()) {
-      std::printf("offline failed: %s\n", model.status().ToString().c_str());
+                            /*train_forecaster=*/false, &pool);
+    if (model.ok()) {
+      models[s] = std::move(*model);
+    } else {
+      fit_statuses[s] = model.status();
+    }
+  });
+  double offline_s = offline_timer.Seconds();
+  for (const Status& s : fit_statuses) {
+    if (!s.ok()) {
+      std::printf("offline failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    models.push_back(std::move(*model));
   }
+  std::vector<core::StreamPlanInput> inputs;
   for (size_t s = 0; s < streams.size(); ++s) {
     core::StreamPlanInput in;
     in.categories = &models[s].categories;
@@ -88,5 +106,71 @@ int main() {
   std::printf("\n(joint planning always >= even split: the LP moves credits "
               "to streams whose hard content gains the most; gains shrink "
               "as the budget saturates)\n");
-  return 0;
+
+  // Full ingestion: every camera runs its own engine over the test day.
+  // The engines are independent simulations — run them serially, then
+  // concurrently on the pool, and check the concurrent run changes nothing.
+  std::vector<core::StreamEngineJob> jobs;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    core::StreamEngineJob job;
+    job.workload = streams[s].get();
+    job.model = &models[s];
+    job.cluster = cluster;
+    job.cost_model = &cost_model;
+    job.options.duration = setup.test_duration;
+    job.options.plan_interval = setup.plan_interval;
+    job.options.cloud_budget_usd_per_interval = 2.0;
+    job.start_time = setup.test_start;
+    jobs.push_back(job);
+  }
+
+  WallTimer serial_timer;
+  std::vector<Result<core::EngineResult>> serial_runs =
+      core::RunStreamEngines(jobs, nullptr);
+  double serial_s = serial_timer.Seconds();
+
+  WallTimer concurrent_timer;
+  std::vector<Result<core::EngineResult>> concurrent_runs =
+      core::RunStreamEngines(jobs, &pool);
+  double concurrent_s = concurrent_timer.Seconds();
+
+  TablePrinter engines("Per-stream ingestion engines (1 test day each)");
+  engines.SetHeader({"stream", "mean quality", "switches", "identical"});
+  bool all_identical = true;
+  for (size_t s = 0; s < jobs.size(); ++s) {
+    if (!serial_runs[s].ok() || !concurrent_runs[s].ok()) {
+      std::printf("engine failed: %s\n",
+                  serial_runs[s].ok()
+                      ? concurrent_runs[s].status().ToString().c_str()
+                      : serial_runs[s].status().ToString().c_str());
+      return 1;
+    }
+    bool same =
+        serial_runs[s]->total_quality == concurrent_runs[s]->total_quality &&
+        serial_runs[s]->switch_count == concurrent_runs[s]->switch_count;
+    all_identical &= same;
+    engines.AddRow({"camera " + std::to_string(s),
+                    TablePrinter::Pct(serial_runs[s]->mean_quality),
+                    TablePrinter::Fmt(
+                        static_cast<double>(serial_runs[s]->switch_count), 0),
+                    same ? "yes" : "NO"});
+  }
+  engines.Print(std::cout);
+  double engine_speedup = concurrent_s > 0 ? serial_s / concurrent_s : 0.0;
+  std::printf("\nengines: serial %.2f s, concurrent %.2f s on %zu threads "
+              "(%.2fx); offline fits took %.2f s in parallel\n",
+              serial_s, concurrent_s, pool.num_threads(), engine_speedup,
+              offline_s);
+
+  BenchJson json("appd_multistream");
+  json.Set("streams", static_cast<double>(jobs.size()));
+  json.Set("threads", static_cast<double>(pool.num_threads()));
+  json.Set("offline_parallel_wall_s", offline_s);
+  json.Set("engines_serial_wall_s", serial_s);
+  json.Set("engines_concurrent_wall_s", concurrent_s);
+  json.Set("engines_speedup", engine_speedup);
+  json.Set("results_identical", all_identical ? "yes" : "no");
+  std::string path = json.Write();
+  if (!path.empty()) std::printf("metrics written to %s\n", path.c_str());
+  return all_identical ? 0 : 1;
 }

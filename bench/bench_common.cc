@@ -1,11 +1,51 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 
 #include "baselines/static_baseline.h"
 #include "video/stream_source.h"
 
 namespace sky::bench {
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
+  Set("bench", name_);
+}
+
+void BenchJson::Set(const std::string& key, double value) {
+  char buf[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+  }
+  entries_.emplace_back(key, buf);
+}
+
+void BenchJson::Set(const std::string& key, const std::string& value) {
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  entries_.emplace_back(key, quoted);
+}
+
+std::string BenchJson::Write() const {
+  std::string file = "BENCH_" + name_ + ".json";
+  std::ofstream out(file);
+  if (!out) return "";
+  out << "{\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out << "  \"" << entries_[i].first << "\": " << entries_[i].second
+        << (i + 1 < entries_.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  return out ? file : "";
+}
 
 ExperimentSetup CovidSetup() {
   ExperimentSetup s;
@@ -46,13 +86,17 @@ Result<core::OfflineModel> FitOffline(const core::Workload& workload,
                                       const ExperimentSetup& setup,
                                       const sim::ClusterSpec& cluster,
                                       const sim::CostModel& cost_model,
-                                      bool train_forecaster) {
+                                      bool train_forecaster,
+                                      dag::ThreadPool* pool,
+                                      size_t num_threads) {
   core::OfflineOptions opts;
   opts.segment_seconds = setup.segment_seconds;
   opts.train_horizon = setup.train_horizon;
   opts.num_categories = setup.num_categories;
   opts.forecaster.planned_interval = setup.plan_interval;
   opts.train_forecaster = train_forecaster;
+  opts.pool = pool;
+  opts.num_threads = num_threads;
   return core::RunOfflinePhase(workload, cluster, cost_model, opts);
 }
 

@@ -1,8 +1,11 @@
 #ifndef SKYSCRAPER_BENCH_BENCH_COMMON_H_
 #define SKYSCRAPER_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/offline.h"
 #include "core/workload.h"
@@ -11,6 +14,40 @@
 #include "util/sim_time.h"
 
 namespace sky::bench {
+
+/// Wall-clock stopwatch for bench phases.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable bench output: collects wall times and key metrics and
+/// writes them as BENCH_<name>.json in the working directory, one flat JSON
+/// object, so the perf trajectory can be tracked across PRs by tooling
+/// instead of by parsing stdout tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, const std::string& value);
+
+  /// Writes BENCH_<name>.json and returns the file name ("" on failure).
+  std::string Write() const;
+
+ private:
+  std::string name_;
+  /// Key -> pre-rendered JSON value, in insertion order.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Shared experiment geometry. The paper ingests 8 unsimulated days for
 /// COVID/MOT and 2 days for MOSEI after a ~2-week offline phase; the bench
@@ -31,12 +68,17 @@ ExperimentSetup MotSetup();
 ExperimentSetup MoseiSetup();
 ExperimentSetup EvSetup();
 
-/// Runs the offline phase with the setup's geometry.
+/// Runs the offline phase with the setup's geometry. A non-null `pool`
+/// backs the offline steps' fan-out (safe to share with an outer
+/// ParallelFor over workloads); with a null pool, `num_threads` is passed
+/// through to RunOfflinePhase (0 = hardware concurrency, 1 = serial).
 Result<core::OfflineModel> FitOffline(const core::Workload& workload,
                                       const ExperimentSetup& setup,
                                       const sim::ClusterSpec& cluster,
                                       const sim::CostModel& cost_model,
-                                      bool train_forecaster = true);
+                                      bool train_forecaster = true,
+                                      dag::ThreadPool* pool = nullptr,
+                                      size_t num_threads = 0);
 
 /// Total monetary cost of a deployment per the Appendix L model: VM rent
 /// divided by the cloud/on-prem ratio plus cloud credits.

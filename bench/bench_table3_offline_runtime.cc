@@ -4,11 +4,17 @@
 // seconds — the table reports both and the paper's dominant-step structure
 // (creating forecast training data dwarfs everything else there because it
 // processes 16 days of video with real CV models).
+//
+// The offline phase fans out on a thread pool; this bench runs it twice —
+// single-threaded baseline, then on all hardware threads — verifies the two
+// OfflineModels are identical (parallelism is a pure wall-clock knob), and
+// records both wall times in BENCH_table3_offline_runtime.json.
 
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/offline.h"
+#include "dag/thread_pool.h"
 #include "util/table.h"
 #include "workloads/covid.h"
 
@@ -22,42 +28,87 @@ int main() {
   sim::ClusterSpec cluster;
   cluster.cores = 60;
   sim::CostModel cost_model(1.8);
-  auto model = FitOffline(covid, setup, cluster, cost_model);
-  if (!model.ok()) {
-    std::printf("offline failed: %s\n", model.status().ToString().c_str());
+  size_t hw_threads = dag::DefaultThreadCount();
+
+  WallTimer serial_timer;
+  auto serial = FitOffline(covid, setup, cluster, cost_model,
+                           /*train_forecaster=*/true, /*pool=*/nullptr,
+                           /*num_threads=*/1);
+  double serial_s = serial_timer.Seconds();
+  if (!serial.ok()) {
+    std::printf("offline failed: %s\n", serial.status().ToString().c_str());
     return 1;
   }
-  const core::OfflineStepRuntimes& rt = model->step_runtimes;
 
-  TablePrinter table("Offline steps, this build vs paper");
-  table.SetHeader({"step", "measured", "paper (real CV models)"});
+  WallTimer parallel_timer;
+  auto parallel = FitOffline(covid, setup, cluster, cost_model,
+                             /*train_forecaster=*/true, /*pool=*/nullptr,
+                             /*num_threads=*/hw_threads);
+  double parallel_s = parallel_timer.Seconds();
+  if (!parallel.ok()) {
+    std::printf("offline failed: %s\n", parallel.status().ToString().c_str());
+    return 1;
+  }
+  bool identical = core::OfflineModelsIdentical(*serial, *parallel);
+
+  const core::OfflineStepRuntimes& st = serial->step_runtimes;
+  const core::OfflineStepRuntimes& pt = parallel->step_runtimes;
+
+  TablePrinter table("Offline steps: serial vs " +
+                     std::to_string(hw_threads) + " threads vs paper");
+  table.SetHeader({"step", "serial", "parallel", "paper (real CV models)"});
   table.AddRow({"Filter knob configurations",
-                TablePrinter::Fmt(rt.filter_configs_s, 3) + " s", "6 min"});
+                TablePrinter::Fmt(st.filter_configs_s, 3) + " s",
+                TablePrinter::Fmt(pt.filter_configs_s, 3) + " s", "6 min"});
   table.AddRow({"Filter task placements",
-                TablePrinter::Fmt(rt.filter_placements_s, 3) + " s", "4 min"});
+                TablePrinter::Fmt(st.filter_placements_s, 3) + " s",
+                TablePrinter::Fmt(pt.filter_placements_s, 3) + " s", "4 min"});
   table.AddRow({"Compute content categories",
-                TablePrinter::Fmt(rt.content_categories_s, 3) + " s",
+                TablePrinter::Fmt(st.content_categories_s, 3) + " s",
+                TablePrinter::Fmt(pt.content_categories_s, 3) + " s",
                 "5 min"});
   table.AddRow({"Create forecast training data",
-                TablePrinter::Fmt(rt.forecast_training_data_s, 3) + " s",
+                TablePrinter::Fmt(st.forecast_training_data_s, 3) + " s",
+                TablePrinter::Fmt(pt.forecast_training_data_s, 3) + " s",
                 "1.3 h"});
   table.AddRow({"Train forecast model",
-                TablePrinter::Fmt(rt.forecast_training_s, 3) + " s", "1 min"});
+                TablePrinter::Fmt(st.forecast_training_s, 3) + " s",
+                TablePrinter::Fmt(pt.forecast_training_s, 3) + " s", "1 min"});
   table.Print(std::cout);
 
-  double total = rt.filter_configs_s + rt.filter_placements_s +
-                 rt.content_categories_s + rt.forecast_training_data_s +
-                 rt.forecast_training_s;
-  std::printf("\ntotal %.2f s; dominant step: %s (paper: creating the "
-              "forecast training data at 83%% of 1.6 h)\n",
-              total,
-              rt.forecast_training_data_s + rt.forecast_training_s >
-                      rt.filter_configs_s + rt.filter_placements_s
+  double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+  std::printf("\ntotal: serial %.2f s, parallel %.2f s on %zu threads "
+              "(%.2fx); models %s\n",
+              serial_s, parallel_s, hw_threads, speedup,
+              identical ? "bit-identical" : "DIFFER (bug!)");
+  std::printf("dominant step: %s (paper: creating the forecast training "
+              "data at 83%% of 1.6 h)\n",
+              st.forecast_training_data_s + st.forecast_training_s >
+                      st.filter_configs_s + st.filter_placements_s
                   ? "forecaster data/training"
                   : "knob/placement filtering");
   std::printf("model footprint: %zu configurations, %zu categories, "
               "%zu-sample training sequence\n",
-              model->configs.size(), model->categories.NumCategories(),
-              model->train_category_sequence.size());
-  return 0;
+              serial->configs.size(), serial->categories.NumCategories(),
+              serial->train_category_sequence.size());
+
+  BenchJson json("table3_offline_runtime");
+  json.Set("threads", static_cast<double>(hw_threads));
+  json.Set("serial_wall_s", serial_s);
+  json.Set("parallel_wall_s", parallel_s);
+  json.Set("speedup", speedup);
+  json.Set("models_identical", identical ? "yes" : "no");
+  json.Set("serial_filter_configs_s", st.filter_configs_s);
+  json.Set("serial_filter_placements_s", st.filter_placements_s);
+  json.Set("serial_content_categories_s", st.content_categories_s);
+  json.Set("serial_forecast_training_data_s", st.forecast_training_data_s);
+  json.Set("serial_forecast_training_s", st.forecast_training_s);
+  json.Set("parallel_filter_configs_s", pt.filter_configs_s);
+  json.Set("parallel_filter_placements_s", pt.filter_placements_s);
+  json.Set("parallel_content_categories_s", pt.content_categories_s);
+  json.Set("parallel_forecast_training_data_s", pt.forecast_training_data_s);
+  json.Set("parallel_forecast_training_s", pt.forecast_training_s);
+  std::string path = json.Write();
+  if (!path.empty()) std::printf("metrics written to %s\n", path.c_str());
+  return identical ? 0 : 1;
 }

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the test suite. Mirrors CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build && ctest --output-on-failure -j

@@ -96,16 +96,23 @@ Result<ContentCategories> BuildContentCategories(
     return Status::InvalidArgument("train horizon too short for sampling");
   }
 
+  // Scan the sampled segments in parallel, one forked RNG per fixed-size
+  // chunk so the vectors are identical for any thread count.
   Rng noise_rng = Rng(options.seed).Fork("measurement");
-  std::vector<std::vector<double>> quality_vectors;
-  quality_vectors.reserve(static_cast<size_t>(sampled));
-  for (int64_t i = 0; i < sampled; ++i) {
-    double t = horizon * (static_cast<double>(i) + 0.5) /
-               static_cast<double>(sampled);
-    video::ContentState state = workload.content_process().At(t);
-    quality_vectors.push_back(
-        SegmentQualityVector(workload, configs, state, &noise_rng));
-  }
+  std::vector<std::vector<double>> quality_vectors(
+      static_cast<size_t>(sampled));
+  dag::ParallelForChunked(
+      options.pool, static_cast<size_t>(sampled), 64,
+      [&](size_t chunk, size_t begin, size_t end) {
+        Rng chunk_rng = noise_rng.ForkIndex(chunk);
+        for (size_t i = begin; i < end; ++i) {
+          double t = horizon * (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(sampled);
+          video::ContentState state = workload.content_process().At(t);
+          quality_vectors[i] =
+              SegmentQualityVector(workload, configs, state, &chunk_rng);
+        }
+      });
 
   if (options.backend == CategorizerBackend::kKMeans) {
     ml::KMeansOptions km;

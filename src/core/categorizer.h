@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/workload.h"
+#include "dag/thread_pool.h"
 #include "ml/gmm.h"
 #include "ml/kmeans.h"
 #include "util/result.h"
@@ -59,6 +60,10 @@ struct CategorizerOptions {
   SimTime train_horizon = Days(14);
   CategorizerBackend backend = CategorizerBackend::kKMeans;
   uint64_t seed = 51;
+  /// Pool the per-segment quality scans fan out on. The sampled vectors (and
+  /// the fitted clustering) are identical for any thread count; null runs
+  /// serially.
+  dag::ThreadPool* pool = nullptr;
 };
 
 /// Offline phase step 2 (§3.2): samples segments from the unlabeled data,

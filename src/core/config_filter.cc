@@ -61,25 +61,29 @@ Result<std::vector<KnobConfig>> FilterKnobConfigs(
   KnobConfig best = MostQualitativeConfig(workload);
 
   // Step 2: pre-sample segments, describe each by (qual(k-), qual(k+)).
-  std::vector<double> sample_times;
-  std::vector<std::vector<double>> quality_vectors;
+  // Sample times are drawn serially (cheap); the measurement scans fan out
+  // with one forked RNG per segment index, so the vectors are identical for
+  // any thread count.
+  std::vector<double> sample_times(options.presample_count);
   for (size_t i = 0; i < options.presample_count; ++i) {
-    double t = rng.Uniform(0.0, horizon);
-    video::ContentState state = content.At(t);
-    quality_vectors.push_back(
-        {workload.MeasuredQuality(cheapest, state, &noise_rng),
-         workload.MeasuredQuality(best, state, &noise_rng)});
-    sample_times.push_back(t);
+    sample_times[i] = rng.Uniform(0.0, horizon);
   }
+  std::vector<std::vector<double>> quality_vectors(options.presample_count);
+  dag::ParallelFor(options.pool, options.presample_count, [&](size_t i) {
+    Rng seg_rng = noise_rng.ForkIndex(i);
+    video::ContentState state = content.At(sample_times[i]);
+    quality_vectors[i] = {workload.MeasuredQuality(cheapest, state, &seg_rng),
+                          workload.MeasuredQuality(best, state, &seg_rng)};
+  });
   std::vector<size_t> picked =
       MaxMinSample(quality_vectors, options.search_segment_count);
 
-  // Steps 3-4: hill climb per selected segment; union the visited chains.
-  std::set<size_t> result_ids;
-  result_ids.insert(space.ConfigToId(cheapest));
-  result_ids.insert(space.ConfigToId(best));
-  for (size_t idx : picked) {
-    video::ContentState state = content.At(sample_times[idx]);
+  // Steps 3-4: hill climb per selected segment (independent, deterministic:
+  // only noise-free qualities are read); union the visited chains in pick
+  // order afterwards.
+  std::vector<std::vector<size_t>> chains(picked.size());
+  dag::ParallelFor(options.pool, picked.size(), [&](size_t p) {
+    video::ContentState state = content.At(sample_times[picked[p]]);
     KnobConfig current = cheapest;
     double cur_quality = workload.TrueQuality(current, state);
     double cur_cost = workload.CostCoreSecondsPerVideoSecond(current);
@@ -106,8 +110,14 @@ Result<std::vector<KnobConfig>> FilterKnobConfigs(
       current = best_step;
       cur_quality = best_q;
       cur_cost = best_c;
-      result_ids.insert(space.ConfigToId(current));
+      chains[p].push_back(space.ConfigToId(current));
     }
+  });
+  std::set<size_t> result_ids;
+  result_ids.insert(space.ConfigToId(cheapest));
+  result_ids.insert(space.ConfigToId(best));
+  for (const std::vector<size_t>& chain : chains) {
+    result_ids.insert(chain.begin(), chain.end());
   }
 
   std::vector<KnobConfig> result;

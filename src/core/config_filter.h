@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/workload.h"
+#include "dag/thread_pool.h"
 #include "util/result.h"
 #include "util/sim_time.h"
 
@@ -17,6 +18,10 @@ struct ConfigFilterOptions {
   /// Portion of the content horizon treated as unlabeled training data.
   SimTime train_horizon = Days(14);
   uint64_t seed = 41;
+  /// Pool the pre-sample scans and per-segment hill climbs fan out on.
+  /// Results are identical for any thread count (per-index RNG forks,
+  /// per-index result slots); null runs serially.
+  dag::ThreadPool* pool = nullptr;
 };
 
 /// Offline knob-configuration filtering (Appendix A.1):

@@ -20,27 +20,41 @@ IngestionEngine::IngestionEngine(const Workload* workload,
       cost_model_(cost_model),
       options_(options) {}
 
-std::vector<double> IngestionEngine::GroundTruthForecast(SimTime t) const {
+const IngestionEngine::SegmentTruth& IngestionEngine::CachedTruth(
+    int64_t segment_index) const {
+  auto it = truth_cache_.find(segment_index);
+  if (it == truth_cache_.end()) {
+    double seg = model_->segment_seconds;
+    double midpoint = (static_cast<double>(segment_index) + 0.5) * seg;
+    SegmentTruth truth;
+    truth.quals = TrueQualityVector(*workload_, model_->configs,
+                                    workload_->content_process().At(midpoint));
+    truth.category = model_->categories.ClassifyFull(truth.quals);
+    it = truth_cache_.emplace(segment_index, std::move(truth)).first;
+  }
+  return it->second;
+}
+
+std::vector<double> IngestionEngine::GroundTruthForecast(
+    int64_t first_segment_index) const {
   double seg = model_->segment_seconds;
   int64_t count = static_cast<int64_t>(options_.plan_interval / seg);
   std::vector<double> hist(model_->categories.NumCategories(), 0.0);
-  const video::ContentProcess& content = workload_->content_process();
+  // Walk the same segment midpoints the ingest loop will visit, so the
+  // lookahead classifications are reused there instead of recomputed.
   for (int64_t i = 0; i < count; ++i) {
-    double time = t + (static_cast<double>(i) + 0.5) * seg;
-    std::vector<double> quals =
-        TrueQualityVector(*workload_, model_->configs, content.At(time));
-    hist[model_->categories.ClassifyFull(quals)] += 1.0;
+    hist[CachedTruth(first_segment_index + i).category] += 1.0;
   }
   return NormalizeHistogram(std::move(hist));
 }
 
-Result<KnobPlan> IngestionEngine::MakePlan(SimTime t,
+Result<KnobPlan> IngestionEngine::MakePlan(int64_t first_segment_index,
                                            const std::vector<size_t>& history,
                                            const Forecaster* forecaster) const {
   size_t num_c = model_->categories.NumCategories();
   std::vector<double> forecast;
   if (options_.use_ground_truth_forecast) {
-    forecast = GroundTruthForecast(t);
+    forecast = GroundTruthForecast(first_segment_index);
   } else if (forecaster != nullptr && !history.empty()) {
     std::vector<double> features =
         forecaster->FeaturesFromHistory(history, model_->segment_seconds);
@@ -106,7 +120,13 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
   Rng rng(options_.seed);
   Rng noise = rng.Fork("measurement");
 
-  KnobSwitcher switcher(&model_->categories, &model_->profiles);
+  // Loop-invariant model lookups, hoisted out of the segment loop.
+  const std::vector<KnobConfig>& configs = model_->configs;
+  const std::vector<ConfigProfile>& profiles = model_->profiles;
+  const ContentCategories& categories = model_->categories;
+  const size_t num_categories = categories.NumCategories();
+
+  KnobSwitcher switcher(&categories, &profiles);
 
   // The engine fine-tunes its own copy of the forecaster online (§3.3); the
   // offline model stays untouched so runs are independent.
@@ -125,15 +145,15 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
 
   // Start on the cheapest profiled configuration.
   size_t current_config = 0;
-  for (size_t k = 1; k < model_->profiles.size(); ++k) {
-    if (model_->profiles[k].work_core_s_per_video_s <
-        model_->profiles[current_config].work_core_s_per_video_s) {
+  for (size_t k = 1; k < profiles.size(); ++k) {
+    if (profiles[k].work_core_s_per_video_s <
+        profiles[current_config].work_core_s_per_video_s) {
       current_config = k;
     }
   }
   double last_measured = workload_->MeasuredQuality(
-      model_->configs[current_config],
-      workload_->content_process().At(start_time), &noise);
+      configs[current_config], workload_->content_process().At(start_time),
+      &noise);
 
   KnobPlan plan;
   std::vector<double> plan_features;
@@ -151,12 +171,12 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
         if (history.size() >= interval_segs) {
           std::vector<double> realized = CategoryHistogram(
               history, history.size() - interval_segs, history.size(),
-              model_->categories.NumCategories());
+              num_categories);
           forecaster->OnlineUpdate(plan_features, realized);
         }
       }
       SKY_ASSIGN_OR_RETURN(
-          plan, MakePlan(t, history,
+          plan, MakePlan(first_segment + i, history,
                          forecaster.has_value() ? &*forecaster : nullptr));
       switcher.SetPlan(&plan);
       if (forecaster.has_value()) {
@@ -178,11 +198,18 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
     double bytes_per_s =
         static_cast<double>(info.bytes) / std::max(1e-9, info.duration_s);
 
+    // One ground-truth computation per segment, shared by the category
+    // override, the §5.6 accuracy accounting below, and (when ground-truth
+    // forecasting is on) the lookahead that already classified this segment
+    // at the last plan boundary. The reference stays valid through this
+    // iteration: nothing inserts into the cache before the erase below.
+    const SegmentTruth& truth = CachedTruth(first_segment + i);
+
     SwitchContext ctx;
     ctx.current_config_idx = current_config;
     ctx.measured_quality =
         options_.eliminate_type_b_errors
-            ? workload_->MeasuredQuality(model_->configs[current_config],
+            ? workload_->MeasuredQuality(configs[current_config],
                                          info.content, &noise)
             : last_measured;
     ctx.lag_seconds = lag_s;
@@ -194,9 +221,7 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
     ctx.allow_cloud = options_.enable_cloud;
     ctx.allow_buffer = options_.enable_buffer;
     if (options_.use_ground_truth_categories) {
-      ctx.category_override = static_cast<int64_t>(
-          model_->categories.ClassifyFull(TrueQualityVector(
-              *workload_, model_->configs, info.content)));
+      ctx.category_override = static_cast<int64_t>(truth.category);
     }
 
     SKY_ASSIGN_OR_RETURN(SwitchDecision decision, switcher.Decide(ctx));
@@ -204,7 +229,7 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
     if (decision.degraded) ++result.degraded_count;
     if (decision.config_idx != current_config) ++result.switch_count;
 
-    const ConfigProfile& profile = model_->profiles[decision.config_idx];
+    const ConfigProfile& profile = profiles[decision.config_idx];
     const PlacementProfile& placement =
         profile.placements[decision.placement_idx];
 
@@ -236,29 +261,34 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
     result.onprem_core_seconds += placement.onprem_core_s;
     result.work_core_seconds += profile.work_core_s_per_video_s * seg;
 
-    double true_q =
-        workload_->TrueQuality(model_->configs[decision.config_idx],
-                               info.content);
+    // The decision config's true quality is one coordinate of the memoized
+    // ground-truth vector — no extra TrueQuality call.
+    double true_q = truth.quals[decision.config_idx];
     result.total_quality += true_q;
-    last_measured = workload_->MeasuredQuality(
-        model_->configs[decision.config_idx], info.content, &noise);
+    if (!options_.eliminate_type_b_errors) {
+      // Skipped in type-B-elimination mode, where the switcher measures the
+      // current segment itself: both modes then consume exactly one noise
+      // draw per segment, so a Fig. 15 comparison is noise-paired and
+      // differs only in measurement timing.
+      last_measured = workload_->MeasuredQuality(configs[decision.config_idx],
+                                                 info.content, &noise);
+    }
 
-    // Switcher accuracy accounting (§5.6).
-    std::vector<double> true_quals =
-        TrueQualityVector(*workload_, model_->configs, info.content);
-    size_t true_cat = model_->categories.ClassifyFull(true_quals);
+    // Switcher accuracy accounting (§5.6), on the same memoized truth.
+    size_t true_cat = truth.category;
     if (decision.category != true_cat) {
       ++result.misclassified;
       // Type-A: would perfect timing have produced the same error? Classify
       // with the previous configuration's quality on *this* segment.
-      size_t timely_cat = model_->categories.ClassifyPartial(
-          ctx.current_config_idx, true_quals[ctx.current_config_idx]);
+      size_t timely_cat = categories.ClassifyPartial(
+          ctx.current_config_idx, truth.quals[ctx.current_config_idx]);
       if (timely_cat != true_cat) {
         ++result.type_a_errors;
       } else {
         ++result.type_b_errors;
       }
     }
+    truth_cache_.erase(first_segment + i);
 
     history.push_back(decision.category);
     current_config = decision.config_idx;

@@ -1,6 +1,8 @@
 #ifndef SKYSCRAPER_CORE_ENGINE_H_
 #define SKYSCRAPER_CORE_ENGINE_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/offline.h"
@@ -100,14 +102,28 @@ class IngestionEngine {
   Result<EngineResult> Run(SimTime start_time);
 
  private:
-  /// Realized category distribution over [t, t + plan_interval) using
-  /// ground-truth classification (for the Fig. 14 baseline).
-  std::vector<double> GroundTruthForecast(SimTime t) const;
+  /// Realized category distribution over the plan interval starting at
+  /// global segment `first_segment_index`, using ground-truth classification
+  /// (for the Fig. 14 baseline). Takes the integer index rather than a time
+  /// so the lookahead walks exactly the segments the ingest loop will visit.
+  std::vector<double> GroundTruthForecast(int64_t first_segment_index) const;
 
-  /// Builds a plan for the interval starting at `t`, falling back to an
-  /// all-cheapest plan if the LP is infeasible. `forecaster` is the engine's
-  /// own (online fine-tuned) copy; may be null.
-  Result<KnobPlan> MakePlan(SimTime t, const std::vector<size_t>& history,
+  /// Ground truth for one stream segment: the noise-free quality vector and
+  /// its full classification. Memoized per segment index so the forecast
+  /// lookahead, ground-truth categorization, and §5.6 accuracy accounting
+  /// share one computation instead of up to three.
+  struct SegmentTruth {
+    std::vector<double> quals;
+    size_t category = 0;
+  };
+  const SegmentTruth& CachedTruth(int64_t segment_index) const;
+
+  /// Builds a plan for the interval starting at global segment
+  /// `first_segment_index`, falling back to an all-cheapest plan if the LP
+  /// is infeasible. `forecaster` is the engine's own (online fine-tuned)
+  /// copy; may be null.
+  Result<KnobPlan> MakePlan(int64_t first_segment_index,
+                            const std::vector<size_t>& history,
                             const Forecaster* forecaster) const;
 
   const Workload* workload_;
@@ -115,6 +131,9 @@ class IngestionEngine {
   sim::ClusterSpec cluster_;
   const sim::CostModel* cost_model_;
   EngineOptions options_;
+  /// Keyed by global segment index; Run() erases entries it has consumed,
+  /// so the cache stays bounded by the plan-interval lookahead.
+  mutable std::unordered_map<int64_t, SegmentTruth> truth_cache_;
 };
 
 }  // namespace sky::core

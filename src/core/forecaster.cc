@@ -51,9 +51,11 @@ Result<ForecastDataset> BuildForecastDataset(
   }
   ml::Matrix X(samples, options.input_splits * num_categories);
   ml::Matrix Y(samples, num_categories);
-  size_t row = 0;
-  for (size_t s = in_segs; s + out_segs <= category_sequence.size();
-       s += stride, ++row) {
+  // Each row is an independent window scan over the sequence — the heaviest
+  // part of forecaster training on the analytic substrate. Rows land in
+  // pre-sized matrix slots, so the dataset is thread-count invariant.
+  dag::ParallelFor(options.pool, samples, [&](size_t row) {
+    size_t s = in_segs + row * stride;
     for (size_t split = 0; split < options.input_splits; ++split) {
       size_t begin = s - in_segs + split * split_len;
       size_t end = split + 1 == options.input_splits ? s : begin + split_len;
@@ -66,7 +68,7 @@ Result<ForecastDataset> BuildForecastDataset(
     std::vector<double> target =
         CategoryHistogram(category_sequence, s, s + out_segs, num_categories);
     Y.SetRow(row, target);
-  }
+  });
   return ForecastDataset{std::move(X), std::move(Y)};
 }
 

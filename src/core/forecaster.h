@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "dag/thread_pool.h"
 #include "ml/nn.h"
 #include "util/result.h"
 #include "util/sim_time.h"
@@ -22,6 +23,10 @@ struct ForecasterOptions {
   SimTime training_stride = Minutes(15);
   ml::TrainOptions train_options;
   uint64_t seed = 61;
+  /// Pool the per-sample histogram windows of BuildForecastDataset fan out
+  /// on (each row is an independent scan); null runs serially. The dataset
+  /// — and the model trained on it — is identical for any thread count.
+  dag::ThreadPool* pool = nullptr;
 };
 
 struct ForecastDataset {

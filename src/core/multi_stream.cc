@@ -11,6 +11,24 @@ int FairCoreShare(int cores, size_t num_streams) {
   return std::max(1, cores / static_cast<int>(num_streams));
 }
 
+std::vector<Result<EngineResult>> RunStreamEngines(
+    const std::vector<StreamEngineJob>& jobs, dag::ThreadPool* pool) {
+  std::vector<Result<EngineResult>> results(
+      jobs.size(), Result<EngineResult>(Status::Internal("stream not run")));
+  dag::ParallelFor(pool, jobs.size(), [&](size_t i) {
+    const StreamEngineJob& job = jobs[i];
+    if (job.workload == nullptr || job.model == nullptr ||
+        job.cost_model == nullptr) {
+      results[i] = Status::InvalidArgument("null pointer in stream job");
+      return;
+    }
+    IngestionEngine engine(job.workload, job.model, job.cluster,
+                           job.cost_model, job.options);
+    results[i] = engine.Run(job.start_time);
+  });
+  return results;
+}
+
 Result<std::vector<KnobPlan>> ComputeJointKnobPlan(
     const std::vector<StreamPlanInput>& streams,
     double budget_core_s_per_video_s) {

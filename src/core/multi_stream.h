@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "core/engine.h"
 #include "core/planner.h"
+#include "dag/thread_pool.h"
 #include "util/result.h"
 
 namespace sky::core {
@@ -27,6 +29,24 @@ Result<std::vector<KnobPlan>> ComputeJointKnobPlan(
 /// Appendix D's fair core allocation for streams sharing one server:
 /// floor(cores / num_streams), but at least 1.
 int FairCoreShare(int cores, size_t num_streams);
+
+/// Everything needed to run one stream's ingestion engine in a multi-stream
+/// deployment: the stream's own workload and offline model (Appendix D),
+/// its core share, and its engine options.
+struct StreamEngineJob {
+  const Workload* workload = nullptr;
+  const OfflineModel* model = nullptr;
+  sim::ClusterSpec cluster;
+  const sim::CostModel* cost_model = nullptr;
+  EngineOptions options;
+  SimTime start_time = 0.0;
+};
+
+/// Runs every stream's ingestion engine, fanned out on `pool` (each stream
+/// is an independent simulation; null runs them serially). Results are
+/// returned in job order and are identical for any thread count.
+std::vector<Result<EngineResult>> RunStreamEngines(
+    const std::vector<StreamEngineJob>& jobs, dag::ThreadPool* pool = nullptr);
 
 }  // namespace sky::core
 

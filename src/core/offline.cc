@@ -38,20 +38,68 @@ size_t PickDiscriminatorConfig(const ContentCategories& categories) {
 std::vector<size_t> BuildTrainCategorySequence(
     const Workload& workload, const std::vector<KnobConfig>& configs,
     const ContentCategories& categories, double segment_seconds,
-    SimTime horizon, uint64_t seed) {
+    SimTime horizon, uint64_t seed, dag::ThreadPool* pool) {
   size_t discriminator = PickDiscriminatorConfig(categories);
   Rng rng = Rng(seed).Fork("train-seq");
   int64_t segments = static_cast<int64_t>(horizon / segment_seconds);
-  std::vector<size_t> sequence;
-  sequence.reserve(static_cast<size_t>(segments));
+  std::vector<size_t> sequence(static_cast<size_t>(segments));
   const video::ContentProcess& content = workload.content_process();
-  for (int64_t i = 0; i < segments; ++i) {
-    double t = (static_cast<double>(i) + 0.5) * segment_seconds;
-    double quality = workload.MeasuredQuality(configs[discriminator],
-                                              content.At(t), &rng);
-    sequence.push_back(categories.ClassifyPartial(discriminator, quality));
-  }
+  // The dominant offline step (Table 3): classify every training segment.
+  // One forked RNG per fixed-size chunk keeps the sequence identical for any
+  // thread count while amortizing the fork cost.
+  dag::ParallelForChunked(
+      pool, static_cast<size_t>(segments), 1024,
+      [&](size_t chunk, size_t begin, size_t end) {
+        Rng chunk_rng = rng.ForkIndex(chunk);
+        for (size_t i = begin; i < end; ++i) {
+          double t = (static_cast<double>(i) + 0.5) * segment_seconds;
+          double quality = workload.MeasuredQuality(configs[discriminator],
+                                                    content.At(t), &chunk_rng);
+          sequence[i] = categories.ClassifyPartial(discriminator, quality);
+        }
+      });
   return sequence;
+}
+
+bool OfflineModelsIdentical(const OfflineModel& a, const OfflineModel& b) {
+  if (a.segment_seconds != b.segment_seconds) return false;
+  if (a.train_horizon != b.train_horizon) return false;
+  if (a.configs != b.configs) return false;
+  if (a.train_category_sequence != b.train_category_sequence) return false;
+
+  if (a.profiles.size() != b.profiles.size()) return false;
+  for (size_t k = 0; k < a.profiles.size(); ++k) {
+    const ConfigProfile& pa = a.profiles[k];
+    const ConfigProfile& pb = b.profiles[k];
+    if (pa.config != pb.config || pa.config_id != pb.config_id ||
+        pa.work_core_s_per_video_s != pb.work_core_s_per_video_s) {
+      return false;
+    }
+    if (pa.placements.size() != pb.placements.size()) return false;
+    for (size_t p = 0; p < pa.placements.size(); ++p) {
+      const PlacementProfile& la = pa.placements[p];
+      const PlacementProfile& lb = pb.placements[p];
+      if (la.placement.node_loc != lb.placement.node_loc ||
+          la.runtime_s != lb.runtime_s || la.cloud_usd != lb.cloud_usd ||
+          la.onprem_core_s != lb.onprem_core_s ||
+          la.uplink_bytes != lb.uplink_bytes) {
+        return false;
+      }
+    }
+  }
+
+  if (a.categories.backend() != b.categories.backend() ||
+      a.categories.NumCategories() != b.categories.NumCategories() ||
+      a.categories.NumConfigs() != b.categories.NumConfigs()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.categories.NumCategories(); ++c) {
+    for (size_t k = 0; k < a.categories.NumConfigs(); ++k) {
+      if (a.categories.CenterQuality(c, k) != b.categories.CenterQuality(c, k))
+        return false;
+    }
+  }
+  return true;
 }
 
 Result<OfflineModel> RunOfflinePhase(const Workload& workload,
@@ -63,11 +111,26 @@ Result<OfflineModel> RunOfflinePhase(const Workload& workload,
   model.train_horizon =
       std::min<double>(options.train_horizon, workload.content_process().horizon());
 
+  // The pool every offline step fans out on. Each step is deterministic for
+  // a fixed seed regardless of the thread count, so parallelism is purely a
+  // wall-clock knob.
+  dag::ThreadPool* pool = options.pool;
+  std::optional<dag::ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    size_t threads = options.num_threads == 0 ? dag::DefaultThreadCount()
+                                              : options.num_threads;
+    if (threads > 1) {
+      owned_pool.emplace(threads);
+      pool = &*owned_pool;
+    }
+  }
+
   // Step 1a: filter knob configurations (Appendix A.1).
   auto t0 = WallClock::now();
   ConfigFilterOptions filter = options.filter;
   filter.train_horizon = model.train_horizon;
   filter.seed = options.seed ^ 0x1;
+  filter.pool = pool;
   SKY_ASSIGN_OR_RETURN(model.configs, FilterKnobConfigs(workload, filter));
   model.step_runtimes.filter_configs_s = ElapsedSeconds(t0);
 
@@ -76,7 +139,7 @@ Result<OfflineModel> RunOfflinePhase(const Workload& workload,
   SKY_ASSIGN_OR_RETURN(
       model.profiles,
       ProfileConfigs(workload, model.configs, cluster, cost_model,
-                     options.segment_seconds));
+                     options.segment_seconds, {}, pool));
   model.step_runtimes.filter_placements_s = ElapsedSeconds(t0);
 
   // Step 2: content categories (§3.2).
@@ -87,6 +150,7 @@ Result<OfflineModel> RunOfflinePhase(const Workload& workload,
   cat.train_horizon = model.train_horizon;
   cat.backend = options.categorizer_backend;
   cat.seed = options.seed ^ 0x2;
+  cat.pool = pool;
   SKY_ASSIGN_OR_RETURN(model.categories,
                        BuildContentCategories(workload, model.configs, cat));
   model.step_runtimes.content_categories_s = ElapsedSeconds(t0);
@@ -95,7 +159,7 @@ Result<OfflineModel> RunOfflinePhase(const Workload& workload,
   t0 = WallClock::now();
   model.train_category_sequence = BuildTrainCategorySequence(
       workload, model.configs, model.categories, options.segment_seconds,
-      model.train_horizon, options.seed ^ 0x3);
+      model.train_horizon, options.seed ^ 0x3, pool);
   model.step_runtimes.forecast_training_data_s = ElapsedSeconds(t0);
 
   // Step 3b: train the forecasting model (§3.3).
@@ -103,6 +167,7 @@ Result<OfflineModel> RunOfflinePhase(const Workload& workload,
     t0 = WallClock::now();
     ForecasterOptions fopts = options.forecaster;
     fopts.seed = options.seed ^ 0x4;
+    fopts.pool = pool;
     SKY_ASSIGN_OR_RETURN(
         Forecaster forecaster,
         Forecaster::Train(model.train_category_sequence,

@@ -10,6 +10,7 @@
 #include "core/forecaster.h"
 #include "core/profiler.h"
 #include "core/workload.h"
+#include "dag/thread_pool.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_model.h"
 #include "util/result.h"
@@ -53,6 +54,13 @@ struct OfflineOptions {
   /// Set false to skip forecaster training (benches that bring their own).
   bool train_forecaster = true;
   uint64_t seed = 81;
+  /// Worker threads the offline steps fan out on: 0 picks the hardware
+  /// concurrency, 1 runs fully serial. The resulting OfflineModel is
+  /// bit-identical for every thread count (per-index RNG forks, ordered
+  /// result collection).
+  size_t num_threads = 0;
+  /// Reuse an existing pool instead of creating one (overrides num_threads).
+  dag::ThreadPool* pool = nullptr;
 };
 
 /// Runs the complete offline preparation phase of §3 on the given workload
@@ -70,7 +78,16 @@ Result<OfflineModel> RunOfflinePhase(const Workload& workload,
 std::vector<size_t> BuildTrainCategorySequence(
     const Workload& workload, const std::vector<KnobConfig>& configs,
     const ContentCategories& categories, double segment_seconds,
-    SimTime horizon, uint64_t seed);
+    SimTime horizon, uint64_t seed, dag::ThreadPool* pool = nullptr);
+
+/// True when two offline models are bit-identical on every deterministic
+/// field: configs, full placement profiles, category centers, and the
+/// training sequence (step runtimes and the forecaster are excluded — wall
+/// times always differ, and the forecaster is a pure function of the
+/// compared inputs). The contract behind OfflineOptions::num_threads,
+/// shared by tests/offline_determinism_test.cc and
+/// bench_table3_offline_runtime.
+bool OfflineModelsIdentical(const OfflineModel& a, const OfflineModel& b);
 
 }  // namespace sky::core
 

@@ -104,7 +104,10 @@ Result<std::vector<PlacementProfile>> SearchPlacements(
     return p;
   };
 
-  std::vector<PlacementProfile> profiles;
+  // Enumerate the candidate count vectors serially (RNG draws stay ordered),
+  // then simulate them in parallel into per-index slots: the profile list —
+  // and therefore the Pareto set — is identical for every thread count.
+  std::vector<std::vector<size_t>> combos;
   if (total_combos <= options.sample_count) {
     // Exhaustive cross-product over group cloud counts.
     std::vector<size_t> selector(groups.size(), 0);
@@ -113,10 +116,7 @@ Result<std::vector<PlacementProfile>> SearchPlacements(
       for (size_t g = 0; g < groups.size(); ++g) {
         counts[g] = candidates[g][selector[g]];
       }
-      SKY_ASSIGN_OR_RETURN(
-          PlacementProfile profile,
-          ProfilePlacement(graph, build_placement(counts), cluster));
-      profiles.push_back(std::move(profile));
+      combos.push_back(std::move(counts));
       // Odometer increment.
       size_t g = 0;
       while (g < groups.size() && ++selector[g] == candidates[g].size()) {
@@ -128,17 +128,10 @@ Result<std::vector<PlacementProfile>> SearchPlacements(
   } else {
     // Random sampling plus the two extremes.
     Rng rng(options.seed);
-    std::vector<size_t> all_prem(groups.size(), 0);
+    combos.emplace_back(groups.size(), 0);
     std::vector<size_t> all_cloud(groups.size());
     for (size_t g = 0; g < groups.size(); ++g) all_cloud[g] = groups[g].size();
-    SKY_ASSIGN_OR_RETURN(
-        PlacementProfile prem,
-        ProfilePlacement(graph, build_placement(all_prem), cluster));
-    profiles.push_back(std::move(prem));
-    SKY_ASSIGN_OR_RETURN(
-        PlacementProfile cloud,
-        ProfilePlacement(graph, build_placement(all_cloud), cluster));
-    profiles.push_back(std::move(cloud));
+    combos.push_back(std::move(all_cloud));
     for (size_t s = 0; s < options.sample_count; ++s) {
       std::vector<size_t> counts(groups.size());
       for (size_t g = 0; g < groups.size(); ++g) {
@@ -146,11 +139,23 @@ Result<std::vector<PlacementProfile>> SearchPlacements(
             0, static_cast<int64_t>(candidates[g].size()) - 1));
         counts[g] = candidates[g][pick];
       }
-      SKY_ASSIGN_OR_RETURN(
-          PlacementProfile profile,
-          ProfilePlacement(graph, build_placement(counts), cluster));
-      profiles.push_back(std::move(profile));
+      combos.push_back(std::move(counts));
     }
+  }
+
+  std::vector<PlacementProfile> profiles(combos.size());
+  std::vector<Status> statuses(combos.size(), Status::Ok());
+  dag::ParallelFor(options.pool, combos.size(), [&](size_t i) {
+    Result<PlacementProfile> profile =
+        ProfilePlacement(graph, build_placement(combos[i]), cluster);
+    if (profile.ok()) {
+      profiles[i] = std::move(*profile);
+    } else {
+      statuses[i] = profile.status();
+    }
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
   }
 
   std::vector<PlacementProfile> pareto =

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dag/task_graph.h"
+#include "dag/thread_pool.h"
 #include "sim/cluster_sim.h"
 #include "util/result.h"
 
@@ -28,6 +29,10 @@ struct PlacementSearchOptions {
   /// Pareto set (see DESIGN.md).
   size_t sample_count = 4096;
   uint64_t seed = 31;
+  /// Pool the per-placement DAG simulations fan out on. Candidate counts are
+  /// generated serially first, so the Pareto set is identical for any thread
+  /// count (including null = serial).
+  dag::ThreadPool* pool = nullptr;
 };
 
 /// Searches placements of `graph` on `cluster` and returns the cost-runtime

@@ -25,25 +25,38 @@ double ConfigProfile::OnPremRuntime() const {
 Result<std::vector<ConfigProfile>> ProfileConfigs(
     const Workload& workload, const std::vector<KnobConfig>& configs,
     const sim::ClusterSpec& cluster, const sim::CostModel& cost_model,
-    double segment_seconds, const PlacementSearchOptions& search_options) {
+    double segment_seconds, const PlacementSearchOptions& search_options,
+    dag::ThreadPool* pool) {
   if (configs.empty()) {
     return Status::InvalidArgument("no configurations to profile");
   }
   const KnobSpace& space = workload.knob_space();
-  std::vector<ConfigProfile> profiles;
-  profiles.reserve(configs.size());
   for (const KnobConfig& config : configs) {
     SKY_RETURN_NOT_OK(space.ValidateConfig(config));
-    ConfigProfile profile;
-    profile.config = config;
-    profile.config_id = space.ConfigToId(config);
+  }
+  PlacementSearchOptions search = search_options;
+  if (search.pool == nullptr) search.pool = pool;
+
+  std::vector<ConfigProfile> profiles(configs.size());
+  std::vector<Status> statuses(configs.size(), Status::Ok());
+  dag::ParallelFor(pool, configs.size(), [&](size_t i) {
+    ConfigProfile& profile = profiles[i];
+    profile.config = configs[i];
+    profile.config_id = space.ConfigToId(configs[i]);
     profile.work_core_s_per_video_s =
-        workload.CostCoreSecondsPerVideoSecond(config);
+        workload.CostCoreSecondsPerVideoSecond(configs[i]);
     dag::TaskGraph graph =
-        workload.BuildTaskGraph(config, segment_seconds, cost_model);
-    SKY_ASSIGN_OR_RETURN(profile.placements,
-                         SearchPlacements(graph, cluster, search_options));
-    profiles.push_back(std::move(profile));
+        workload.BuildTaskGraph(configs[i], segment_seconds, cost_model);
+    Result<std::vector<PlacementProfile>> placements =
+        SearchPlacements(graph, cluster, search);
+    if (placements.ok()) {
+      profile.placements = std::move(*placements);
+    } else {
+      statuses[i] = placements.status();
+    }
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
   }
   return profiles;
 }

@@ -30,11 +30,16 @@ struct ConfigProfile {
 
 /// Profiles each configuration's task graph on the given cluster: builds the
 /// DAG for one segment, searches placements, and records the Pareto set.
+/// Configurations are profiled in parallel on `pool` (each placement search
+/// is independent); the result order and contents match a serial run. A
+/// non-null `pool` also backs the per-placement simulations unless
+/// `search_options` names its own pool.
 Result<std::vector<ConfigProfile>> ProfileConfigs(
     const Workload& workload, const std::vector<KnobConfig>& configs,
     const sim::ClusterSpec& cluster, const sim::CostModel& cost_model,
     double segment_seconds,
-    const PlacementSearchOptions& search_options = {});
+    const PlacementSearchOptions& search_options = {},
+    dag::ThreadPool* pool = nullptr);
 
 }  // namespace sky::core
 

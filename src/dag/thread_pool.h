@@ -5,8 +5,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace sky::dag {
@@ -25,6 +28,17 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a task and returns a future for its result. Exceptions thrown
+  /// by the task surface on future::get().
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> SubmitWithFuture(F&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Submit([task] { (*task)(); });
+    return future;
+  }
+
   /// Blocks until all submitted tasks have completed.
   void Wait();
 
@@ -41,6 +55,28 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool shutdown_ = false;
 };
+
+/// Runs fn(i) for every i in [0, n) and blocks until all calls completed.
+/// The calling thread participates in the work, so nested ParallelFor calls
+/// sharing one pool cannot deadlock (an outer task waiting on an inner loop
+/// drains that loop itself if no worker is free). Indices are claimed from a
+/// shared counter, so callers that need determinism must write results into
+/// per-index slots — which also makes the output independent of the thread
+/// count. If any call throws, the first exception is rethrown after all
+/// indices have been attempted. A null `pool` runs the loop serially.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Chunked variant: runs fn(chunk_index, begin, end) over [0, n) split into
+/// fixed `chunk_size` ranges. The chunk geometry depends only on n and
+/// chunk_size — never on the thread count — so per-chunk RNG forks stay
+/// deterministic while amortizing the fork cost over the whole range.
+void ParallelForChunked(ThreadPool* pool, size_t n, size_t chunk_size,
+                        const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// The pool size RunOfflinePhase and the benches default to: the hardware
+/// concurrency, at least 1.
+size_t DefaultThreadCount();
 
 }  // namespace sky::dag
 

@@ -46,4 +46,14 @@ Rng Rng::Fork(std::string_view tag) const {
   return Rng(h ^ (salt * 0x9E3779B97F4A7C15ULL));
 }
 
+Rng Rng::ForkIndex(uint64_t index) const {
+  std::mt19937_64 copy = engine_;
+  uint64_t salt = copy();
+  // splitmix64 finalizer over (state snapshot, index).
+  uint64_t z = salt ^ (index + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31));
+}
+
 }  // namespace sky

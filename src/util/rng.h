@@ -39,6 +39,12 @@ class Rng {
   /// reproducible independent of call ordering elsewhere.
   Rng Fork(std::string_view tag) const;
 
+  /// Derives the `index`-th child stream without advancing this generator.
+  /// The backbone of deterministic parallelism: a loop that forks one child
+  /// per iteration index draws the same values no matter how many threads
+  /// execute the iterations or in which order.
+  Rng ForkIndex(uint64_t index) const;
+
   template <typename T>
   void Shuffle(std::vector<T>* v) {
     std::shuffle(v->begin(), v->end(), engine_);

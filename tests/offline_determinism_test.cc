@@ -1,0 +1,99 @@
+// The parallel offline phase must be a pure wall-clock knob: for a fixed
+// seed, RunOfflinePhase produces a bit-identical OfflineModel for any thread
+// count (per-index/per-chunk RNG forks, ordered result collection).
+
+#include <gtest/gtest.h>
+
+#include "core/offline.h"
+#include "workloads/covid.h"
+
+namespace sky::core {
+namespace {
+
+OfflineOptions SmallOffline(size_t num_threads) {
+  OfflineOptions opts;
+  opts.segment_seconds = 4.0;
+  opts.train_horizon = Days(2);
+  opts.num_categories = 3;
+  // Forecaster training is serial either way; skip it to keep the suite
+  // fast. The training *data* (the dominant parallel step) is compared.
+  opts.train_forecaster = false;
+  opts.num_threads = num_threads;
+  return opts;
+}
+
+void ExpectModelsIdentical(const OfflineModel& a, const OfflineModel& b) {
+  // Step 1a: filtered configurations.
+  EXPECT_EQ(a.configs, b.configs);
+
+  // Step 1b: placement profiles (bitwise on every simulated number).
+  ASSERT_EQ(a.profiles.size(), b.profiles.size());
+  for (size_t k = 0; k < a.profiles.size(); ++k) {
+    const ConfigProfile& pa = a.profiles[k];
+    const ConfigProfile& pb = b.profiles[k];
+    EXPECT_EQ(pa.config_id, pb.config_id);
+    EXPECT_EQ(pa.work_core_s_per_video_s, pb.work_core_s_per_video_s);
+    ASSERT_EQ(pa.placements.size(), pb.placements.size());
+    for (size_t p = 0; p < pa.placements.size(); ++p) {
+      EXPECT_EQ(pa.placements[p].placement.node_loc,
+                pb.placements[p].placement.node_loc);
+      EXPECT_EQ(pa.placements[p].runtime_s, pb.placements[p].runtime_s);
+      EXPECT_EQ(pa.placements[p].cloud_usd, pb.placements[p].cloud_usd);
+      EXPECT_EQ(pa.placements[p].onprem_core_s, pb.placements[p].onprem_core_s);
+      EXPECT_EQ(pa.placements[p].uplink_bytes, pb.placements[p].uplink_bytes);
+    }
+  }
+
+  // Step 2: category centers.
+  ASSERT_EQ(a.categories.NumCategories(), b.categories.NumCategories());
+  ASSERT_EQ(a.categories.NumConfigs(), b.categories.NumConfigs());
+  for (size_t c = 0; c < a.categories.NumCategories(); ++c) {
+    for (size_t k = 0; k < a.categories.NumConfigs(); ++k) {
+      EXPECT_EQ(a.categories.CenterQuality(c, k),
+                b.categories.CenterQuality(c, k));
+    }
+  }
+
+  // Step 3a: forecast training sequence.
+  EXPECT_EQ(a.train_category_sequence, b.train_category_sequence);
+
+  // The shared comparator (used by bench_table3_offline_runtime) must agree
+  // with the granular checks above.
+  EXPECT_TRUE(OfflineModelsIdentical(a, b));
+}
+
+TEST(OfflineDeterminismTest, IdenticalModelForThreadCounts1_2_8) {
+  workloads::CovidWorkload covid;
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  sim::CostModel cost_model(1.8);
+
+  auto serial = RunOfflinePhase(covid, cluster, cost_model, SmallOffline(1));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (size_t threads : {2u, 8u}) {
+    auto parallel =
+        RunOfflinePhase(covid, cluster, cost_model, SmallOffline(threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectModelsIdentical(*serial, *parallel);
+  }
+}
+
+TEST(OfflineDeterminismTest, ExternalPoolMatchesOwnedPool) {
+  workloads::CovidWorkload covid;
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  sim::CostModel cost_model(1.8);
+
+  auto serial = RunOfflinePhase(covid, cluster, cost_model, SmallOffline(1));
+  ASSERT_TRUE(serial.ok());
+
+  dag::ThreadPool pool(4);
+  OfflineOptions opts = SmallOffline(1);
+  opts.pool = &pool;
+  auto pooled = RunOfflinePhase(covid, cluster, cost_model, opts);
+  ASSERT_TRUE(pooled.ok());
+  ExpectModelsIdentical(*serial, *pooled);
+}
+
+}  // namespace
+}  // namespace sky::core

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
 
 namespace sky::dag {
 namespace {
@@ -54,6 +59,97 @@ TEST(ThreadPoolTest, ParallelismActuallyHappens) {
   }
   pool.Wait();
   EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitWithFutureReturnsValue) {
+  ThreadPool pool(2);
+  std::future<int> value = pool.SubmitWithFuture([] { return 41 + 1; });
+  EXPECT_EQ(value.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitWithFuturePropagatesException) {
+  ThreadPool pool(2);
+  std::future<void> failed = pool.SubmitWithFuture(
+      [] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(failed.get(), std::runtime_error);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsSerially) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 16, [&](size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: serial fallback
+  });
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, RethrowsFirstExceptionAfterCompletion) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [&](size_t i) {
+                    if (i == 37) throw std::runtime_error("boom");
+                    completed.fetch_add(1);
+                  }),
+      std::runtime_error);
+  // Every non-throwing index still ran: one failure does not cancel work.
+  EXPECT_EQ(completed.load(), 99);
+}
+
+TEST(ParallelForTest, NestedLoopsOnSharedPoolDoNotDeadlock) {
+  // Outer tasks occupy every worker and then wait on inner loops; the
+  // caller-participation design must drain them regardless.
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  ParallelFor(&pool, 4, [&](size_t) {
+    ParallelFor(&pool, 8, [&](size_t) { leaf.fetch_add(1); });
+  });
+  EXPECT_EQ(leaf.load(), 32);
+}
+
+TEST(ParallelForTest, ChunkedCoversRangeWithFixedGeometry) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<int> chunks_seen{0};
+  ParallelForChunked(&pool, hits.size(), 32,
+                     [&](size_t chunk, size_t begin, size_t end) {
+                       chunks_seen.fetch_add(1);
+                       EXPECT_EQ(begin, chunk * 32);
+                       for (size_t i = begin; i < end; ++i) {
+                         hits[i].fetch_add(1);
+                       }
+                     });
+  EXPECT_EQ(chunks_seen.load(), 4);  // 32+32+32+4
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, PerIndexRngForksAreThreadCountInvariant) {
+  sky::Rng base(123);
+  auto draw = [&](ThreadPool* pool, size_t threads) {
+    std::vector<double> values(64);
+    ParallelFor(pool, values.size(), [&](size_t i) {
+      sky::Rng child = base.ForkIndex(i);
+      values[i] = child.Uniform(0.0, 1.0);
+    });
+    return values;
+  };
+  std::vector<double> serial = draw(nullptr, 1);
+  ThreadPool pool(4);
+  std::vector<double> parallel = draw(&pool, 4);
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
