@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run the test suite. Mirrors CI.
+# Follows with the planner-scaling bench so the perf trajectory
+# (BENCH_planner_scaling.json) is refreshed on every local check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j
 cd build && ctest --output-on-failure -j
+./bench_planner_scaling

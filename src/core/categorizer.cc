@@ -67,11 +67,19 @@ std::vector<double> TrueQualityVector(const Workload& workload,
                                       const std::vector<KnobConfig>& configs,
                                       const video::ContentState& content) {
   std::vector<double> quals;
-  quals.reserve(configs.size());
-  for (const KnobConfig& k : configs) {
-    quals.push_back(workload.TrueQuality(k, content));
-  }
+  TrueQualityVectorInto(workload, configs, content, &quals);
   return quals;
+}
+
+void TrueQualityVectorInto(const Workload& workload,
+                           const std::vector<KnobConfig>& configs,
+                           const video::ContentState& content,
+                           std::vector<double>* out) {
+  out->clear();
+  out->reserve(configs.size());
+  for (const KnobConfig& k : configs) {
+    out->push_back(workload.TrueQuality(k, content));
+  }
 }
 
 Result<ContentCategories> BuildContentCategories(

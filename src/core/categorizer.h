@@ -85,6 +85,13 @@ std::vector<double> TrueQualityVector(const Workload& workload,
                                       const std::vector<KnobConfig>& configs,
                                       const video::ContentState& content);
 
+/// In-place variant reusing `out`'s capacity — the engine's truth ring
+/// buffer calls this once per segment without allocating.
+void TrueQualityVectorInto(const Workload& workload,
+                           const std::vector<KnobConfig>& configs,
+                           const video::ContentState& content,
+                           std::vector<double>* out);
+
 }  // namespace sky::core
 
 #endif  // SKYSCRAPER_CORE_CATEGORIZER_H_

@@ -22,53 +22,64 @@ IngestionEngine::IngestionEngine(const Workload* workload,
 
 const IngestionEngine::SegmentTruth& IngestionEngine::CachedTruth(
     int64_t segment_index) const {
-  auto it = truth_cache_.find(segment_index);
-  if (it == truth_cache_.end()) {
+  // Floor-mod: segment indices are non-negative in normal operation, but a
+  // negative start_time must not turn into an out-of-bounds slot.
+  int64_t n = static_cast<int64_t>(truth_ring_.size());
+  SegmentTruth& slot =
+      truth_ring_[static_cast<size_t>(((segment_index % n) + n) % n)];
+  if (slot.segment_index != segment_index) {
     double seg = model_->segment_seconds;
     double midpoint = (static_cast<double>(segment_index) + 0.5) * seg;
-    SegmentTruth truth;
-    truth.quals = TrueQualityVector(*workload_, model_->configs,
-                                    workload_->content_process().At(midpoint));
-    truth.category = model_->categories.ClassifyFull(truth.quals);
-    it = truth_cache_.emplace(segment_index, std::move(truth)).first;
+    TrueQualityVectorInto(*workload_, model_->configs,
+                          workload_->content_process().At(midpoint),
+                          &slot.quals);
+    slot.category = model_->categories.ClassifyFull(slot.quals);
+    slot.segment_index = segment_index;
   }
-  return it->second;
+  return slot;
 }
 
-std::vector<double> IngestionEngine::GroundTruthForecast(
-    int64_t first_segment_index) const {
+void IngestionEngine::GroundTruthForecastInto(int64_t first_segment_index,
+                                              std::vector<double>* out) const {
   double seg = model_->segment_seconds;
   int64_t count = static_cast<int64_t>(options_.plan_interval / seg);
-  std::vector<double> hist(model_->categories.NumCategories(), 0.0);
+  out->assign(model_->categories.NumCategories(), 0.0);
   // Walk the same segment midpoints the ingest loop will visit, so the
   // lookahead classifications are reused there instead of recomputed.
   for (int64_t i = 0; i < count; ++i) {
-    hist[CachedTruth(first_segment_index + i).category] += 1.0;
+    (*out)[CachedTruth(first_segment_index + i).category] += 1.0;
   }
-  return NormalizeHistogram(std::move(hist));
+  *out = NormalizeHistogram(std::move(*out));
 }
 
 Result<KnobPlan> IngestionEngine::MakePlan(int64_t first_segment_index,
                                            const std::vector<size_t>& history,
                                            const Forecaster* forecaster) const {
   size_t num_c = model_->categories.NumCategories();
-  std::vector<double> forecast;
+  // All buffers below live in scratch_ and are written in place; the
+  // remaining steady-state allocations on this path are the returned plan
+  // and the forecaster's NN forward pass (its output is move-assigned, its
+  // per-layer temporaries are internal to ml::FeedForwardNet).
+  std::vector<double>& forecast = scratch_.forecast;
   if (options_.use_ground_truth_forecast) {
-    forecast = GroundTruthForecast(first_segment_index);
+    GroundTruthForecastInto(first_segment_index, &forecast);
   } else if (forecaster != nullptr && !history.empty()) {
-    std::vector<double> features =
-        forecaster->FeaturesFromHistory(history, model_->segment_seconds);
-    forecast = forecaster->Forecast(features);
+    forecaster->FeaturesFromHistoryInto(history, model_->segment_seconds,
+                                        &scratch_.features);
+    forecast = forecaster->Forecast(scratch_.features);
   } else if (!history.empty()) {
-    forecast = CategoryHistogram(history, 0, history.size(), num_c);
+    CategoryHistogramInto(history, 0, history.size(), num_c, &forecast);
   } else {
     forecast.assign(num_c, 1.0 / static_cast<double>(num_c));
   }
 
-  std::vector<double> costs;
-  costs.reserve(model_->profiles.size());
-  for (const ConfigProfile& p : model_->profiles) {
-    costs.push_back(p.work_core_s_per_video_s);
+  std::vector<double>& costs = scratch_.costs;
+  if (costs.size() != model_->profiles.size()) {
+    costs.clear();
+    costs.reserve(model_->profiles.size());
+    for (const ConfigProfile& p : model_->profiles) {
+      costs.push_back(p.work_core_s_per_video_s);
+    }
   }
 
   double budget = static_cast<double>(cluster_.cores);
@@ -82,7 +93,8 @@ Result<KnobPlan> IngestionEngine::MakePlan(int64_t first_segment_index,
   }
 
   Result<KnobPlan> plan =
-      ComputeKnobPlan(model_->categories, forecast, costs, budget);
+      ComputeKnobPlan(model_->categories, forecast, costs, budget,
+                      options_.planner_backend, &scratch_.workspace);
   if (plan.ok()) return plan;
   if (plan.status().code() != StatusCode::kResourceExhausted) {
     return plan.status();
@@ -117,6 +129,13 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
   video::StreamSource source(&workload_->content_process(), seg);
   int64_t first_segment = static_cast<int64_t>(start_time / seg);
 
+  // Truth memo ring: one slot per segment of a plan interval. The lookahead
+  // fills at most one interval ahead and the ingest loop consumes within the
+  // same interval, so slots are never evicted while live (tags catch any
+  // reuse across intervals). Reset tags in case Run is called twice.
+  truth_ring_.resize(static_cast<size_t>(segs_per_interval));
+  for (SegmentTruth& slot : truth_ring_) slot.segment_index = -1;
+
   Rng rng(options_.seed);
   Rng noise = rng.Fork("measurement");
 
@@ -132,8 +151,28 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
   // offline model stays untouched so runs are independent.
   std::optional<Forecaster> forecaster = model_->forecaster;
 
-  // Bootstrap the forecaster history with the offline training sequence.
-  std::vector<size_t> history = model_->train_category_sequence;
+  // Rolling category history, bounded to the feature window instead of
+  // growing O(duration): the forecaster features read the last `input_span`
+  // and the realized-interval update the last interval, so both see exactly
+  // what they did unbounded. The forecaster-less fallback forecast (a plain
+  // histogram of the history) deliberately becomes a recency window rather
+  // than the whole-run distribution. Capacity 2x the window amortizes
+  // compaction to O(1) per segment with no further allocation; bootstrapped
+  // with the tail of the offline training sequence.
+  size_t history_window = static_cast<size_t>(segs_per_interval);
+  if (forecaster.has_value()) {
+    const ForecasterOptions& fopts = forecaster->options();
+    history_window = std::max(
+        history_window,
+        std::max<size_t>(fopts.input_splits,
+                         static_cast<size_t>(fopts.input_span / seg)));
+  }
+  const std::vector<size_t>& train_seq = model_->train_category_sequence;
+  size_t bootstrap = std::min(history_window, train_seq.size());
+  std::vector<size_t> history;
+  history.reserve(2 * history_window);
+  history.assign(train_seq.end() - static_cast<ptrdiff_t>(bootstrap),
+                 train_seq.end());
 
   EngineResult result;
   double lag_s = 0.0;
@@ -157,6 +196,7 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
 
   KnobPlan plan;
   std::vector<double> plan_features;
+  std::vector<double> realized;
   double next_trace_t = start_time;
 
   for (int64_t i = 0; i < n_segments; ++i) {
@@ -169,9 +209,8 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
           forecaster.has_value() && !plan_features.empty()) {
         size_t interval_segs = static_cast<size_t>(segs_per_interval);
         if (history.size() >= interval_segs) {
-          std::vector<double> realized = CategoryHistogram(
-              history, history.size() - interval_segs, history.size(),
-              num_categories);
+          CategoryHistogramInto(history, history.size() - interval_segs,
+                                history.size(), num_categories, &realized);
           forecaster->OnlineUpdate(plan_features, realized);
         }
       }
@@ -179,9 +218,11 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
           plan, MakePlan(first_segment + i, history,
                          forecaster.has_value() ? &*forecaster : nullptr));
       switcher.SetPlan(&plan);
-      if (forecaster.has_value()) {
-        plan_features =
-            forecaster->FeaturesFromHistory(history, model_->segment_seconds);
+      // Features are only consumed by the fine-tuning step above, at the
+      // *next* boundary; skip them (and their scan) when updates are off.
+      if (options_.online_forecaster_updates && forecaster.has_value()) {
+        forecaster->FeaturesFromHistoryInto(history, model_->segment_seconds,
+                                            &plan_features);
       }
       credits_remaining =
           options_.enable_cloud ? options_.cloud_budget_usd_per_interval : 0.0;
@@ -202,7 +243,8 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
     // override, the §5.6 accuracy accounting below, and (when ground-truth
     // forecasting is on) the lookahead that already classified this segment
     // at the last plan boundary. The reference stays valid through this
-    // iteration: nothing inserts into the cache before the erase below.
+    // iteration: this segment's ring slot is only overwritten an interval
+    // from now.
     const SegmentTruth& truth = CachedTruth(first_segment + i);
 
     SwitchContext ctx;
@@ -288,8 +330,11 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
         ++result.type_b_errors;
       }
     }
-    truth_cache_.erase(first_segment + i);
-
+    if (history.size() >= 2 * history_window) {
+      std::copy(history.end() - static_cast<ptrdiff_t>(history_window),
+                history.end(), history.begin());
+      history.resize(history_window);
+    }
     history.push_back(decision.category);
     current_config = decision.config_idx;
     ++result.segments;

@@ -2,7 +2,6 @@
 #define SKYSCRAPER_CORE_ENGINE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/offline.h"
@@ -32,6 +31,10 @@ struct EngineOptions {
   /// budget" abstraction of §2.2 / Appendix B used by the work-quality
   /// sweeps (Figs. 6/8/10/12 and 16).
   double work_budget_override = 0.0;
+  /// Which solver runs the knob-planning program at each plan boundary.
+  /// kStructured (default) is the exact O(n log n) MCKP solver; kSimplex is
+  /// the dense-tableau reference oracle kept for A/B comparison.
+  PlannerBackend planner_backend = PlannerBackend::kStructured;
 
   // --- Microbenchmark toggles (all default off) ---
   /// Replace the forecaster output with the realized future distribution
@@ -104,15 +107,18 @@ class IngestionEngine {
  private:
   /// Realized category distribution over the plan interval starting at
   /// global segment `first_segment_index`, using ground-truth classification
-  /// (for the Fig. 14 baseline). Takes the integer index rather than a time
-  /// so the lookahead walks exactly the segments the ingest loop will visit.
-  std::vector<double> GroundTruthForecast(int64_t first_segment_index) const;
+  /// (for the Fig. 14 baseline), written into `out`. Takes the integer index
+  /// rather than a time so the lookahead walks exactly the segments the
+  /// ingest loop will visit.
+  void GroundTruthForecastInto(int64_t first_segment_index,
+                               std::vector<double>* out) const;
 
   /// Ground truth for one stream segment: the noise-free quality vector and
   /// its full classification. Memoized per segment index so the forecast
   /// lookahead, ground-truth categorization, and §5.6 accuracy accounting
   /// share one computation instead of up to three.
   struct SegmentTruth {
+    int64_t segment_index = -1;  ///< ring-slot tag; -1 marks an empty slot
     std::vector<double> quals;
     size_t category = 0;
   };
@@ -131,9 +137,23 @@ class IngestionEngine {
   sim::ClusterSpec cluster_;
   const sim::CostModel* cost_model_;
   EngineOptions options_;
-  /// Keyed by global segment index; Run() erases entries it has consumed,
-  /// so the cache stays bounded by the plan-interval lookahead.
-  mutable std::unordered_map<int64_t, SegmentTruth> truth_cache_;
+  /// Truth memo as a ring buffer sized to the plan interval (slot =
+  /// segment_index % size): the ground-truth-forecast lookahead fills one
+  /// interval's slots at the plan boundary and the ingest loop reads them
+  /// back, so a live entry is never evicted; slots (and their quality
+  /// vectors) are overwritten in place the next interval — no hashing, no
+  /// rehash growth, no per-segment allocation.
+  mutable std::vector<SegmentTruth> truth_ring_;
+  /// Buffers reused across plan boundaries so MakePlan allocates nothing at
+  /// steady state: forecast/feature/histogram vectors, the loop-invariant
+  /// config costs, and the planner's coefficient + solver workspace.
+  struct PlanScratch {
+    std::vector<double> forecast;
+    std::vector<double> features;
+    std::vector<double> costs;
+    PlanWorkspace workspace;
+  };
+  mutable PlanScratch scratch_;
 };
 
 }  // namespace sky::core

@@ -10,14 +10,23 @@ namespace sky::core {
 std::vector<double> CategoryHistogram(
     const std::vector<size_t>& category_sequence, size_t begin, size_t end,
     size_t num_categories) {
-  std::vector<double> hist(num_categories, 0.0);
+  std::vector<double> hist;
+  CategoryHistogramInto(category_sequence, begin, end, num_categories, &hist);
+  return hist;
+}
+
+void CategoryHistogramInto(const std::vector<size_t>& category_sequence,
+                           size_t begin, size_t end, size_t num_categories,
+                           std::vector<double>* out) {
+  out->assign(num_categories, 0.0);
   end = std::min(end, category_sequence.size());
   for (size_t i = begin; i < end; ++i) {
     if (category_sequence[i] < num_categories) {
-      hist[category_sequence[i]] += 1.0;
+      (*out)[category_sequence[i]] += 1.0;
     }
   }
-  return NormalizeHistogram(std::move(hist));
+  // Move through NormalizeHistogram: no allocation, one normalization rule.
+  *out = NormalizeHistogram(std::move(*out));
 }
 
 Result<ForecastDataset> BuildForecastDataset(
@@ -93,6 +102,14 @@ Result<Forecaster> Forecaster::Train(
 std::vector<double> Forecaster::FeaturesFromHistory(
     const std::vector<size_t>& recent_categories,
     double segment_seconds) const {
+  std::vector<double> features;
+  FeaturesFromHistoryInto(recent_categories, segment_seconds, &features);
+  return features;
+}
+
+void Forecaster::FeaturesFromHistoryInto(
+    const std::vector<size_t>& recent_categories, double segment_seconds,
+    std::vector<double>* out) const {
   size_t in_segs = std::max<size_t>(
       options_.input_splits,
       static_cast<size_t>(options_.input_span / segment_seconds));
@@ -101,20 +118,31 @@ std::vector<double> Forecaster::FeaturesFromHistory(
   size_t start = available - used;
   size_t split_len = std::max<size_t>(1, used / options_.input_splits);
 
-  std::vector<double> features(options_.input_splits * num_categories_, 0.0);
+  out->assign(options_.input_splits * num_categories_, 0.0);
   for (size_t split = 0; split < options_.input_splits; ++split) {
     size_t begin = start + split * split_len;
     size_t end =
         split + 1 == options_.input_splits ? available : begin + split_len;
     begin = std::min(begin, available);
     end = std::min(end, available);
-    std::vector<double> hist =
-        CategoryHistogram(recent_categories, begin, end, num_categories_);
-    for (size_t c = 0; c < num_categories_; ++c) {
-      features[split * num_categories_ + c] = hist[c];
+    // Histogram written straight into the split's feature slice — same
+    // values as CategoryHistogram, no temporary.
+    double* slice = out->data() + split * num_categories_;
+    double total = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      if (recent_categories[i] < num_categories_) {
+        slice[recent_categories[i]] += 1.0;
+        total += 1.0;
+      }
+    }
+    if (total <= 0.0) {
+      if (num_categories_ == 0) continue;
+      double u = 1.0 / static_cast<double>(num_categories_);
+      for (size_t c = 0; c < num_categories_; ++c) slice[c] = u;
+    } else {
+      for (size_t c = 0; c < num_categories_; ++c) slice[c] /= total;
     }
   }
-  return features;
 }
 
 std::vector<double> Forecaster::Forecast(

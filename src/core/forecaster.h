@@ -46,6 +46,12 @@ std::vector<double> CategoryHistogram(
     const std::vector<size_t>& category_sequence, size_t begin, size_t end,
     size_t num_categories);
 
+/// In-place variant: fills `out` (resized to num_categories) reusing its
+/// capacity, so callers with a long-lived buffer allocate nothing.
+void CategoryHistogramInto(const std::vector<size_t>& category_sequence,
+                           size_t begin, size_t end, size_t num_categories,
+                           std::vector<double>* out);
+
 /// The forecasting model F of §3.3: a feed-forward network (Appendix K:
 /// input -> 16 ReLU -> 8 ReLU -> |C| softmax) that predicts how often each
 /// content category appears over the planned interval, given the recent
@@ -65,6 +71,13 @@ class Forecaster {
   std::vector<double> FeaturesFromHistory(
       const std::vector<size_t>& recent_categories,
       double segment_seconds) const;
+
+  /// In-place variant of FeaturesFromHistory: writes the split histograms
+  /// directly into `out` (resized to input_splits * |C|), allocating nothing
+  /// when the caller reuses the buffer across plan boundaries.
+  void FeaturesFromHistoryInto(const std::vector<size_t>& recent_categories,
+                               double segment_seconds,
+                               std::vector<double>* out) const;
 
   /// Predicted category distribution r over the planned interval.
   std::vector<double> Forecast(const std::vector<double>& features) const;

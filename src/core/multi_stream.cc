@@ -1,8 +1,7 @@
 #include "core/multi_stream.h"
 
 #include <algorithm>
-
-#include "lp/simplex.h"
+#include <cmath>
 
 namespace sky::core {
 
@@ -31,82 +30,51 @@ std::vector<Result<EngineResult>> RunStreamEngines(
 
 Result<std::vector<KnobPlan>> ComputeJointKnobPlan(
     const std::vector<StreamPlanInput>& streams,
-    double budget_core_s_per_video_s) {
+    double budget_core_s_per_video_s, PlannerBackend backend,
+    PlanWorkspace* workspace) {
   if (streams.empty()) {
     return Status::InvalidArgument("no streams to plan for");
   }
-  if (budget_core_s_per_video_s <= 0) {
-    return Status::InvalidArgument("budget must be positive");
+  if (!(budget_core_s_per_video_s > 0) ||
+      !std::isfinite(budget_core_s_per_video_s)) {
+    return Status::InvalidArgument("budget must be positive and finite");
   }
 
-  // Variable layout: for stream v with C_v categories and K_v configs, a
-  // contiguous block of C_v * K_v alphas.
-  std::vector<size_t> block_offsets;
-  size_t n = 0;
+  // One workspace group per (stream, category); stream v's groups start at
+  // first_groups[v]. The coefficient assembly (Eqs. 7-9) is the same
+  // AppendPlanCoefficients the single-stream planner uses, once per stream.
+  PlanWorkspace local;
+  PlanWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.Clear();
+  std::vector<size_t> first_groups;
+  first_groups.reserve(streams.size());
   for (const StreamPlanInput& s : streams) {
     if (s.categories == nullptr) {
       return Status::InvalidArgument("null categories in stream input");
     }
-    size_t num_c = s.categories->NumCategories();
-    size_t num_k = s.categories->NumConfigs();
-    if (s.forecast.size() != num_c || s.config_costs.size() != num_k) {
+    auto first = AppendPlanCoefficients(*s.categories, s.forecast,
+                                        s.config_costs, &ws);
+    if (!first.ok()) {
       return Status::InvalidArgument("stream input shape mismatch");
     }
-    block_offsets.push_back(n);
-    n += num_c * num_k;
+    first_groups.push_back(*first);
   }
 
-  lp::LinearProgram program;
-  program.objective.assign(n, 0.0);
-  std::vector<double> budget_row(n, 0.0);
-  for (size_t v = 0; v < streams.size(); ++v) {
-    const StreamPlanInput& s = streams[v];
-    size_t num_c = s.categories->NumCategories();
-    size_t num_k = s.categories->NumConfigs();
-    for (size_t c = 0; c < num_c; ++c) {
-      std::vector<double> norm_row(n, 0.0);
-      for (size_t k = 0; k < num_k; ++k) {
-        size_t idx = block_offsets[v] + c * num_k + k;
-        program.objective[idx] =
-            s.forecast[c] * s.categories->CenterQuality(c, k);  // Eq. 7
-        budget_row[idx] = s.forecast[c] * s.config_costs[k];    // Eq. 8
-        norm_row[idx] = 1.0;                                    // Eq. 9
-      }
-      program.a_eq.push_back(std::move(norm_row));
-      program.b_eq.push_back(1.0);
+  Status solved = SolvePlanProblem(budget_core_s_per_video_s, backend, &ws);
+  if (!solved.ok()) {
+    if (solved.code() == StatusCode::kResourceExhausted) {
+      return Status::ResourceExhausted(
+          "joint knob plan infeasible under the shared budget");
     }
-  }
-  program.a_ub.push_back(std::move(budget_row));
-  program.b_ub.push_back(budget_core_s_per_video_s);
-
-  SKY_ASSIGN_OR_RETURN(lp::LpSolution solution, lp::SolveLp(program));
-  if (solution.status == lp::LpStatus::kInfeasible) {
-    return Status::ResourceExhausted(
-        "joint knob plan infeasible under the shared budget");
-  }
-  if (solution.status == lp::LpStatus::kUnbounded) {
-    return Status::Internal("joint knob-planning LP unbounded");
+    return solved;
   }
 
   std::vector<KnobPlan> plans;
   plans.reserve(streams.size());
   for (size_t v = 0; v < streams.size(); ++v) {
     const StreamPlanInput& s = streams[v];
-    size_t num_c = s.categories->NumCategories();
-    size_t num_k = s.categories->NumConfigs();
-    KnobPlan plan;
-    plan.alpha = ml::Matrix(num_c, num_k, 0.0);
-    plan.forecast = s.forecast;
-    for (size_t c = 0; c < num_c; ++c) {
-      for (size_t k = 0; k < num_k; ++k) {
-        double a = solution.x[block_offsets[v] + c * num_k + k];
-        plan.alpha.At(c, k) = a;
-        plan.expected_quality +=
-            a * s.forecast[c] * s.categories->CenterQuality(c, k);
-        plan.expected_work += a * s.forecast[c] * s.config_costs[k];
-      }
-    }
-    plans.push_back(std::move(plan));
+    plans.push_back(ExtractPlan(ws, first_groups[v], *s.categories,
+                                s.forecast, s.config_costs));
   }
   return plans;
 }

@@ -19,12 +19,21 @@ struct StreamPlanInput {
   std::vector<double> config_costs;  ///< cost(k) per config of this stream
 };
 
-/// Solves the joint LP of Appendix D (Eqs. 7-9): per-stream quality and cost
-/// are summed and one shared budget constrains them all; normalization holds
-/// per (stream, category). Returns one KnobPlan per stream.
+/// Solves the joint program of Appendix D (Eqs. 7-9): per-stream quality and
+/// cost are summed and one shared budget constrains them all; normalization
+/// holds per (stream, category). Returns one KnobPlan per stream.
+///
+/// The joint program is the same fractional MCKP as the single-stream one,
+/// just with Σ_v C_v groups sharing one budget multiplier — the structured
+/// backend (default) solves per-stream hulls under one shared λ in
+/// O(Σ C_v·K_v · log) without ever materializing the dense
+/// (Σ C_v + 1) × (V·C·K) simplex tableau the kSimplex oracle pivots on.
+/// Passing a long-lived `workspace` makes repeated planning allocation-free.
 Result<std::vector<KnobPlan>> ComputeJointKnobPlan(
     const std::vector<StreamPlanInput>& streams,
-    double budget_core_s_per_video_s);
+    double budget_core_s_per_video_s,
+    PlannerBackend backend = PlannerBackend::kStructured,
+    PlanWorkspace* workspace = nullptr);
 
 /// Appendix D's fair core allocation for streams sharing one server:
 /// floor(cores / num_streams), but at least 1.

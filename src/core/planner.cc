@@ -1,68 +1,30 @@
 #include "core/planner.h"
 
-#include "lp/simplex.h"
+#include <cmath>
 
 namespace sky::core {
 
 Result<KnobPlan> ComputeKnobPlan(const ContentCategories& categories,
                                  const std::vector<double>& forecast,
                                  const std::vector<double>& config_costs,
-                                 double budget_core_s_per_video_s) {
-  size_t num_c = categories.NumCategories();
-  size_t num_k = categories.NumConfigs();
-  if (forecast.size() != num_c) {
-    return Status::InvalidArgument("forecast size != number of categories");
+                                 double budget_core_s_per_video_s,
+                                 PlannerBackend backend,
+                                 PlanWorkspace* workspace) {
+  if (!(budget_core_s_per_video_s > 0) ||
+      !std::isfinite(budget_core_s_per_video_s)) {
+    return Status::InvalidArgument("budget must be positive and finite");
   }
-  if (config_costs.size() != num_k) {
-    return Status::InvalidArgument("cost vector size != number of configs");
-  }
-  if (budget_core_s_per_video_s <= 0) {
-    return Status::InvalidArgument("budget must be positive");
-  }
-
-  // Variables alpha_{c,k} laid out row-major: index = c * num_k + k.
-  lp::LinearProgram program;
-  size_t n = num_c * num_k;
-  program.objective.assign(n, 0.0);
-  std::vector<double> budget_row(n, 0.0);
-  for (size_t c = 0; c < num_c; ++c) {
-    for (size_t k = 0; k < num_k; ++k) {
-      size_t idx = c * num_k + k;
-      program.objective[idx] = forecast[c] * categories.CenterQuality(c, k);
-      budget_row[idx] = forecast[c] * config_costs[k];
-    }
-  }
-  program.a_ub.push_back(std::move(budget_row));
-  program.b_ub.push_back(budget_core_s_per_video_s);
-  for (size_t c = 0; c < num_c; ++c) {
-    std::vector<double> row(n, 0.0);
-    for (size_t k = 0; k < num_k; ++k) row[c * num_k + k] = 1.0;
-    program.a_eq.push_back(std::move(row));
-    program.b_eq.push_back(1.0);
-  }
-
-  SKY_ASSIGN_OR_RETURN(lp::LpSolution solution, lp::SolveLp(program));
-  if (solution.status == lp::LpStatus::kInfeasible) {
-    return Status::ResourceExhausted(
-        "knob plan infeasible: even the cheapest configurations exceed the "
-        "budget");
-  }
-  if (solution.status == lp::LpStatus::kUnbounded) {
-    return Status::Internal("knob-planning LP unbounded");
-  }
-
-  KnobPlan plan;
-  plan.alpha = ml::Matrix(num_c, num_k, 0.0);
-  plan.forecast = forecast;
-  plan.expected_quality = solution.objective_value;
-  for (size_t c = 0; c < num_c; ++c) {
-    for (size_t k = 0; k < num_k; ++k) {
-      double a = solution.x[c * num_k + k];
-      plan.alpha.At(c, k) = a;
-      plan.expected_work += a * forecast[c] * config_costs[k];
-    }
-  }
-  return plan;
+  PlanWorkspace local;
+  PlanWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.Clear();
+  SKY_ASSIGN_OR_RETURN(
+      size_t first_group,
+      AppendPlanCoefficients(categories, forecast, config_costs, &ws));
+  // SolvePlanProblem's kResourceExhausted already carries the single-stream
+  // infeasibility message; only the joint planner rewords it.
+  Status solved = SolvePlanProblem(budget_core_s_per_video_s, backend, &ws);
+  if (!solved.ok()) return solved;
+  return ExtractPlan(ws, first_group, categories, forecast, config_costs);
 }
 
 }  // namespace sky::core

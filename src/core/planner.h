@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/categorizer.h"
+#include "core/plan_common.h"
 #include "ml/matrix.h"
 #include "util/result.h"
 
@@ -35,11 +36,18 @@ struct KnobPlan {
 /// into it, §4.1 footnote 4). Fails on shape mismatches; the LP itself is
 /// always feasible (alpha uniform rows satisfy the equalities, and the
 /// budget row is satisfiable whenever the cheapest configuration fits —
-/// otherwise kInfeasible is surfaced to the caller).
-Result<KnobPlan> ComputeKnobPlan(const ContentCategories& categories,
-                                 const std::vector<double>& forecast,
-                                 const std::vector<double>& config_costs,
-                                 double budget_core_s_per_video_s);
+/// otherwise kResourceExhausted is surfaced to the caller).
+///
+/// The program is solved by the structured MCKP solver by default (exact,
+/// O(|C|·|K| log); see lp/mckp.h) or by dense simplex when
+/// `backend == PlannerBackend::kSimplex` — both return the same optimum.
+/// Passing a long-lived `workspace` makes repeated planning allocation-free;
+/// with nullptr a temporary workspace is used.
+Result<KnobPlan> ComputeKnobPlan(
+    const ContentCategories& categories, const std::vector<double>& forecast,
+    const std::vector<double>& config_costs, double budget_core_s_per_video_s,
+    PlannerBackend backend = PlannerBackend::kStructured,
+    PlanWorkspace* workspace = nullptr);
 
 }  // namespace sky::core
 

@@ -52,12 +52,16 @@ struct Tableau {
     }
   }
 
-  /// Runs simplex iterations until optimal or unbounded. Dantzig rule with a
-  /// switch to Bland's rule (anti-cycling) after `bland_after` iterations.
-  /// `active_cols` limits the candidate entering columns.
-  LpStatus Iterate(size_t active_cols) {
+  /// Runs simplex iterations until optimal, unbounded, or the iteration
+  /// guard (`max_iters_override`, or an automatic size-scaled cap when 0) is
+  /// exhausted — the latter is reported as kIterationLimit, never silently
+  /// as optimality. Dantzig rule with a switch to Bland's rule
+  /// (anti-cycling) after `bland_after` iterations. `active_cols` limits the
+  /// candidate entering columns.
+  LpStatus Iterate(size_t active_cols, size_t max_iters_override = 0) {
     size_t m = rows.size();
-    size_t max_iters = 200 * (m + active_cols) + 1000;
+    size_t max_iters = max_iters_override > 0 ? max_iters_override
+                                              : 200 * (m + active_cols) + 1000;
     size_t bland_after = 20 * (m + active_cols) + 200;
     for (size_t iter = 0; iter < max_iters; ++iter) {
       bool bland = iter >= bland_after;
@@ -95,13 +99,13 @@ struct Tableau {
       if (leave == m) return LpStatus::kUnbounded;
       Pivot(leave, enter);
     }
-    return LpStatus::kOptimal;  // iteration guard hit; best effort
+    return LpStatus::kIterationLimit;
   }
 };
 
 }  // namespace
 
-Result<LpSolution> SolveLp(const LinearProgram& lp) {
+Result<LpSolution> SolveLp(const LinearProgram& lp, const LpOptions& options) {
   size_t n = lp.NumVariables();
   if (n == 0) return Status::InvalidArgument("LP has no variables");
   if (lp.a_ub.size() != lp.b_ub.size() || lp.a_eq.size() != lp.b_eq.size()) {
@@ -190,9 +194,16 @@ Result<LpSolution> SolveLp(const LinearProgram& lp) {
     for (size_t c = n + n_slack; c < total; ++c) t.obj[c] = 1.0;
     t.obj_value = 0.0;
     t.CanonicalizeObjective();
-    LpStatus st = t.Iterate(total);
+    LpStatus st = t.Iterate(total, options.max_iterations);
     if (st == LpStatus::kUnbounded) {
       return Status::Internal("phase-1 LP unbounded (should be impossible)");
+    }
+    if (st == LpStatus::kIterationLimit && t.obj_value < -1e-6) {
+      // Guard exhausted before a feasible basis was found: feasibility is
+      // undetermined, so surface the limit instead of claiming anything.
+      LpSolution sol;
+      sol.status = LpStatus::kIterationLimit;
+      return sol;
     }
     if (t.obj_value < -1e-6) {
       LpSolution sol;
@@ -223,11 +234,13 @@ Result<LpSolution> SolveLp(const LinearProgram& lp) {
   for (size_t j = 0; j < n; ++j) t.obj[j] = -lp.objective[j];
   t.obj_value = 0.0;
   t.CanonicalizeObjective();
-  LpStatus st = t.Iterate(n + n_slack);
+  LpStatus st = t.Iterate(n + n_slack, options.max_iterations);
 
   LpSolution sol;
   sol.status = st;
-  if (st == LpStatus::kOptimal) {
+  // A phase-2 iteration limit still leaves a feasible basic point: extract
+  // it (flagged kIterationLimit) so callers can use it best-effort.
+  if (st == LpStatus::kOptimal || st == LpStatus::kIterationLimit) {
     sol.x.assign(n, 0.0);
     for (size_t r = 0; r < m; ++r) {
       if (t.basis[r] < n) sol.x[t.basis[r]] = t.rhs[r];

@@ -25,7 +25,16 @@ struct LinearProgram {
   size_t NumVariables() const { return objective.size(); }
 };
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  /// The iteration guard was exhausted before optimality was proven. When
+  /// the limit hit in phase 2, `x` holds the best feasible point found
+  /// (best effort); when it hit in phase 1, `x` is empty and even
+  /// feasibility is undetermined.
+  kIterationLimit,
+};
 
 struct LpSolution {
   LpStatus status = LpStatus::kInfeasible;
@@ -33,10 +42,18 @@ struct LpSolution {
   double objective_value = 0.0;
 };
 
+struct LpOptions {
+  /// Hard cap on simplex iterations per phase; 0 means an automatic guard
+  /// scaled to the problem size. Exposed so the iteration-limit path is
+  /// testable on small programs.
+  size_t max_iterations = 0;
+};
+
 /// Dense two-phase primal simplex with Bland's anti-cycling rule. Intended
 /// for the small programs Skyscraper produces (|C|·|K| variables, typically
 /// well under a thousand); fails on malformed input shapes.
-Result<LpSolution> SolveLp(const LinearProgram& lp);
+Result<LpSolution> SolveLp(const LinearProgram& lp,
+                           const LpOptions& options = {});
 
 }  // namespace sky::lp
 

@@ -134,6 +134,43 @@ TEST_F(EngineTest, GroundTruthTogglesImproveAccuracy) {
   EXPECT_GE(r2->total_quality, r1->total_quality * 0.98);
 }
 
+TEST_F(EngineTest, GroundTruthForecastUsesLookaheadRing) {
+  // The ground-truth-forecast lookahead classifies a whole interval ahead
+  // through the truth ring; the ingest loop must then read those same slots
+  // back. A forecast of the realized distribution can only help the plan.
+  EngineOptions opts = BaseOptions();
+  opts.use_ground_truth_forecast = true;
+  IngestionEngine truth_engine(workload_, model_, cluster_, cost_model_,
+                               opts);
+  IngestionEngine std_engine(workload_, model_, cluster_, cost_model_,
+                             BaseOptions());
+  auto truth = truth_engine.Run(Days(6));
+  auto standard = std_engine.Run(Days(6));
+  ASSERT_TRUE(truth.ok() && standard.ok());
+  EXPECT_EQ(truth->segments, standard->segments);
+  EXPECT_GE(truth->total_quality, standard->total_quality * 0.98);
+  EXPECT_EQ(truth->type_a_errors + truth->type_b_errors,
+            truth->misclassified);
+}
+
+TEST_F(EngineTest, SimplexBackendMatchesStructuredEndToEnd) {
+  // The two planner backends return the same optimum, so a full ingestion
+  // run must be identical on both (same plans -> same switch decisions).
+  EngineOptions simplex_opts = BaseOptions();
+  simplex_opts.planner_backend = PlannerBackend::kSimplex;
+  IngestionEngine structured(workload_, model_, cluster_, cost_model_,
+                             BaseOptions());
+  IngestionEngine simplex(workload_, model_, cluster_, cost_model_,
+                          simplex_opts);
+  auto rs = structured.Run(Days(6));
+  auto rx = simplex.Run(Days(6));
+  ASSERT_TRUE(rs.ok() && rx.ok());
+  EXPECT_NEAR(rs->total_quality, rx->total_quality,
+              1e-6 * rs->total_quality);
+  EXPECT_EQ(rs->switch_count, rx->switch_count);
+  EXPECT_EQ(rs->misclassified, rx->misclassified);
+}
+
 TEST_F(EngineTest, NoTypeBLeavesOnlyTypeAErrors) {
   EngineOptions opts = BaseOptions();
   opts.eliminate_type_b_errors = true;

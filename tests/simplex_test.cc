@@ -34,6 +34,52 @@ TEST(SimplexTest, EqualityConstraints) {
   EXPECT_NEAR(sol->x[1], 1.0, 1e-6);
 }
 
+TEST(SimplexTest, IterationLimitSurfacedNotSilentlyOptimal) {
+  // max x + y s.t. x <= 1, y <= 1 needs two pivots. One iteration must
+  // report kIterationLimit with a feasible best-effort point, never claim
+  // kOptimal.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.a_ub = {{1, 0}, {0, 1}};
+  lp.b_ub = {1, 1};
+  LpOptions strangled;
+  strangled.max_iterations = 1;
+  auto limited = SolveLp(lp, strangled);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->status, LpStatus::kIterationLimit);
+  ASSERT_EQ(limited->x.size(), 2u);
+  EXPECT_LE(limited->x[0], 1.0 + 1e-9);  // best-effort point is feasible
+  EXPECT_LE(limited->x[1], 1.0 + 1e-9);
+  EXPECT_LT(limited->objective_value, 2.0 - 1e-9);  // and not yet optimal
+
+  auto full = SolveLp(lp);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->status, LpStatus::kOptimal);
+  EXPECT_NEAR(full->objective_value, 2.0, 1e-6);
+}
+
+TEST(SimplexTest, Phase1IterationLimitLeavesFeasibilityUndetermined) {
+  // Three disjoint equality rows need three phase-1 pivots; after one the
+  // artificials still carry mass, so feasibility is undetermined — the
+  // solver must report kIterationLimit with no point, not kInfeasible and
+  // not a fabricated optimum.
+  LinearProgram lp;
+  lp.objective = {1, 1, 1};
+  lp.a_eq = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  lp.b_eq = {1, 1, 1};
+  LpOptions strangled;
+  strangled.max_iterations = 1;
+  auto limited = SolveLp(lp, strangled);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->status, LpStatus::kIterationLimit);
+  EXPECT_TRUE(limited->x.empty());
+
+  auto full = SolveLp(lp);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->status, LpStatus::kOptimal);
+  EXPECT_NEAR(full->objective_value, 3.0, 1e-6);
+}
+
 TEST(SimplexTest, DetectsInfeasible) {
   // x <= 1 and x = 2 is infeasible.
   LinearProgram lp;
