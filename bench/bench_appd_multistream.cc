@@ -18,7 +18,7 @@
 #include "util/table.h"
 #include "workloads/ev_counting.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sky;
   using namespace sky::bench;
   std::printf("=== Appendix D: multi-stream joint planning ===\n");
@@ -39,7 +39,7 @@ int main() {
   cluster.cores = core::FairCoreShare(16, streams.size());
   sim::CostModel cost_model(1.8);
 
-  dag::ThreadPool pool(dag::DefaultThreadCount());
+  dag::ThreadPool pool(BenchThreads(argc, argv));
 
   // Per-stream offline phases are independent: one stream per pool slot.
   ExperimentSetup setup = EvSetup();

@@ -1,9 +1,12 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string>
 
 #include "baselines/static_baseline.h"
 #include "video/stream_source.h"
@@ -80,6 +83,51 @@ ExperimentSetup EvSetup() {
   s.num_categories = 3;
   s.plan_interval = Days(1);
   return s;
+}
+
+size_t BenchThreads(int argc, char** argv) {
+  // 4096 bounds strtol overflow saturation as well as accidental
+  // pool-per-core-times-1000 typos; no current machine exceeds it.
+  constexpr long kMaxThreads = 4096;
+  auto parse = [](const char* s) -> size_t {
+    errno = 0;
+    char* end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    bool ok = end != s && *end == '\0' && errno == 0 && v > 0 &&
+              v <= kMaxThreads;
+    return ok ? static_cast<size_t>(v) : 0;
+  };
+  // An explicitly supplied but invalid count is a hard error: silently
+  // falling back to the hardware concurrency would record misleading
+  // "threads" values in BENCH_*.json — the one thing the override exists
+  // to pin down.
+  auto parse_or_die = [&](const char* s, const char* origin) -> size_t {
+    size_t v = parse(s);
+    if (v == 0) {
+      std::fprintf(stderr, "invalid %s thread count '%s' (want an integer > 0)\n",
+                   origin, s);
+      std::exit(2);
+    }
+    return v;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads requires a value\n");
+        std::exit(2);
+      }
+      return parse_or_die(argv[i + 1], "--threads");
+    }
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return parse_or_die(arg.c_str() + prefix.size(), "--threads");
+    }
+  }
+  if (const char* env = std::getenv("SKY_BENCH_THREADS")) {
+    return parse_or_die(env, "SKY_BENCH_THREADS");
+  }
+  return dag::DefaultThreadCount();
 }
 
 Result<core::OfflineModel> FitOffline(const core::Workload& workload,

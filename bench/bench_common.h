@@ -68,6 +68,13 @@ ExperimentSetup MotSetup();
 ExperimentSetup MoseiSetup();
 ExperimentSetup EvSetup();
 
+/// Worker-pool size for the multi-threaded benches: `--threads N` (or
+/// `--threads=N`) on the command line wins, then the SKY_BENCH_THREADS
+/// environment variable, then the hardware concurrency. Benches record the
+/// value they actually used in their BENCH_*.json, so perf numbers from
+/// different machines stay comparable.
+size_t BenchThreads(int argc, char** argv);
+
 /// Runs the offline phase with the setup's geometry. A non-null `pool`
 /// backs the offline steps' fan-out (safe to share with an outer
 /// ParallelFor over workloads); with a null pool, `num_threads` is passed

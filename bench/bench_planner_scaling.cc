@@ -92,6 +92,9 @@ int main() {
   }
 
   BenchJson json("planner_scaling");
+  // Single-threaded solves by design; recorded so every BENCH_*.json names
+  // the pool size its numbers were measured with.
+  json.Set("threads", 1.0);
   json.Set("categories_per_stream", static_cast<double>(kNumCategories));
   json.Set("configs_per_stream", static_cast<double>(kNumConfigs));
 

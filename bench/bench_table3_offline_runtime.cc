@@ -18,7 +18,7 @@
 #include "util/table.h"
 #include "workloads/covid.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sky;
   using namespace sky::bench;
   std::printf("=== Table 3: offline-phase step runtimes (COVID) ===\n");
@@ -28,7 +28,7 @@ int main() {
   sim::ClusterSpec cluster;
   cluster.cores = 60;
   sim::CostModel cost_model(1.8);
-  size_t hw_threads = dag::DefaultThreadCount();
+  size_t hw_threads = BenchThreads(argc, argv);
 
   WallTimer serial_timer;
   auto serial = FitOffline(covid, setup, cluster, cost_model,

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run the test suite. Mirrors CI.
-# Follows with the planner-scaling bench so the perf trajectory
-# (BENCH_planner_scaling.json) is refreshed on every local check.
+# Follows with the perf-tracking benches so the trajectory
+# (BENCH_planner_scaling.json, BENCH_forecast_training.json) is refreshed
+# on every local check; both exit non-zero when a perf or parity gate fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j
 cd build && ctest --output-on-failure -j
 ./bench_planner_scaling
+./bench_forecast_training

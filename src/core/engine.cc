@@ -56,17 +56,17 @@ Result<KnobPlan> IngestionEngine::MakePlan(int64_t first_segment_index,
                                            const std::vector<size_t>& history,
                                            const Forecaster* forecaster) const {
   size_t num_c = model_->categories.NumCategories();
-  // All buffers below live in scratch_ and are written in place; the
-  // remaining steady-state allocations on this path are the returned plan
-  // and the forecaster's NN forward pass (its output is move-assigned, its
-  // per-layer temporaries are internal to ml::FeedForwardNet).
+  // All buffers below live in scratch_ and are written in place — including
+  // the forecaster forward pass, which runs against its own reusable
+  // inference scratch. The only steady-state allocation left on this path
+  // is the returned plan itself.
   std::vector<double>& forecast = scratch_.forecast;
   if (options_.use_ground_truth_forecast) {
     GroundTruthForecastInto(first_segment_index, &forecast);
   } else if (forecaster != nullptr && !history.empty()) {
     forecaster->FeaturesFromHistoryInto(history, model_->segment_seconds,
                                         &scratch_.features);
-    forecast = forecaster->Forecast(scratch_.features);
+    forecaster->ForecastInto(scratch_.features, &forecast);
   } else if (!history.empty()) {
     CategoryHistogramInto(history, 0, history.size(), num_c, &forecast);
   } else {

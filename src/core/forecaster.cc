@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/stats.h"
 
@@ -60,23 +61,52 @@ Result<ForecastDataset> BuildForecastDataset(
   }
   ml::Matrix X(samples, options.input_splits * num_categories);
   ml::Matrix Y(samples, num_categories);
-  // Each row is an independent window scan over the sequence — the heaviest
-  // part of forecaster training on the analytic substrate. Rows land in
-  // pre-sized matrix slots, so the dataset is thread-count invariant.
+
+  // Sample windows overlap almost entirely (stride << window), so scanning
+  // each window would touch the sequence O(samples * window) times — the
+  // dominant cost of the Table-3 "train forecast model" step. One prefix-sum
+  // pass makes every window histogram an O(|C|) subtraction instead. Counts
+  // are integers, exact in doubles, so the rows are bitwise identical to the
+  // scanned ones.
+  size_t n = category_sequence.size();
+  std::vector<uint32_t> prefix((n + 1) * num_categories, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* prev = prefix.data() + i * num_categories;
+    uint32_t* next = prefix.data() + (i + 1) * num_categories;
+    for (size_t c = 0; c < num_categories; ++c) next[c] = prev[c];
+    if (category_sequence[i] < num_categories) {
+      ++next[category_sequence[i]];
+    }
+  }
+  // Normalized histogram of [begin, end) into `out`, same arithmetic as
+  // CategoryHistogramInto: exact counts, one divide per category, uniform
+  // fallback on an empty window.
+  auto window_into = [&](size_t begin, size_t end, double* out) {
+    const uint32_t* lo = prefix.data() + begin * num_categories;
+    const uint32_t* hi = prefix.data() + end * num_categories;
+    double total = 0.0;
+    for (size_t c = 0; c < num_categories; ++c) {
+      out[c] = static_cast<double>(hi[c] - lo[c]);
+      total += out[c];
+    }
+    if (total <= 0.0) {
+      double u = 1.0 / static_cast<double>(num_categories);
+      for (size_t c = 0; c < num_categories; ++c) out[c] = u;
+    } else {
+      for (size_t c = 0; c < num_categories; ++c) out[c] /= total;
+    }
+  };
+  // Histograms land straight in the pre-sized matrix rows (no per-row
+  // temporary), so the fan-out is allocation-free and thread-count
+  // invariant.
   dag::ParallelFor(options.pool, samples, [&](size_t row) {
     size_t s = in_segs + row * stride;
     for (size_t split = 0; split < options.input_splits; ++split) {
       size_t begin = s - in_segs + split * split_len;
       size_t end = split + 1 == options.input_splits ? s : begin + split_len;
-      std::vector<double> hist =
-          CategoryHistogram(category_sequence, begin, end, num_categories);
-      for (size_t c = 0; c < num_categories; ++c) {
-        X.At(row, split * num_categories + c) = hist[c];
-      }
+      window_into(begin, end, X.RowPtr(row) + split * num_categories);
     }
-    std::vector<double> target =
-        CategoryHistogram(category_sequence, s, s + out_segs, num_categories);
-    Y.SetRow(row, target);
+    window_into(s, std::min(s + out_segs, n), Y.RowPtr(row));
   });
   return ForecastDataset{std::move(X), std::move(Y)};
 }
@@ -93,9 +123,19 @@ Result<Forecaster> Forecaster::Train(
                          ml::Activation::kSoftmax, &rng);
   ml::TrainOptions train = options.train_options;
   train.loss = ml::Loss::kCrossEntropy;
+  // The batched trainer fans gradient chunks out on the offline pool unless
+  // the caller pinned a training pool explicitly; the fixed chunk geometry
+  // keeps the weights bit-identical either way.
+  if (train.pool == nullptr) train.pool = options.pool;
   SKY_ASSIGN_OR_RETURN(ml::TrainReport report,
                        net.Train(data.inputs, data.targets, train));
-  return Forecaster(std::move(net), options, num_categories,
+  // The stored options outlive the training pools (the offline phase may
+  // own them); null both pointers so no later call can dereference a dead
+  // pool.
+  ForecasterOptions stored = options;
+  stored.pool = nullptr;
+  stored.train_options.pool = nullptr;
+  return Forecaster(std::move(net), stored, num_categories,
                     std::move(report));
 }
 
@@ -150,6 +190,11 @@ std::vector<double> Forecaster::Forecast(
   return net_.Predict(features);
 }
 
+void Forecaster::ForecastInto(const std::vector<double>& features,
+                              std::vector<double>* out) const {
+  net_.PredictInto(features, &predict_scratch_, out);
+}
+
 void Forecaster::OnlineUpdate(const std::vector<double>& features,
                               const std::vector<double>& realized_distribution,
                               double learning_rate) {
@@ -163,16 +208,23 @@ Result<double> Forecaster::EvaluateMae(
   SKY_ASSIGN_OR_RETURN(ForecastDataset data,
                        BuildForecastDataset(category_sequence, segment_seconds,
                                             num_categories_, options_));
-  double total = 0.0;
-  size_t count = 0;
-  for (size_t i = 0; i < data.inputs.rows(); ++i) {
-    std::vector<double> pred = net_.Predict(data.inputs.Row(i));
-    std::vector<double> target = data.targets.Row(i);
-    total += MeanAbsoluteError(pred, target);
-    ++count;
+  if (data.inputs.rows() == 0) {
+    return Status::InvalidArgument("no evaluation samples");
   }
-  if (count == 0) return Status::InvalidArgument("no evaluation samples");
-  return total / static_cast<double>(count);
+  // One batched forward pass over the whole evaluation set instead of a
+  // per-row Predict (and its per-layer allocations).
+  ml::TrainWorkspace ws;
+  ml::Matrix preds;
+  net_.PredictBatchInto(data.inputs, &ws, &preds);
+  double total = 0.0;
+  for (size_t i = 0; i < preds.rows(); ++i) {
+    const double* p = preds.RowPtr(i);
+    const double* t = data.targets.RowPtr(i);
+    double mae = 0.0;
+    for (size_t c = 0; c < num_categories_; ++c) mae += std::abs(p[c] - t[c]);
+    total += mae / static_cast<double>(num_categories_);
+  }
+  return total / static_cast<double>(preds.rows());
 }
 
 }  // namespace sky::core

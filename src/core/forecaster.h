@@ -82,7 +82,16 @@ class Forecaster {
   /// Predicted category distribution r over the planned interval.
   std::vector<double> Forecast(const std::vector<double>& features) const;
 
+  /// In-place variant of Forecast, reusing an internal inference scratch:
+  /// zero heap allocation at steady state, bitwise identical to Forecast.
+  /// The shared scratch makes concurrent calls on one Forecaster object a
+  /// data race — engines operate on their own copies.
+  void ForecastInto(const std::vector<double>& features,
+                    std::vector<double>* out) const;
+
   /// Online fine-tuning step on a realized (features, outcome) pair (§3.3).
+  /// Runs against the net's reusable workspace: allocation-free at steady
+  /// state on the engine's plan boundary.
   void OnlineUpdate(const std::vector<double>& features,
                     const std::vector<double>& realized_distribution,
                     double learning_rate = 1e-3);
@@ -96,6 +105,12 @@ class Forecaster {
   const ForecasterOptions& options() const { return options_; }
   const ml::TrainReport& train_report() const { return report_; }
 
+  /// Flat copy of the network parameters — the bit-identity handle behind
+  /// OfflineModelsIdentical and the thread-count determinism checks.
+  std::vector<double> ModelParameters() const {
+    return net_.FlattenParameters();
+  }
+
  private:
   Forecaster(ml::FeedForwardNet net, ForecasterOptions options,
              size_t num_categories, ml::TrainReport report)
@@ -108,6 +123,8 @@ class Forecaster {
   ForecasterOptions options_;
   size_t num_categories_;
   ml::TrainReport report_;
+  /// Reused by ForecastInto so steady-state inference allocates nothing.
+  mutable ml::PredictScratch predict_scratch_;
 };
 
 }  // namespace sky::core

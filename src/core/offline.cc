@@ -99,6 +99,12 @@ bool OfflineModelsIdentical(const OfflineModel& a, const OfflineModel& b) {
         return false;
     }
   }
+
+  if (a.forecaster.has_value() != b.forecaster.has_value()) return false;
+  if (a.forecaster.has_value() &&
+      a.forecaster->ModelParameters() != b.forecaster->ModelParameters()) {
+    return false;
+  }
   return true;
 }
 

@@ -81,12 +81,13 @@ std::vector<size_t> BuildTrainCategorySequence(
     SimTime horizon, uint64_t seed, dag::ThreadPool* pool = nullptr);
 
 /// True when two offline models are bit-identical on every deterministic
-/// field: configs, full placement profiles, category centers, and the
-/// training sequence (step runtimes and the forecaster are excluded — wall
-/// times always differ, and the forecaster is a pure function of the
-/// compared inputs). The contract behind OfflineOptions::num_threads,
-/// shared by tests/offline_determinism_test.cc and
-/// bench_table3_offline_runtime.
+/// field: configs, full placement profiles, category centers, the training
+/// sequence, and the trained forecaster's network parameters (only the step
+/// runtimes are excluded — wall times always differ). The batched trainer's
+/// fixed chunk geometry makes even the forecaster weights independent of
+/// the thread count, so the comparison can afford to be bitwise. The
+/// contract behind OfflineOptions::num_threads, shared by
+/// tests/offline_determinism_test.cc and bench_table3_offline_runtime.
 bool OfflineModelsIdentical(const OfflineModel& a, const OfflineModel& b);
 
 }  // namespace sky::core

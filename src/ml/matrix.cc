@@ -1,9 +1,24 @@
 #include "ml/matrix.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace sky::ml {
+
+namespace {
+
+/// Cache-block geometry for the GEMM kernels. The forecasting nets are small
+/// (tens of columns), where blocking is a no-op by construction; on larger
+/// operands the tiles keep one output block plus the operand panels it needs
+/// L1/L2-resident. The block order is a fixed function of the shapes, so
+/// results are deterministic — though the rank-4 contractions reassociate
+/// sums, so they agree with the naive triple loop to rounding error, not
+/// bitwise (see the header docs).
+constexpr size_t kBlockRows = 64;
+constexpr size_t kBlockInner = 128;
+
+}  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -31,12 +46,24 @@ void Matrix::SetRow(size_t r, const std::vector<double>& v) {
   for (size_t c = 0; c < cols_; ++c) At(r, c) = v[c];
 }
 
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix Matrix::Transpose() const {
   Matrix t(cols_, rows_);
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
-  }
+  TransposeInto(&t);
   return t;
+}
+
+void Matrix::TransposeInto(Matrix* out) const {
+  assert(out != this);
+  out->Resize(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out->At(c, r) = At(r, c);
+  }
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
@@ -56,7 +83,9 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 
 void Matrix::AddScaled(const Matrix& other, double alpha) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  double* __restrict dst = data_.data();
+  const double* __restrict src = other.data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
 }
 
 void Matrix::Scale(double alpha) {
@@ -65,6 +94,122 @@ void Matrix::Scale(double alpha) {
 
 void Matrix::Fill(double v) {
   for (double& x : data_) x = v;
+}
+
+void Matrix::AddOuterProduct(const double* u, const double* v, double alpha) {
+  // restrict lets the row updates vectorize: u/v never alias data_ in any
+  // caller (gradients accumulate activations into a separate matrix).
+  const double* __restrict vv = v;
+  for (size_t r = 0; r < rows_; ++r) {
+    double d = alpha * u[r];
+    if (d == 0.0) continue;
+    double* __restrict row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) row[c] += d * vv[c];
+  }
+}
+
+namespace {
+
+/// Shared row-major GEMM: out = a * b (+ bias broadcast over rows). The
+/// inner kernel contracts four b rows per pass over the output row, so one
+/// out-row load/store amortizes four rank-1 contributions — the memory-bound
+/// limiter of the naive i-k-j loop. i/k blocking keeps the active b panel
+/// cache-resident on large operands; the contraction and block order are a
+/// fixed function of the shapes, so results are fully deterministic.
+void MatMulRowMajorImpl(const Matrix& a, const Matrix& b, const double* bias,
+                        Matrix* out) {
+  assert(a.cols() == b.rows());
+  assert(out != &a && out != &b);
+  size_t n = a.rows(), kdim = a.cols(), m = b.cols();
+  out->Resize(n, m);
+  if (kdim == 0) {
+    // The per-row initialization below lives inside the k-block loop, which
+    // a 0-deep product never enters — initialize explicitly so a reused out
+    // buffer cannot leak stale contents.
+    for (size_t i = 0; i < n; ++i) {
+      double* __restrict orow = out->RowPtr(i);
+      for (size_t j = 0; j < m; ++j) orow[j] = bias == nullptr ? 0.0 : bias[j];
+    }
+    return;
+  }
+  for (size_t i0 = 0; i0 < n; i0 += kBlockRows) {
+    size_t i1 = std::min(n, i0 + kBlockRows);
+    for (size_t k0 = 0; k0 < kdim; k0 += kBlockInner) {
+      size_t k1 = std::min(kdim, k0 + kBlockInner);
+      for (size_t i = i0; i < i1; ++i) {
+        double* __restrict orow = out->RowPtr(i);
+        if (k0 == 0) {
+          if (bias == nullptr) {
+            for (size_t j = 0; j < m; ++j) orow[j] = 0.0;
+          } else {
+            for (size_t j = 0; j < m; ++j) orow[j] = bias[j];
+          }
+        }
+        const double* __restrict arow = a.RowPtr(i);
+        size_t k = k0;
+        for (; k + 4 <= k1; k += 4) {
+          double v0 = arow[k], v1 = arow[k + 1];
+          double v2 = arow[k + 2], v3 = arow[k + 3];
+          const double* __restrict b0 = b.RowPtr(k);
+          const double* __restrict b1 = b.RowPtr(k + 1);
+          const double* __restrict b2 = b.RowPtr(k + 2);
+          const double* __restrict b3 = b.RowPtr(k + 3);
+          for (size_t j = 0; j < m; ++j) {
+            orow[j] += (v0 * b0[j] + v1 * b1[j]) + (v2 * b2[j] + v3 * b3[j]);
+          }
+        }
+        for (; k < k1; ++k) {
+          double v = arow[k];
+          const double* __restrict brow = b.RowPtr(k);
+          for (size_t j = 0; j < m; ++j) orow[j] += v * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  MatMulRowMajorImpl(a, b, nullptr, out);
+}
+
+void MatMulBiasInto(const Matrix& a, const Matrix& b,
+                    const std::vector<double>& bias, Matrix* out) {
+  assert(bias.size() == b.cols());
+  MatMulRowMajorImpl(a, b, bias.data(), out);
+}
+
+void MatMulTransposedAInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows());
+  assert(out != &a && out != &b);
+  size_t n = a.rows(), mr = a.cols(), mc = b.cols();
+  out->Resize(mr, mc);
+  out->Fill(0.0);
+  // Rank-4 updates in ascending row (= sample) order: out is the small
+  // gradient matrix and stays cache-resident while a and b stream by, and
+  // four samples share each pass over an out row.
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* __restrict u0 = a.RowPtr(i);
+    const double* __restrict u1 = a.RowPtr(i + 1);
+    const double* __restrict u2 = a.RowPtr(i + 2);
+    const double* __restrict u3 = a.RowPtr(i + 3);
+    const double* __restrict v0 = b.RowPtr(i);
+    const double* __restrict v1 = b.RowPtr(i + 1);
+    const double* __restrict v2 = b.RowPtr(i + 2);
+    const double* __restrict v3 = b.RowPtr(i + 3);
+    for (size_t r = 0; r < mr; ++r) {
+      double d0 = u0[r], d1 = u1[r], d2 = u2[r], d3 = u3[r];
+      double* __restrict orow = out->RowPtr(r);
+      for (size_t c = 0; c < mc; ++c) {
+        orow[c] += (d0 * v0[c] + d1 * v1[c]) + (d2 * v2[c] + d3 * v3[c]);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    out->AddOuterProduct(a.RowPtr(i), b.RowPtr(i));
+  }
 }
 
 double L2Distance(const std::vector<double>& a, const std::vector<double>& b) {

@@ -33,13 +33,26 @@ class Matrix {
   std::vector<double> Row(size_t r) const;
   void SetRow(size_t r, const std::vector<double>& v);
 
+  /// Reshapes to rows x cols, reusing the existing capacity (no allocation
+  /// when the new element count fits). Contents are unspecified afterwards —
+  /// the workspace-reuse primitive behind the allocation-free ML paths.
+  void Resize(size_t rows, size_t cols);
+
   Matrix Transpose() const;
+  /// Transpose into a caller-owned buffer (resized, reusing capacity).
+  void TransposeInto(Matrix* out) const;
   Matrix MatMul(const Matrix& other) const;
 
   /// this += alpha * other (element-wise; shapes must match).
   void AddScaled(const Matrix& other, double alpha);
   void Scale(double alpha);
   void Fill(double v);
+
+  /// Rank-1 update: this(r, c) += alpha * u[r] * v[c], with u of length
+  /// rows() and v of length cols(). Rows whose alpha * u[r] is exactly zero
+  /// are skipped — the same shortcut the per-sample backprop loops take, so
+  /// batched gradient accumulation stays bitwise-comparable to them.
+  void AddOuterProduct(const double* u, const double* v, double alpha = 1.0);
 
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
@@ -49,6 +62,25 @@ class Matrix {
   size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+/// out = a * b, cache-blocked, written into the caller-owned buffer (resized
+/// to a.rows() x b.cols(), reusing capacity). Inner products contract four k
+/// terms per output-row pass (quartering the out-row memory traffic); the
+/// contraction order is a fixed function of the shape, so results are
+/// deterministic — run-to-run and thread-count-proof — though rounded
+/// differently than a strictly sequential sum.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Fused affine map: out = a * b + bias, with bias (b.cols() entries)
+/// broadcast over the rows of out — one pass for the batched layer forward
+/// "x W^T + b" when b holds the transposed weights.
+void MatMulBiasInto(const Matrix& a, const Matrix& b,
+                    const std::vector<double>& bias, Matrix* out);
+
+/// out = a^T * b, accumulated as rank-4 row updates in ascending row
+/// (= sample) order — the batched gradient contraction grad = delta^T *
+/// activations. out is resized to a.cols() x b.cols() and overwritten.
+void MatMulTransposedAInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Euclidean distance between two equally sized vectors.
 double L2Distance(const std::vector<double>& a, const std::vector<double>& b);

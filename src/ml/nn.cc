@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
@@ -14,6 +15,12 @@ constexpr double kAdamBeta1 = 0.9;
 constexpr double kAdamBeta2 = 0.999;
 constexpr double kAdamEps = 1e-8;
 constexpr double kLogEps = 1e-12;
+
+/// Rows per chunk of the forward-only batched paths (PredictBatchInto). Pure
+/// per-row computations: the chunking never affects values, only locality.
+constexpr size_t kPredictChunkRows = 32;
+/// Upper bound on concurrently scheduled workspace chunks.
+constexpr size_t kMaxChunkSlots = 16;
 
 void ApplyActivation(Activation act, std::vector<double>* v) {
   switch (act) {
@@ -35,26 +42,100 @@ void ApplyActivation(Activation act, std::vector<double>* v) {
   }
 }
 
-}  // namespace
+/// Row-wise activation from pre-activations into a separate output buffer,
+/// arithmetic-identical to ApplyActivation on each row.
+void ActivateRowsInto(Activation act, const Matrix& pre, size_t m,
+                      Matrix* out) {
+  size_t w = pre.cols();
+  out->Resize(m, w);
+  switch (act) {
+    case Activation::kIdentity:
+      std::memcpy(out->RowPtr(0), pre.RowPtr(0), m * w * sizeof(double));
+      return;
+    case Activation::kRelu: {
+      const double* src = pre.RowPtr(0);
+      double* dst = out->RowPtr(0);
+      for (size_t i = 0; i < m * w; ++i) dst[i] = src[i] > 0.0 ? src[i] : 0.0;
+      return;
+    }
+    case Activation::kSoftmax:
+      for (size_t i = 0; i < m; ++i) {
+        const double* z = pre.RowPtr(i);
+        double* o = out->RowPtr(i);
+        double mx = z[0];
+        for (size_t j = 1; j < w; ++j) mx = std::max(mx, z[j]);
+        double sum = 0.0;
+        for (size_t j = 0; j < w; ++j) {
+          o[j] = std::exp(z[j] - mx);
+          sum += o[j];
+        }
+        for (size_t j = 0; j < w; ++j) o[j] /= sum;
+      }
+      return;
+  }
+}
 
-double ComputeLoss(const std::vector<double>& pred,
-                   const std::vector<double>& target, Loss loss) {
-  assert(pred.size() == target.size());
+/// Span twin of ComputeLoss, same accumulation order.
+double LossRow(const double* pred, const double* target, size_t n, Loss loss) {
   double out = 0.0;
   switch (loss) {
     case Loss::kMse:
-      for (size_t i = 0; i < pred.size(); ++i) {
+      for (size_t i = 0; i < n; ++i) {
         double d = pred[i] - target[i];
         out += d * d;
       }
-      return out / static_cast<double>(pred.size());
+      return out / static_cast<double>(n);
     case Loss::kCrossEntropy:
-      for (size_t i = 0; i < pred.size(); ++i) {
+      for (size_t i = 0; i < n; ++i) {
         out -= target[i] * std::log(pred[i] + kLogEps);
       }
       return out;
   }
   return out;
+}
+
+/// Copies the rows of src selected by idx[0..m) into out (resized, no
+/// allocation once out's capacity covers the chunk).
+void GatherRows(const Matrix& src, const size_t* idx, size_t m, Matrix* out) {
+  size_t w = src.cols();
+  out->Resize(m, w);
+  for (size_t i = 0; i < m; ++i) {
+    std::memcpy(out->RowPtr(i), src.RowPtr(idx[i]), w * sizeof(double));
+  }
+}
+
+/// Contiguous-range gather: rows [begin, begin + m) in one copy.
+void GatherRowRange(const Matrix& src, size_t begin, size_t m, Matrix* out) {
+  size_t w = src.cols();
+  out->Resize(m, w);
+  std::memcpy(out->RowPtr(0), src.RowPtr(begin), m * w * sizeof(double));
+}
+
+/// Shared chunk dispatcher for the batched paths: processes `chunks` in
+/// waves of at most `slots`, running run(chunk_index, slot) for each —
+/// serially when there is no parallelism to be had, else fanned out on the
+/// pool — then after_wave(base, wave) on the calling thread (the ordered
+/// reduction hook; pass nullptr when there is nothing to reduce).
+void ForEachChunkWave(size_t chunks, size_t slots, dag::ThreadPool* pool,
+                      const std::function<void(size_t, size_t)>& run,
+                      const std::function<void(size_t, size_t)>& after_wave) {
+  for (size_t base = 0; base < chunks; base += slots) {
+    size_t wave = std::min(slots, chunks - base);
+    if (wave == 1 || pool == nullptr || pool->num_threads() <= 1) {
+      for (size_t s = 0; s < wave; ++s) run(base + s, s);
+    } else {
+      dag::ParallelFor(pool, wave, [&](size_t s) { run(base + s, s); });
+    }
+    if (after_wave) after_wave(base, wave);
+  }
+}
+
+}  // namespace
+
+double ComputeLoss(const std::vector<double>& pred,
+                   const std::vector<double>& target, Loss loss) {
+  assert(pred.size() == target.size());
+  return LossRow(pred.data(), target.data(), pred.size(), loss);
 }
 
 FeedForwardNet::FeedForwardNet(size_t input_dim, std::vector<size_t> hidden,
@@ -65,6 +146,7 @@ FeedForwardNet::FeedForwardNet(size_t input_dim, std::vector<size_t> hidden,
   for (size_t width : hidden) {
     Layer l;
     l.w = Matrix::RandomHe(width, in, rng);
+    l.wt = l.w.Transpose();
     l.b.assign(width, 0.0);
     l.act = Activation::kRelu;
     l.mw = Matrix(width, in, 0.0);
@@ -76,6 +158,7 @@ FeedForwardNet::FeedForwardNet(size_t input_dim, std::vector<size_t> hidden,
   }
   Layer out;
   out.w = Matrix::RandomHe(output_dim, in, rng);
+  out.wt = out.w.Transpose();
   out.b.assign(output_dim, 0.0);
   out.act = output_activation;
   out.mw = Matrix(output_dim, in, 0.0);
@@ -91,6 +174,16 @@ size_t FeedForwardNet::NumParameters() const {
     n += l.w.rows() * l.w.cols() + l.b.size();
   }
   return n;
+}
+
+std::vector<double> FeedForwardNet::FlattenParameters() const {
+  std::vector<double> flat;
+  flat.reserve(NumParameters());
+  for (const Layer& l : layers_) {
+    flat.insert(flat.end(), l.w.data().begin(), l.w.data().end());
+    flat.insert(flat.end(), l.b.begin(), l.b.end());
+  }
+  return flat;
 }
 
 std::vector<double> FeedForwardNet::Forward(const std::vector<double>& x,
@@ -120,6 +213,147 @@ std::vector<double> FeedForwardNet::Forward(const std::vector<double>& x,
 std::vector<double> FeedForwardNet::Predict(const std::vector<double>& x) const {
   assert(x.size() == input_dim_);
   return Forward(x, nullptr);
+}
+
+void FeedForwardNet::PredictInto(const std::vector<double>& x,
+                                 PredictScratch* scratch,
+                                 std::vector<double>* out) const {
+  assert(x.size() == input_dim_);
+  // Same bias-first sequential dot products as Forward, ping-ponging between
+  // the two scratch buffers instead of allocating per layer.
+  const double* cur = x.data();
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& l = layers_[li];
+    std::vector<double>& dst = (li % 2 == 0) ? scratch->even : scratch->odd;
+    dst.resize(l.w.rows());
+    for (size_t r = 0; r < l.w.rows(); ++r) {
+      const double* wrow = l.w.RowPtr(r);
+      double s = l.b[r];
+      for (size_t c = 0; c < l.w.cols(); ++c) s += wrow[c] * cur[c];
+      dst[r] = s;
+    }
+    ApplyActivation(l.act, &dst);
+    cur = dst.data();
+  }
+  out->resize(output_dim_);
+  std::memcpy(out->data(), cur, output_dim_ * sizeof(double));
+}
+
+void FeedForwardNet::EnsureWorkspace(TrainWorkspace* ws, size_t max_rows,
+                                     size_t slots, bool with_backward) const {
+  size_t num_layers = layers_.size();
+  if (ws->chunks.size() < slots) ws->chunks.resize(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    TrainWorkspace::Chunk& c = ws->chunks[s];
+    if (c.act.size() != num_layers + 1) {
+      c.act.resize(num_layers + 1);
+      c.pre.resize(num_layers);
+    }
+    c.act[0].Resize(max_rows, input_dim_);
+    for (size_t l = 0; l < num_layers; ++l) {
+      c.act[l + 1].Resize(max_rows, layers_[l].w.rows());
+      c.pre[l].Resize(max_rows, layers_[l].w.rows());
+    }
+    c.yb.Resize(max_rows, output_dim_);
+    if (c.row_loss.size() < max_rows) c.row_loss.resize(max_rows);
+    if (with_backward) {
+      if (c.delta.size() != num_layers) {
+        c.delta.resize(num_layers);
+        c.gw.resize(num_layers);
+        c.gb.resize(num_layers);
+      }
+      for (size_t l = 0; l < num_layers; ++l) {
+        c.delta[l].Resize(max_rows, layers_[l].w.rows());
+        c.gw[l].Resize(layers_[l].w.rows(), layers_[l].w.cols());
+        c.gb[l].resize(layers_[l].b.size());
+      }
+    }
+  }
+  if (with_backward) {
+    if (ws->grad_w.size() != num_layers) {
+      ws->grad_w.resize(num_layers);
+      ws->grad_b.resize(num_layers);
+    }
+    for (size_t l = 0; l < num_layers; ++l) {
+      ws->grad_w[l].Resize(layers_[l].w.rows(), layers_[l].w.cols());
+      ws->grad_b[l].resize(layers_[l].b.size());
+    }
+  }
+}
+
+void FeedForwardNet::ForwardChunk(TrainWorkspace::Chunk* chunk,
+                                  size_t m) const {
+  assert(chunk->act[0].rows() == m);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    // Fused affine layer against the maintained transposed weights: pre =
+    // act * W^T + b as one row-major GEMM pass.
+    MatMulBiasInto(chunk->act[l], layers_[l].wt, layers_[l].b,
+                   &chunk->pre[l]);
+    ActivateRowsInto(layers_[l].act, chunk->pre[l], m, &chunk->act[l + 1]);
+  }
+}
+
+void FeedForwardNet::OutputDeltaAndLoss(TrainWorkspace::Chunk* chunk, size_t m,
+                                        Loss loss) const {
+  const Matrix& pred = chunk->act.back();
+  const Matrix& pre = chunk->pre.back();
+  Matrix& delta = chunk->delta.back();
+  size_t w = output_dim_;
+  delta.Resize(m, w);
+  const Layer& out_layer = layers_.back();
+  for (size_t i = 0; i < m; ++i) {
+    const double* p = pred.RowPtr(i);
+    const double* y = chunk->yb.RowPtr(i);
+    double* d = delta.RowPtr(i);
+    chunk->row_loss[i] = LossRow(p, y, w, loss);
+    // Softmax + cross-entropy and identity + MSE both reduce to (pred - y)
+    // up to a constant factor — same cases as the per-sample backward.
+    if (loss == Loss::kCrossEntropy) {
+      assert(out_layer.act == Activation::kSoftmax);
+      for (size_t j = 0; j < w; ++j) d[j] = p[j] - y[j];
+    } else {
+      double scale = 2.0 / static_cast<double>(w);
+      for (size_t j = 0; j < w; ++j) d[j] = scale * (p[j] - y[j]);
+      if (out_layer.act == Activation::kRelu) {
+        const double* z = pre.RowPtr(i);
+        for (size_t j = 0; j < w; ++j) {
+          if (z[j] <= 0.0) d[j] = 0.0;
+        }
+      } else if (out_layer.act == Activation::kSoftmax) {
+        // Full softmax Jacobian for the MSE case.
+        double dot = 0.0;
+        for (size_t j = 0; j < w; ++j) dot += d[j] * p[j];
+        for (size_t j = 0; j < w; ++j) d[j] = p[j] * (d[j] - dot);
+      }
+    }
+  }
+}
+
+void FeedForwardNet::BackwardChunk(TrainWorkspace::Chunk* chunk,
+                                   size_t m) const {
+  for (size_t li = layers_.size(); li-- > 0;) {
+    const Layer& l = layers_[li];
+    const Matrix& delta = chunk->delta[li];
+    // grad_w = delta^T * a_in: rank-1 updates in sample order, the batched
+    // twin of the per-sample accumulation.
+    MatMulTransposedAInto(delta, chunk->act[li], &chunk->gw[li]);
+    std::vector<double>& gb = chunk->gb[li];
+    std::fill(gb.begin(), gb.end(), 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      const double* d = delta.RowPtr(i);
+      for (size_t r = 0; r < gb.size(); ++r) gb[r] += d[r];
+    }
+    if (li == 0) break;
+    // Propagate delta through W and the previous layer's ReLU.
+    Matrix& prev = chunk->delta[li - 1];
+    MatMulInto(delta, l.w, &prev);
+    assert(layers_[li - 1].act == Activation::kRelu);
+    const double* z = chunk->pre[li - 1].RowPtr(0);
+    double* d = prev.RowPtr(0);
+    for (size_t i = 0; i < m * prev.cols(); ++i) {
+      if (z[i] <= 0.0) d[i] = 0.0;
+    }
+  }
 }
 
 double FeedForwardNet::BackwardAccumulate(
@@ -197,11 +431,12 @@ void FeedForwardNet::AdamStep(const std::vector<Matrix>& grad_w,
   double inv_batch = 1.0 / static_cast<double>(batch);
   for (size_t li = 0; li < layers_.size(); ++li) {
     Layer& l = layers_[li];
-    const auto& gw = grad_w[li].data();
-    auto& w = l.w.data();
-    auto& mw = l.mw.data();
-    auto& vw = l.vw.data();
-    for (size_t i = 0; i < w.size(); ++i) {
+    const double* __restrict gw = grad_w[li].data().data();
+    double* __restrict w = l.w.data().data();
+    double* __restrict mw = l.mw.data().data();
+    double* __restrict vw = l.vw.data().data();
+    size_t w_size = l.w.data().size();
+    for (size_t i = 0; i < w_size; ++i) {
       double g = gw[i] * inv_batch;
       mw[i] = kAdamBeta1 * mw[i] + (1.0 - kAdamBeta1) * g;
       vw[i] = kAdamBeta2 * vw[i] + (1.0 - kAdamBeta2) * g * g;
@@ -217,6 +452,9 @@ void FeedForwardNet::AdamStep(const std::vector<Matrix>& grad_w,
       double vhat = l.vb[i] / bc2;
       l.b[i] -= lr * mhat / (std::sqrt(vhat) + kAdamEps);
     }
+    // Keep the transposed copy current for the batched forward (O(params),
+    // into reused capacity — dwarfed by the gradient work it speeds up).
+    l.w.TransposeInto(&l.wt);
   }
 }
 
@@ -230,6 +468,150 @@ double FeedForwardNet::EvalLoss(const Matrix& X, const Matrix& Y,
     total += ComputeLoss(pred, Y.Row(i), loss);
   }
   return total / static_cast<double>(idx.size());
+}
+
+double FeedForwardNet::EvalLossBatched(const Matrix& X, const Matrix& Y,
+                                       const std::vector<size_t>& idx,
+                                       Loss loss, size_t chunk_rows,
+                                       TrainWorkspace* ws,
+                                       dag::ThreadPool* pool) const {
+  if (idx.empty()) return 0.0;
+  // Forward-only work: per-row results are independent of the chunking, so
+  // evaluation can use wider chunks than the gradient path for better
+  // kernel amortization without affecting any value.
+  size_t rows = std::max(kPredictChunkRows, std::max<size_t>(1, chunk_rows));
+  size_t chunks = (idx.size() + rows - 1) / rows;
+  size_t slots = std::max<size_t>(1, std::min(ws->chunks.size(), chunks));
+  EnsureWorkspace(ws, rows, slots, /*with_backward=*/false);
+  double total = 0.0;
+  ForEachChunkWave(
+      chunks, slots, pool,
+      [&](size_t ci, size_t s) {
+        size_t begin = ci * rows;
+        size_t m = std::min(rows, idx.size() - begin);
+        TrainWorkspace::Chunk& c = ws->chunks[s];
+        GatherRows(X, idx.data() + begin, m, &c.act[0]);
+        GatherRows(Y, idx.data() + begin, m, &c.yb);
+        ForwardChunk(&c, m);
+        for (size_t i = 0; i < m; ++i) {
+          c.row_loss[i] = LossRow(c.act.back().RowPtr(i), c.yb.RowPtr(i),
+                                  output_dim_, loss);
+        }
+      },
+      [&](size_t base, size_t wave) {
+        // Per-row losses reduced in global sample order — the same order the
+        // per-sample EvalLoss sums in.
+        for (size_t s = 0; s < wave; ++s) {
+          size_t begin = (base + s) * rows;
+          size_t m = std::min(rows, idx.size() - begin);
+          for (size_t i = 0; i < m; ++i) total += ws->chunks[s].row_loss[i];
+        }
+      });
+  return total / static_cast<double>(idx.size());
+}
+
+void FeedForwardNet::PredictBatchInto(const Matrix& X, TrainWorkspace* ws,
+                                      Matrix* out,
+                                      dag::ThreadPool* pool) const {
+  assert(X.cols() == input_dim_);
+  size_t n = X.rows();
+  out->Resize(n, output_dim_);
+  if (n == 0) return;
+  size_t chunks = (n + kPredictChunkRows - 1) / kPredictChunkRows;
+  size_t parallel_width = pool == nullptr ? 1 : pool->num_threads() + 1;
+  size_t slots = std::min(std::min(kMaxChunkSlots, parallel_width), chunks);
+  EnsureWorkspace(ws, kPredictChunkRows, slots, /*with_backward=*/false);
+  ForEachChunkWave(
+      chunks, slots, pool,
+      [&](size_t ci, size_t s) {
+        size_t begin = ci * kPredictChunkRows;
+        size_t m = std::min(kPredictChunkRows, n - begin);
+        TrainWorkspace::Chunk& c = ws->chunks[s];
+        GatherRowRange(X, begin, m, &c.act[0]);
+        ForwardChunk(&c, m);
+        std::memcpy(out->RowPtr(begin), c.act.back().RowPtr(0),
+                    m * output_dim_ * sizeof(double));
+      },
+      nullptr);
+}
+
+void FeedForwardNet::TrainBatchedLoop(const Matrix& X, const Matrix& Y,
+                                      std::vector<size_t>* train_idx,
+                                      const std::vector<size_t>& val_idx,
+                                      const TrainOptions& opts, Rng* rng,
+                                      TrainReport* report,
+                                      std::vector<Layer>* best_layers) {
+  size_t chunk_rows = std::max<size_t>(1, opts.grad_chunk_rows);
+  size_t batch_chunks = (opts.batch_size + chunk_rows - 1) / chunk_rows;
+  size_t val_chunks = (val_idx.size() + chunk_rows - 1) / chunk_rows;
+  // Slot count only bounds how many chunks are in flight at once — chunk
+  // geometry and reduction order are untouched by it — so size it to the
+  // actual parallelism (pool workers + the participating caller).
+  size_t parallel_width =
+      opts.pool == nullptr ? 1 : opts.pool->num_threads() + 1;
+  size_t slots = std::min(std::min(kMaxChunkSlots, parallel_width),
+                          std::max<size_t>(1, std::max(batch_chunks,
+                                                       val_chunks)));
+  EnsureWorkspace(&train_ws_, chunk_rows, slots, /*with_backward=*/true);
+  TrainWorkspace& ws = train_ws_;
+  dag::ThreadPool* pool = opts.pool;
+
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng->Shuffle(train_idx);
+    double epoch_loss = 0.0;
+    size_t pos = 0;
+    while (pos < train_idx->size()) {
+      size_t batch = std::min(opts.batch_size, train_idx->size() - pos);
+      size_t chunks = (batch + chunk_rows - 1) / chunk_rows;
+      for (auto& g : ws.grad_w) g.Fill(0.0);
+      for (auto& g : ws.grad_b) std::fill(g.begin(), g.end(), 0.0);
+      // Fixed-size chunks: geometry depends only on batch and chunk_rows,
+      // so any pool size computes the exact same partials.
+      ForEachChunkWave(
+          chunks, slots, pool,
+          [&](size_t ci, size_t s) {
+            size_t begin = pos + ci * chunk_rows;
+            size_t m = std::min(chunk_rows, pos + batch - begin);
+            TrainWorkspace::Chunk& c = ws.chunks[s];
+            GatherRows(X, train_idx->data() + begin, m, &c.act[0]);
+            GatherRows(Y, train_idx->data() + begin, m, &c.yb);
+            ForwardChunk(&c, m);
+            OutputDeltaAndLoss(&c, m, opts.loss);
+            BackwardChunk(&c, m);
+          },
+          [&](size_t base, size_t wave) {
+            // Deterministic reduction: chunk partials land in ascending
+            // chunk order, losses in ascending sample order.
+            for (size_t s = 0; s < wave; ++s) {
+              TrainWorkspace::Chunk& c = ws.chunks[s];
+              size_t begin = pos + (base + s) * chunk_rows;
+              size_t m = std::min(chunk_rows, pos + batch - begin);
+              for (size_t li = 0; li < layers_.size(); ++li) {
+                ws.grad_w[li].AddScaled(c.gw[li], 1.0);
+                for (size_t r = 0; r < ws.grad_b[li].size(); ++r) {
+                  ws.grad_b[li][r] += c.gb[li][r];
+                }
+              }
+              for (size_t i = 0; i < m; ++i) epoch_loss += c.row_loss[i];
+            }
+          });
+      AdamStep(ws.grad_w, ws.grad_b, opts.learning_rate, batch);
+      pos += batch;
+    }
+    epoch_loss /= static_cast<double>(std::max<size_t>(1, train_idx->size()));
+    report->train_loss_per_epoch.push_back(epoch_loss);
+
+    double val_loss =
+        val_idx.empty()
+            ? epoch_loss
+            : EvalLossBatched(X, Y, val_idx, opts.loss, chunk_rows, &ws, pool);
+    report->val_loss_per_epoch.push_back(val_loss);
+    if (val_loss < report->best_val_loss) {
+      report->best_val_loss = val_loss;
+      report->best_epoch = epoch;
+      if (opts.keep_best_validation_weights) *best_layers = layers_;
+    }
+  }
 }
 
 Result<TrainReport> FeedForwardNet::Train(const Matrix& X, const Matrix& Y,
@@ -264,58 +646,78 @@ Result<TrainReport> FeedForwardNet::Train(const Matrix& X, const Matrix& Y,
   // Snapshot of the best weights (by validation loss), restored at the end.
   std::vector<Layer> best_layers = layers_;
 
-  std::vector<Matrix> grad_w;
-  std::vector<std::vector<double>> grad_b;
-  for (const Layer& l : layers_) {
-    grad_w.emplace_back(l.w.rows(), l.w.cols(), 0.0);
-    grad_b.emplace_back(l.b.size(), 0.0);
-  }
-
-  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
-    rng.Shuffle(&train_idx);
-    double epoch_loss = 0.0;
-    size_t pos = 0;
-    while (pos < train_idx.size()) {
-      size_t batch = std::min(opts.batch_size, train_idx.size() - pos);
-      for (auto& g : grad_w) g.Fill(0.0);
-      for (auto& g : grad_b) std::fill(g.begin(), g.end(), 0.0);
-      for (size_t b = 0; b < batch; ++b) {
-        size_t i = train_idx[pos + b];
-        epoch_loss +=
-            BackwardAccumulate(X.Row(i), Y.Row(i), opts.loss, &grad_w, &grad_b);
-      }
-      AdamStep(grad_w, grad_b, opts.learning_rate, batch);
-      pos += batch;
+  if (opts.backend == TrainBackend::kBatched) {
+    TrainBatchedLoop(X, Y, &train_idx, val_idx, opts, &rng, &report,
+                     &best_layers);
+  } else {
+    // Reference oracle: the original sample-at-a-time loops, allocations and
+    // all — parity tests and the training bench compare against this.
+    std::vector<Matrix> grad_w;
+    std::vector<std::vector<double>> grad_b;
+    for (const Layer& l : layers_) {
+      grad_w.emplace_back(l.w.rows(), l.w.cols(), 0.0);
+      grad_b.emplace_back(l.b.size(), 0.0);
     }
-    epoch_loss /= static_cast<double>(std::max<size_t>(1, train_idx.size()));
-    report.train_loss_per_epoch.push_back(epoch_loss);
 
-    double val_loss = val_idx.empty()
-                          ? epoch_loss
-                          : EvalLoss(X, Y, val_idx, opts.loss);
-    report.val_loss_per_epoch.push_back(val_loss);
-    if (val_loss < report.best_val_loss) {
-      report.best_val_loss = val_loss;
-      report.best_epoch = epoch;
-      if (opts.keep_best_validation_weights) best_layers = layers_;
+    for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+      rng.Shuffle(&train_idx);
+      double epoch_loss = 0.0;
+      size_t pos = 0;
+      while (pos < train_idx.size()) {
+        size_t batch = std::min(opts.batch_size, train_idx.size() - pos);
+        for (auto& g : grad_w) g.Fill(0.0);
+        for (auto& g : grad_b) std::fill(g.begin(), g.end(), 0.0);
+        for (size_t b = 0; b < batch; ++b) {
+          size_t i = train_idx[pos + b];
+          epoch_loss += BackwardAccumulate(X.Row(i), Y.Row(i), opts.loss,
+                                           &grad_w, &grad_b);
+        }
+        AdamStep(grad_w, grad_b, opts.learning_rate, batch);
+        pos += batch;
+      }
+      epoch_loss /= static_cast<double>(std::max<size_t>(1, train_idx.size()));
+      report.train_loss_per_epoch.push_back(epoch_loss);
+
+      double val_loss = val_idx.empty()
+                            ? epoch_loss
+                            : EvalLoss(X, Y, val_idx, opts.loss);
+      report.val_loss_per_epoch.push_back(val_loss);
+      if (val_loss < report.best_val_loss) {
+        report.best_val_loss = val_loss;
+        report.best_epoch = epoch;
+        if (opts.keep_best_validation_weights) best_layers = layers_;
+      }
     }
   }
 
   if (opts.keep_best_validation_weights) layers_ = std::move(best_layers);
+  // Release the training workspace: engines copy trained nets per run, and
+  // the batch-sized buffers would ride along in every copy. OnlineUpdate
+  // re-sizes a single 1-row chunk on its first call and is allocation-free
+  // from then on.
+  train_ws_ = TrainWorkspace();
   return report;
 }
 
 void FeedForwardNet::OnlineUpdate(const std::vector<double>& x,
                                   const std::vector<double>& y,
                                   double learning_rate, Loss loss) {
-  std::vector<Matrix> grad_w;
-  std::vector<std::vector<double>> grad_b;
-  for (const Layer& l : layers_) {
-    grad_w.emplace_back(l.w.rows(), l.w.cols(), 0.0);
-    grad_b.emplace_back(l.b.size(), 0.0);
-  }
-  BackwardAccumulate(x, y, loss, &grad_w, &grad_b);
-  AdamStep(grad_w, grad_b, learning_rate, 1);
+  assert(x.size() == input_dim_ && y.size() == output_dim_);
+  // A batch-1 step of the batched backend against the net's own workspace:
+  // after the first call everything below reuses capacity — zero heap
+  // allocation at steady state on the engine's plan boundary.
+  EnsureWorkspace(&train_ws_, 1, 1, /*with_backward=*/true);
+  TrainWorkspace::Chunk& c = train_ws_.chunks[0];
+  c.act[0].Resize(1, input_dim_);
+  std::memcpy(c.act[0].RowPtr(0), x.data(), input_dim_ * sizeof(double));
+  c.yb.Resize(1, output_dim_);
+  std::memcpy(c.yb.RowPtr(0), y.data(), output_dim_ * sizeof(double));
+  ForwardChunk(&c, 1);
+  OutputDeltaAndLoss(&c, 1, loss);
+  BackwardChunk(&c, 1);
+  // A single chunk's partials are the whole gradient; feed them to Adam
+  // directly instead of reducing through ws.grad_w.
+  AdamStep(c.gw, c.gb, learning_rate, 1);
 }
 
 }  // namespace sky::ml

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "dag/thread_pool.h"
 #include "ml/matrix.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -18,6 +19,17 @@ enum class Loss {
   kCrossEntropy,  ///< categorical cross-entropy (use with kSoftmax output)
 };
 
+/// Which implementation FeedForwardNet::Train runs.
+enum class TrainBackend {
+  /// Minibatch-at-a-time forward/backward as cache-blocked matrix ops
+  /// against a preallocated workspace; gradient chunks fan out on a thread
+  /// pool and reduce in index order (bit-identical for any thread count).
+  kBatched,
+  /// The original sample-at-a-time loops, kept as the reference oracle for
+  /// parity tests and A/B benchmarks.
+  kPerSample,
+};
+
 struct TrainOptions {
   size_t epochs = 40;
   size_t batch_size = 16;
@@ -26,6 +38,17 @@ struct TrainOptions {
   Loss loss = Loss::kCrossEntropy;
   uint64_t shuffle_seed = 7;
   bool keep_best_validation_weights = true;
+  TrainBackend backend = TrainBackend::kBatched;
+  /// Samples per data-parallel gradient chunk of the batched backend. The
+  /// chunk geometry depends only on this and the batch size — never on the
+  /// thread count — and chunk partials are reduced in chunk order, so
+  /// training is bit-identical for any pool size. Against the per-sample
+  /// backend the trajectory agrees to rounding error (the GEMM kernels'
+  /// fixed contractions and chunked gradient sums associate differently).
+  size_t grad_chunk_rows = 8;
+  /// Pool the batched backend fans gradient chunks and validation slices
+  /// out on; null runs serially (identical results either way).
+  dag::ThreadPool* pool = nullptr;
 };
 
 struct TrainReport {
@@ -33,6 +56,34 @@ struct TrainReport {
   std::vector<double> val_loss_per_epoch;
   double best_val_loss = 0.0;
   size_t best_epoch = 0;
+};
+
+/// Preallocated buffers for the batched trainer and batched inference. One
+/// workspace serves one net; every matrix is sized on first use and reused,
+/// so steady-state training steps and inference calls allocate nothing.
+/// Treat the contents as FeedForwardNet-internal.
+struct TrainWorkspace {
+  struct Chunk {
+    /// act[0] holds the gathered input rows; act[l + 1] layer l's output.
+    std::vector<Matrix> act;
+    std::vector<Matrix> pre;    ///< pre-activations per layer
+    std::vector<Matrix> delta;  ///< backprop deltas per layer
+    std::vector<Matrix> gw;     ///< partial weight gradients per layer
+    std::vector<std::vector<double>> gb;  ///< partial bias gradients
+    Matrix yb;                  ///< gathered target rows
+    std::vector<double> row_loss;
+  };
+  std::vector<Chunk> chunks;
+  /// Chunk partials reduced in chunk order land here for the Adam step.
+  std::vector<Matrix> grad_w;
+  std::vector<std::vector<double>> grad_b;
+};
+
+/// Ping-pong activation buffers for single-sample inference; reused across
+/// calls so PredictInto allocates nothing at steady state.
+struct PredictScratch {
+  std::vector<double> even;
+  std::vector<double> odd;
 };
 
 /// A small fully connected network trained with Adam. This is the forecasting
@@ -52,22 +103,44 @@ class FeedForwardNet {
   /// Forward pass for a single sample.
   std::vector<double> Predict(const std::vector<double>& x) const;
 
+  /// Forward pass for a single sample into a caller-owned buffer, reusing
+  /// `scratch` across calls: zero heap allocation at steady state, bitwise
+  /// identical to Predict.
+  void PredictInto(const std::vector<double>& x, PredictScratch* scratch,
+                   std::vector<double>* out) const;
+
+  /// Batched forward pass: row i of `out` (resized to X.rows() x output_dim)
+  /// is the prediction for row i of X. Rows are processed in fixed-size
+  /// chunks reusing `ws`; a non-null pool fans the chunks out (per-row
+  /// results are independent, so results never depend on the pool).
+  void PredictBatchInto(const Matrix& X, TrainWorkspace* ws, Matrix* out,
+                        dag::ThreadPool* pool = nullptr) const;
+
   /// Trains on rows of X against rows of Y with Adam. Returns per-epoch loss
   /// curves. Fails if shapes disagree or there are too few samples to split.
   Result<TrainReport> Train(const Matrix& X, const Matrix& Y,
                             const TrainOptions& opts);
 
   /// One incremental Adam step on a single (x, y) pair — used for online
-  /// fine-tuning of the forecaster during ingestion (§3.3).
+  /// fine-tuning of the forecaster during ingestion (§3.3). Runs the batched
+  /// path with batch 1 against the net's own workspace: no heap allocation
+  /// at steady state.
   void OnlineUpdate(const std::vector<double>& x, const std::vector<double>& y,
                     double learning_rate, Loss loss);
 
   /// Number of trainable parameters.
   size_t NumParameters() const;
 
+  /// All parameters (per layer: weights row-major, then biases) as one flat
+  /// vector — the bit-identity comparison handle for determinism tests and
+  /// OfflineModelsIdentical.
+  std::vector<double> FlattenParameters() const;
+
  private:
   struct Layer {
-    Matrix w;  // out x in
+    Matrix w;   // out x in
+    Matrix wt;  // in x out — w transposed, kept in sync after every Adam
+                // step so the batched forward is a row-major GEMM
     std::vector<double> b;
     Activation act;
     // Adam state.
@@ -94,10 +167,40 @@ class FeedForwardNet {
   double EvalLoss(const Matrix& X, const Matrix& Y,
                   const std::vector<size_t>& idx, Loss loss) const;
 
+  // --- Batched backend ---
+  /// Sizes `ws` for `slots` concurrent chunks of up to `max_rows` samples.
+  /// `with_backward` also sizes the delta/gradient buffers.
+  void EnsureWorkspace(TrainWorkspace* ws, size_t max_rows, size_t slots,
+                       bool with_backward) const;
+  /// Forward pass over the m gathered rows of chunk->act[0].
+  void ForwardChunk(TrainWorkspace::Chunk* chunk, size_t m) const;
+  /// Per-row losses + output-layer delta from act.back() vs yb.
+  void OutputDeltaAndLoss(TrainWorkspace::Chunk* chunk, size_t m,
+                          Loss loss) const;
+  /// Backprop through all layers; fills chunk->gw / chunk->gb.
+  void BackwardChunk(TrainWorkspace::Chunk* chunk, size_t m) const;
+  /// The batched epoch loop (minibatch chunk fan-out + ordered reduction).
+  void TrainBatchedLoop(const Matrix& X, const Matrix& Y,
+                        std::vector<size_t>* train_idx,
+                        const std::vector<size_t>& val_idx,
+                        const TrainOptions& opts, Rng* rng,
+                        TrainReport* report, std::vector<Layer>* best_layers);
+  /// Batched EvalLoss: forward in chunks of at least `chunk_rows`, per-row
+  /// losses reduced in the same order the per-sample EvalLoss sums in (the
+  /// forwards themselves use the GEMM kernels, so the two values agree to
+  /// rounding error, not bitwise).
+  double EvalLossBatched(const Matrix& X, const Matrix& Y,
+                         const std::vector<size_t>& idx, Loss loss,
+                         size_t chunk_rows, TrainWorkspace* ws,
+                         dag::ThreadPool* pool) const;
+
   std::vector<Layer> layers_;
   size_t input_dim_;
   size_t output_dim_;
   size_t adam_t_ = 0;
+  /// Reused by Train and OnlineUpdate (value member so nets stay copyable;
+  /// buffers are small relative to the Adam state already carried).
+  TrainWorkspace train_ws_;
 };
 
 /// Loss between a prediction and a target (exposed for tests).

@@ -111,6 +111,51 @@ TEST(ForecasterTest, FeaturesAreSplitHistograms) {
   }
 }
 
+TEST(ForecastDatasetTest, PoolAndSerialBuildsAreBitIdentical) {
+  std::vector<size_t> seq = DiurnalCategories(60.0, 6, 12);
+  ForecasterOptions opts = FastOptions();
+  auto serial = BuildForecastDataset(seq, 60.0, 3, opts);
+  ASSERT_TRUE(serial.ok());
+  dag::ThreadPool pool(3);
+  opts.pool = &pool;
+  auto pooled = BuildForecastDataset(seq, 60.0, 3, opts);
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_EQ(serial->inputs.data(), pooled->inputs.data());
+  EXPECT_EQ(serial->targets.data(), pooled->targets.data());
+}
+
+TEST(ForecastDatasetTest, PrefixWindowsMatchScannedHistograms) {
+  // BuildForecastDataset emits prefix-sum window histograms; they must be
+  // bit-identical to scanning each window with CategoryHistogram.
+  std::vector<size_t> seq = DiurnalCategories(60.0, 4, 13);
+  ForecasterOptions opts = FastOptions();
+  auto data = BuildForecastDataset(seq, 60.0, 3, opts);
+  ASSERT_TRUE(data.ok());
+  size_t in_segs = static_cast<size_t>(opts.input_span / 60.0);
+  size_t out_segs = static_cast<size_t>(opts.planned_interval / 60.0);
+  size_t stride = static_cast<size_t>(opts.training_stride / 60.0);
+  for (size_t row = 0; row < data->targets.rows(); row += 7) {
+    size_t s = in_segs + row * stride;
+    std::vector<double> target = CategoryHistogram(seq, s, s + out_segs, 3);
+    EXPECT_EQ(data->targets.Row(row), target) << "row " << row;
+  }
+}
+
+TEST(ForecasterTest, ForecastIntoMatchesForecastBitwise) {
+  std::vector<size_t> seq = DiurnalCategories(60.0, 6, 8);
+  ForecasterOptions opts = FastOptions();
+  auto forecaster = Forecaster::Train(seq, 60.0, 3, opts);
+  ASSERT_TRUE(forecaster.ok());
+  std::vector<double> features = forecaster->FeaturesFromHistory(seq, 60.0);
+  std::vector<double> reference = forecaster->Forecast(features);
+  std::vector<double> into;
+  forecaster->ForecastInto(features, &into);
+  EXPECT_EQ(into, reference);
+  // And again, to prove the reused scratch does not leak state.
+  forecaster->ForecastInto(features, &into);
+  EXPECT_EQ(into, reference);
+}
+
 TEST(ForecasterTest, OnlineUpdateShiftsForecast) {
   std::vector<size_t> seq = DiurnalCategories(60.0, 6, 5);
   ForecasterOptions opts = FastOptions();

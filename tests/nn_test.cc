@@ -129,5 +129,179 @@ TEST(NnTest, ComputeLossValues) {
   EXPECT_DOUBLE_EQ(ComputeLoss({1.0, 3.0}, {0.0, 0.0}, Loss::kMse), 5.0);
 }
 
+// --- Batched-backend parity and determinism ---
+
+namespace parity {
+
+struct Shape {
+  size_t input;
+  std::vector<size_t> hidden;
+  size_t output;
+  size_t samples;
+};
+
+/// Random supervised data matching the loss: one-hot rows (a distribution)
+/// for cross-entropy, free targets for MSE.
+void MakeData(const Shape& shape, Loss loss, uint64_t seed, Matrix* x,
+              Matrix* y) {
+  Rng rng(seed);
+  *x = Matrix(shape.samples, shape.input);
+  *y = Matrix(shape.samples, shape.output, 0.0);
+  for (size_t i = 0; i < shape.samples; ++i) {
+    for (size_t c = 0; c < shape.input; ++c) {
+      x->At(i, c) = rng.Uniform(-1, 1);
+    }
+    if (loss == Loss::kCrossEntropy) {
+      y->At(i, static_cast<size_t>(rng.UniformInt(
+                   0, static_cast<int64_t>(shape.output) - 1))) = 1.0;
+    } else {
+      for (size_t c = 0; c < shape.output; ++c) {
+        y->At(i, c) = rng.Uniform(-1, 1);
+      }
+    }
+  }
+}
+
+/// Trains two identically initialized nets, one per backend, and requires
+/// identical loss curves and weights to 1e-9 — the contract that makes
+/// TrainBackend::kPerSample a usable reference oracle. The two backends
+/// differ only in how their kernels associate sums, so the trajectories
+/// agree to rounding error.
+void ExpectBackendParity(const Shape& shape, Loss loss, Activation out_act,
+                         uint64_t seed) {
+  Matrix x, y;
+  MakeData(shape, loss, seed, &x, &y);
+  TrainOptions opts;
+  opts.epochs = 12;
+  opts.loss = loss;
+  opts.learning_rate = 0.01;
+
+  Rng rng_a(seed + 1);
+  FeedForwardNet a(shape.input, shape.hidden, shape.output, out_act, &rng_a);
+  opts.backend = TrainBackend::kPerSample;
+  auto report_a = a.Train(x, y, opts);
+  ASSERT_TRUE(report_a.ok()) << report_a.status().ToString();
+
+  Rng rng_b(seed + 1);
+  FeedForwardNet b(shape.input, shape.hidden, shape.output, out_act, &rng_b);
+  opts.backend = TrainBackend::kBatched;
+  auto report_b = b.Train(x, y, opts);
+  ASSERT_TRUE(report_b.ok()) << report_b.status().ToString();
+
+  ASSERT_EQ(report_a->train_loss_per_epoch.size(),
+            report_b->train_loss_per_epoch.size());
+  for (size_t e = 0; e < report_a->train_loss_per_epoch.size(); ++e) {
+    EXPECT_NEAR(report_a->train_loss_per_epoch[e],
+                report_b->train_loss_per_epoch[e], 1e-9);
+    EXPECT_NEAR(report_a->val_loss_per_epoch[e],
+                report_b->val_loss_per_epoch[e], 1e-9);
+  }
+  EXPECT_EQ(report_a->best_epoch, report_b->best_epoch);
+
+  std::vector<double> wa = a.FlattenParameters();
+  std::vector<double> wb = b.FlattenParameters();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_NEAR(wa[i], wb[i], 1e-9) << "parameter " << i;
+  }
+}
+
+}  // namespace parity
+
+TEST(NnParityTest, BatchedMatchesPerSampleOnRandomShapes) {
+  Rng shapes(2024);
+  for (int trial = 0; trial < 6; ++trial) {
+    parity::Shape s;
+    s.input = static_cast<size_t>(shapes.UniformInt(1, 12));
+    s.hidden.clear();
+    for (int64_t l = shapes.UniformInt(1, 2); l > 0; --l) {
+      s.hidden.push_back(static_cast<size_t>(shapes.UniformInt(2, 24)));
+    }
+    s.output = static_cast<size_t>(shapes.UniformInt(2, 6));
+    s.samples = static_cast<size_t>(shapes.UniformInt(30, 120));
+    // Both losses with their canonical output activations.
+    parity::ExpectBackendParity(s, Loss::kCrossEntropy, Activation::kSoftmax,
+                                900 + trial);
+    parity::ExpectBackendParity(s, Loss::kMse, Activation::kIdentity,
+                                700 + trial);
+  }
+}
+
+TEST(NnParityTest, BatchedMatchesPerSampleForMseOnEveryOutputActivation) {
+  // MSE composes with all three output activations (identity, ReLU mask,
+  // full softmax Jacobian); each takes a different backward branch.
+  parity::Shape s{6, {10, 5}, 4, 80};
+  parity::ExpectBackendParity(s, Loss::kMse, Activation::kIdentity, 31);
+  parity::ExpectBackendParity(s, Loss::kMse, Activation::kRelu, 32);
+  parity::ExpectBackendParity(s, Loss::kMse, Activation::kSoftmax, 33);
+}
+
+TEST(NnParityTest, BatchedTrainingIsBitIdenticalForAnyPoolSize) {
+  parity::Shape s{8, {16, 8}, 3, 160};
+  Matrix x, y;
+  parity::MakeData(s, Loss::kCrossEntropy, 77, &x, &y);
+  TrainOptions opts;
+  opts.epochs = 8;
+  opts.grad_chunk_rows = 4;  // several chunks per batch
+
+  Rng rng_serial(5);
+  FeedForwardNet serial(s.input, s.hidden, s.output, Activation::kSoftmax,
+                        &rng_serial);
+  ASSERT_TRUE(serial.Train(x, y, opts).ok());
+  std::vector<double> reference = serial.FlattenParameters();
+
+  for (size_t threads : {2u, 5u}) {
+    dag::ThreadPool pool(threads);
+    opts.pool = &pool;
+    Rng rng(5);
+    FeedForwardNet net(s.input, s.hidden, s.output, Activation::kSoftmax,
+                       &rng);
+    ASSERT_TRUE(net.Train(x, y, opts).ok());
+    // Bitwise: the chunk geometry and reduction order never depend on the
+    // pool, so EXPECT_EQ on the raw doubles is the right comparison.
+    EXPECT_EQ(net.FlattenParameters(), reference) << threads << " threads";
+  }
+}
+
+TEST(NnTest, PredictIntoAndBatchMatchPredictBitwise) {
+  Rng rng(41);
+  FeedForwardNet net(5, {12, 6}, 4, Activation::kSoftmax, &rng);
+  Rng data_rng(42);
+  Matrix x(40, 5);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t c = 0; c < x.cols(); ++c) x.At(i, c) = data_rng.Uniform(-1, 1);
+  }
+  PredictScratch scratch;
+  TrainWorkspace ws;
+  Matrix batch_out;
+  net.PredictBatchInto(x, &ws, &batch_out);
+  ASSERT_EQ(batch_out.rows(), 40u);
+  ASSERT_EQ(batch_out.cols(), 4u);
+  std::vector<double> into;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    std::vector<double> reference = net.Predict(x.Row(i));
+    net.PredictInto(x.Row(i), &scratch, &into);
+    EXPECT_EQ(into, reference);  // PredictInto replays Predict exactly
+    for (size_t c = 0; c < 4; ++c) {
+      // The batched forward uses the GEMM kernels: rounding-level agreement.
+      EXPECT_NEAR(batch_out.At(i, c), reference[c], 1e-12);
+    }
+  }
+}
+
+TEST(NnTest, OnlineUpdateIsDeterministicAndAllocationStable) {
+  Rng rng(51);
+  FeedForwardNet a(4, {8}, 2, Activation::kSoftmax, &rng);
+  Rng rng2(51);
+  FeedForwardNet b(4, {8}, 2, Activation::kSoftmax, &rng2);
+  std::vector<double> x = {0.1, -0.2, 0.3, 0.4};
+  std::vector<double> y = {1.0, 0.0};
+  for (int i = 0; i < 20; ++i) {
+    a.OnlineUpdate(x, y, 0.01, Loss::kCrossEntropy);
+    b.OnlineUpdate(x, y, 0.01, Loss::kCrossEntropy);
+  }
+  EXPECT_EQ(a.FlattenParameters(), b.FlattenParameters());
+}
+
 }  // namespace
 }  // namespace sky::ml

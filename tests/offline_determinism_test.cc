@@ -78,6 +78,40 @@ TEST(OfflineDeterminismTest, IdenticalModelForThreadCounts1_2_8) {
   }
 }
 
+TEST(OfflineDeterminismTest, BatchedForecasterIsBitIdenticalFor1_2_8Threads) {
+  // The batched trainer's gradient chunks have a fixed geometry and reduce
+  // in chunk order, so the trained network — not just the training data —
+  // must be bit-identical for every pool size.
+  workloads::CovidWorkload covid;
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  sim::CostModel cost_model(1.8);
+
+  OfflineOptions opts = SmallOffline(1);
+  opts.train_forecaster = true;
+  // Forecaster windows sized to the 2-day training horizon.
+  opts.forecaster.input_span = Hours(12);
+  opts.forecaster.planned_interval = Hours(6);
+  opts.forecaster.training_stride = Minutes(15);
+  opts.forecaster.train_options.epochs = 8;
+
+  auto serial = RunOfflinePhase(covid, cluster, cost_model, opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial->forecaster.has_value());
+  std::vector<double> reference = serial->forecaster->ModelParameters();
+
+  for (size_t threads : {2u, 8u}) {
+    opts.num_threads = threads;
+    auto parallel = RunOfflinePhase(covid, cluster, cost_model, opts);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_TRUE(parallel->forecaster.has_value());
+    EXPECT_EQ(parallel->forecaster->ModelParameters(), reference)
+        << threads << " threads";
+    // The shared comparator (used by the benches) sees the forecaster too.
+    EXPECT_TRUE(OfflineModelsIdentical(*serial, *parallel));
+  }
+}
+
 TEST(OfflineDeterminismTest, ExternalPoolMatchesOwnedPool) {
   workloads::CovidWorkload covid;
   sim::ClusterSpec cluster;
