@@ -162,6 +162,67 @@ int main(int argc, char** argv) {
               serial_s, concurrent_s, pool.num_threads(), engine_speedup,
               offline_s);
 
+  // Jointly-planned ingestion: the same jobs multiplexed on one shared
+  // clock by a StreamSet. Joint mode pools the per-stream budgets and
+  // solves Appendix D's program live at every lockstep plan boundary;
+  // independent mode must reproduce the per-engine runs above bitwise
+  // (parity gate).
+  WallTimer joint_timer;
+  auto joint_set = core::StreamSet::Create(
+      jobs, {core::MultiStreamPlanning::kJoint});
+  if (!joint_set.ok() || !joint_set->RunToCompletion(&pool).ok()) {
+    std::printf("joint stream set failed\n");
+    return 1;
+  }
+  double joint_s = joint_timer.Seconds();
+
+  WallTimer indep_timer;
+  auto indep_set = core::StreamSet::Create(
+      jobs, {core::MultiStreamPlanning::kIndependent});
+  if (!indep_set.ok() || !indep_set->RunToCompletion(&pool).ok()) {
+    std::printf("independent stream set failed\n");
+    return 1;
+  }
+  double indep_s = indep_timer.Seconds();
+
+  auto joint_runs = joint_set->Results();
+  auto indep_runs = indep_set->Results();
+  TablePrinter modes("StreamSet ingestion: joint vs independent planning");
+  modes.SetHeader({"stream", "joint quality", "indep quality",
+                   "joint cloud $", "indep cloud $", "indep == engines"});
+  bool streamset_parity = true;
+  double joint_quality = 0.0, indep_quality = 0.0;
+  double joint_usd = 0.0, indep_usd = 0.0;
+  for (size_t s = 0; s < jobs.size(); ++s) {
+    if (!joint_runs[s].ok() || !indep_runs[s].ok()) {
+      std::printf("stream set run failed on stream %zu\n", s);
+      return 1;
+    }
+    // Independent planning is defined as "exactly the standalone engines":
+    // anything but bitwise equality with the serial runs above is a bug.
+    bool same = core::EngineResultsIdentical(*serial_runs[s], *indep_runs[s]);
+    streamset_parity &= same;
+    joint_quality += joint_runs[s]->mean_quality;
+    indep_quality += indep_runs[s]->mean_quality;
+    joint_usd += joint_runs[s]->cloud_usd;
+    indep_usd += indep_runs[s]->cloud_usd;
+    modes.AddRow({"camera " + std::to_string(s),
+                  TablePrinter::Pct(joint_runs[s]->mean_quality),
+                  TablePrinter::Pct(indep_runs[s]->mean_quality),
+                  TablePrinter::Fmt(joint_runs[s]->cloud_usd, 2),
+                  TablePrinter::Fmt(indep_runs[s]->cloud_usd, 2),
+                  same ? "yes" : "NO"});
+  }
+  modes.Print(std::cout);
+  joint_quality /= static_cast<double>(jobs.size());
+  indep_quality /= static_cast<double>(jobs.size());
+  std::printf("\njoint planning: mean quality %.2f%% vs %.2f%% independent "
+              "(%+.2f pp) at $%.2f vs $%.2f cloud spend; walls %.2f / %.2f "
+              "s\n",
+              100 * joint_quality, 100 * indep_quality,
+              100 * (joint_quality - indep_quality), joint_usd, indep_usd,
+              joint_s, indep_s);
+
   BenchJson json("appd_multistream");
   json.Set("streams", static_cast<double>(jobs.size()));
   json.Set("threads", static_cast<double>(pool.num_threads()));
@@ -170,7 +231,15 @@ int main(int argc, char** argv) {
   json.Set("engines_concurrent_wall_s", concurrent_s);
   json.Set("engines_speedup", engine_speedup);
   json.Set("results_identical", all_identical ? "yes" : "no");
+  json.Set("joint_mean_quality", joint_quality);
+  json.Set("independent_mean_quality", indep_quality);
+  json.Set("joint_quality_delta", joint_quality - indep_quality);
+  json.Set("joint_cloud_usd", joint_usd);
+  json.Set("independent_cloud_usd", indep_usd);
+  json.Set("joint_wall_s", joint_s);
+  json.Set("independent_wall_s", indep_s);
+  json.Set("streamset_independent_parity", streamset_parity ? "yes" : "no");
   std::string path = json.Write();
   if (!path.empty()) std::printf("metrics written to %s\n", path.c_str());
-  return all_identical ? 0 : 1;
+  return all_identical && streamset_parity ? 0 : 1;
 }

@@ -1,10 +1,15 @@
 // Multi-stream deployment (paper Appendix D): several cameras share one
-// cloud-credit budget; the joint knob planner allocates credits to the
-// streams where expensive configurations matter most.
+// server and one cloud-credit budget. A core::StreamSet multiplexes the
+// three ingestion sessions on one shared clock and — in joint mode — runs
+// the joint knob planner (Eqs. 7-9) live at every lockstep plan boundary,
+// so credits flow to the streams where expensive configurations matter
+// most. Independent mode keeps the even-split baseline: each stream plans
+// alone on its own share (exactly what running the engines separately, or
+// core::RunStreamEngines, would do).
 //
 // Three cameras run the EV-counting job: a quiet residential camera, a
 // normal street, and a busy intersection. Each stream keeps its own content
-// categories and forecast; only the planning LP is joint (Eqs. 7-9).
+// categories and forecaster; only the planning program is joint.
 
 #include <cstdio>
 #include <iostream>
@@ -16,25 +21,21 @@
 #include "workloads/ev_counting.h"
 
 int main() {
-  std::printf("Joint knob planning for three camera streams (Appendix D)\n");
+  std::printf(
+      "Jointly-planned multi-stream ingestion, three cameras (Appendix D)\n");
 
   // Three streams with different content mixes (different seeds shift the
-  // diurnal noise/events; forecasts differ accordingly).
+  // diurnal noise/events, so the hard-content share differs per camera).
   sky::workloads::EvCountingWorkload quiet(9001);
   sky::workloads::EvCountingWorkload normal(9002);
   sky::workloads::EvCountingWorkload busy(9003);
   std::vector<sky::core::Workload*> streams = {&quiet, &normal, &busy};
   std::vector<const char*> names = {"residential", "street", "intersection"};
-  // Hand-crafted per-stream forecasts: how often each stream shows easy /
-  // medium / hard content.
-  std::vector<std::vector<double>> forecasts = {
-      {0.80, 0.15, 0.05}, {0.50, 0.30, 0.20}, {0.20, 0.35, 0.45}};
 
   sky::sim::ClusterSpec cluster;
-  cluster.cores = 12;  // shared server
+  cluster.cores = 6;  // shared server, deliberately tight (2 cores/stream)
   sky::sim::CostModel cost_model(1.8);
-  int fair_cores =
-      sky::core::FairCoreShare(cluster.cores, streams.size());
+  int fair_cores = sky::core::FairCoreShare(cluster.cores, streams.size());
   std::printf("shared server: %d cores -> %d per stream (fair share)\n",
               cluster.cores, fair_cores);
 
@@ -48,7 +49,8 @@ int main() {
     offline.segment_seconds = 4.0;
     offline.train_horizon = sky::Days(4);
     offline.num_categories = 3;
-    offline.train_forecaster = false;  // forecasts supplied above
+    offline.forecaster.input_span = sky::Days(1);
+    offline.forecaster.planned_interval = sky::Hours(6);
     offline.pool = &pool;
     sky::sim::ClusterSpec share = cluster;
     share.cores = fair_cores;
@@ -67,57 +69,9 @@ int main() {
     }
   }
 
-  // Joint plan under the shared budget.
-  std::vector<sky::core::StreamPlanInput> inputs;
-  for (size_t v = 0; v < streams.size(); ++v) {
-    sky::core::StreamPlanInput in;
-    in.categories = &models[v].categories;
-    in.forecast = forecasts[v];
-    for (const sky::core::ConfigProfile& p : models[v].profiles) {
-      in.config_costs.push_back(p.work_core_s_per_video_s);
-    }
-    inputs.push_back(std::move(in));
-  }
-  double budget = static_cast<double>(cluster.cores) +
-                  cost_model.UsdToCoreSeconds(6.0) / sky::Days(1);
-  auto plans = sky::core::ComputeJointKnobPlan(inputs, budget);
-  if (!plans.ok()) {
-    std::printf("joint planning failed: %s\n",
-                plans.status().ToString().c_str());
-    return 1;
-  }
-
-  sky::TablePrinter table("Joint plan (budget " +
-                          sky::TablePrinter::Fmt(budget, 1) +
-                          " core-s per video-s across 3 streams)");
-  table.SetHeader({"stream", "expected quality", "expected work",
-                   "expensive-config share (hard content)"});
-  for (size_t v = 0; v < plans->size(); ++v) {
-    const sky::core::KnobPlan& plan = (*plans)[v];
-    // Share of the most expensive configuration on the hardest category.
-    size_t num_k = models[v].profiles.size();
-    size_t hardest = 0;
-    double worst = 2.0;
-    for (size_t c = 0; c < 3; ++c) {
-      double q = models[v].categories.CenterQuality(c, 0);
-      if (q < worst) {
-        worst = q;
-        hardest = c;
-      }
-    }
-    double expensive_share = plan.alpha.At(hardest, num_k - 1);
-    table.AddRow({names[v], sky::TablePrinter::Pct(plan.expected_quality),
-                  sky::TablePrinter::Fmt(plan.expected_work, 2),
-                  sky::TablePrinter::Pct(expensive_share)});
-  }
-  table.Print(std::cout);
-  std::printf("\nCredits flow to the streams (and content categories) where "
-              "expensive configurations buy the most quality; normalization "
-              "still holds per stream and category (Eq. 9).\n");
-
-  // Ingest six hours of all three cameras concurrently: each stream's
-  // engine is an independent simulation, so they share the pool one stream
-  // per slot.
+  // One ingestion job per camera: six hours of live video, a 6-hour plan
+  // interval, fifty cents of cloud credits per stream and interval. The
+  // same jobs drive both planning modes.
   std::vector<sky::core::StreamEngineJob> jobs;
   for (size_t v = 0; v < streams.size(); ++v) {
     sky::core::StreamEngineJob job;
@@ -128,23 +82,76 @@ int main() {
     job.cost_model = &cost_model;
     job.options.duration = sky::Hours(6);
     job.options.plan_interval = sky::Hours(6);
-    job.options.cloud_budget_usd_per_interval = 1.0;
+    job.options.cloud_budget_usd_per_interval = 0.5;
     job.start_time = sky::Days(4);
     jobs.push_back(job);
   }
-  std::vector<sky::Result<sky::core::EngineResult>> runs =
-      sky::core::RunStreamEngines(jobs, &pool);
-  std::printf("\nSix hours of concurrent ingestion (%zu worker threads):\n",
-              pool.num_threads());
-  for (size_t v = 0; v < runs.size(); ++v) {
-    if (!runs[v].ok()) {
-      std::printf("engine failed: %s\n", runs[v].status().ToString().c_str());
+
+  // Joint mode: the StreamSet intercepts the lockstep plan boundary and
+  // solves ONE program across all streams under the pooled budget.
+  sky::core::StreamSetOptions joint_opts;
+  joint_opts.planning = sky::core::MultiStreamPlanning::kJoint;
+  auto joint = sky::core::StreamSet::Create(jobs, joint_opts);
+  if (!joint.ok()) {
+    std::printf("joint set failed: %s\n", joint.status().ToString().c_str());
+    return 1;
+  }
+
+  // Step the set incrementally for one hour of the shared clock, then look
+  // inside the live sessions: the jointly-computed plans are already
+  // steering each stream's switcher.
+  if (!joint->RunUntilElapsed(sky::Hours(1)).ok()) return 1;
+  sky::TablePrinter live("Joint plans after 1 h of shared-clock stepping");
+  live.SetHeader({"stream", "plan expected quality", "plan expected work",
+                  "partial mean quality"});
+  for (size_t v = 0; v < joint->num_streams(); ++v) {
+    const sky::core::KnobPlan* plan = joint->engine(v)->current_plan();
+    live.AddRow({names[v], sky::TablePrinter::Pct(plan->expected_quality),
+                 sky::TablePrinter::Fmt(plan->expected_work, 2),
+                 sky::TablePrinter::Pct(
+                     joint->engine(v)->partial_result().mean_quality)});
+  }
+  live.Print(std::cout);
+
+  // Finish the day and run the even-split baseline on the same jobs.
+  if (!joint->RunToCompletion(&pool).ok()) return 1;
+  sky::core::StreamSetOptions indep_opts;
+  indep_opts.planning = sky::core::MultiStreamPlanning::kIndependent;
+  auto indep = sky::core::StreamSet::Create(jobs, indep_opts);
+  if (!indep.ok() || !indep->RunToCompletion(&pool).ok()) {
+    std::printf("independent set failed\n");
+    return 1;
+  }
+
+  auto joint_results = joint->Results();
+  auto indep_results = indep->Results();
+  sky::TablePrinter table(
+      "Six hours of ingestion: joint vs independent planning");
+  table.SetHeader({"stream", "joint quality", "independent quality",
+                   "joint cloud $", "independent cloud $"});
+  double joint_q = 0.0, indep_q = 0.0;
+  for (size_t v = 0; v < jobs.size(); ++v) {
+    if (!joint_results[v].ok() || !indep_results[v].ok()) {
+      std::printf("stream %zu failed\n", v);
       return 1;
     }
-    std::printf("  %-12s mean quality %s over %zu segments, %zu switches\n",
-                names[v],
-                sky::TablePrinter::Pct(runs[v]->mean_quality).c_str(),
-                runs[v]->segments, runs[v]->switch_count);
+    joint_q += joint_results[v]->mean_quality;
+    indep_q += indep_results[v]->mean_quality;
+    table.AddRow(
+        {names[v], sky::TablePrinter::Pct(joint_results[v]->mean_quality),
+         sky::TablePrinter::Pct(indep_results[v]->mean_quality),
+         sky::TablePrinter::Fmt(joint_results[v]->cloud_usd, 2),
+         sky::TablePrinter::Fmt(indep_results[v]->cloud_usd, 2)});
   }
+  table.Print(std::cout);
+  std::printf(
+      "\nmean quality across streams: joint %s vs independent %s\n"
+      "(the joint program re-divides the pooled budget at every lockstep\n"
+      "boundary to maximize the forecast-weighted expected quality SUM —\n"
+      "note the cloud credits concentrating on the camera whose hard\n"
+      "content gains the most; normalization still holds per stream and\n"
+      "category, Eq. 9)\n",
+      sky::TablePrinter::Pct(joint_q / jobs.size()).c_str(),
+      sky::TablePrinter::Pct(indep_q / jobs.size()).c_str());
   return 0;
 }

@@ -78,7 +78,9 @@ void ExtractDemo() {
 }
 
 // ---------------------------------------------------------------------------
-// Part 2: the Transform step under Skyscraper.
+// Part 2: the Transform step under Skyscraper — as a live, steppable
+// streaming session (pause, inspect, checkpoint, resume), with the batch
+// Ingest call shown as the one-line convenience wrapper it is.
 // ---------------------------------------------------------------------------
 
 void IngestDemo() {
@@ -108,15 +110,42 @@ void IngestDemo() {
     std::printf("fit failed: %s\n", fitted.ToString().c_str());
     return;
   }
+  const sky::core::OfflineModel& model = **sky.model();
   std::printf("  offline fit: %zu configurations kept, %zu categories\n",
-              sky.model().configs.size(),
-              sky.model().categories.NumCategories());
+              model.configs.size(), model.categories.NumCategories());
 
-  // Online phase (§4): ingest one day of live video.
+  // Online phase (§4), as a streaming session: StartIngest returns a
+  // steppable handle instead of blocking for the whole day.
   sky::core::EngineOptions run;
   run.duration = sky::Days(1);
   run.plan_interval = sky::Days(1);
-  auto result = sky.Ingest(sky::Days(6), run);
+  auto session = sky.StartIngest(sky::Days(6), run);
+  if (!session.ok()) {
+    std::printf("ingest failed: %s\n", session.status().ToString().c_str());
+    return;
+  }
+
+  // Ingest six hours, then pause and look inside the live run: the plan
+  // currently steering the switcher, the partial result, the buffer.
+  if (!session->RunUntil(sky::Days(6) + sky::Hours(6)).ok()) return;
+  const sky::core::EngineResult& progress = session->Progress();
+  std::printf(
+      "  after 6 h: %zu segments  mean quality %.1f%%  buffer %.2f GB  "
+      "plan expects %.1f%% at %.2f core-s/s\n",
+      progress.segments, 100 * progress.mean_quality,
+      session->BufferOccupancyBytes() / 1e9,
+      100 * session->CurrentPlan()->expected_quality,
+      session->CurrentPlan()->expected_work);
+
+  // Checkpoint the live session, wander off, and rewind: the restored run
+  // continues exactly as if it had never stopped.
+  auto noon = session->Checkpoint();
+  if (!noon.ok()) return;
+  (void)session->RunUntil(sky::Days(6) + sky::Hours(9));
+  (void)session->Restore(*noon);
+
+  // Finish the day incrementally.
+  auto result = session->RunToCompletion();
   if (!result.ok()) {
     std::printf("ingest failed: %s\n", result.status().ToString().c_str());
     return;
@@ -128,6 +157,14 @@ void IngestDemo() {
       "  buffer high-water %.2f GB  cloud spend $%.2f  overflows %zu\n",
       result->buffer_high_water_bytes / 1e9, result->cloud_usd,
       result->overflow_events);
+
+  // The batch call is just the convenience wrapper over the same session —
+  // same engine, bitwise-identical result.
+  auto batch = sky.Ingest(sky::Days(6), run);
+  std::printf("  batch Ingest() identical to the stepped session: %s\n",
+              batch.ok() && sky::core::EngineResultsIdentical(*batch, *result)
+                  ? "yes"
+                  : "NO");
 }
 
 }  // namespace

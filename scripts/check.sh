@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, run the test suite. Mirrors CI.
-# Follows with the perf-tracking benches so the trajectory
-# (BENCH_planner_scaling.json, BENCH_forecast_training.json) is refreshed
-# on every local check; both exit non-zero when a perf or parity gate fails.
+# Tier-1 verify: configure, build, run the test suite (which includes the
+# session/StreamSet parity gates: session_test, stream_set_test, api_test).
+# Mirrors CI. Follows with the gating benches so the trajectory
+# (BENCH_planner_scaling.json, BENCH_forecast_training.json,
+# BENCH_appd_multistream.json) is refreshed on every local check; all exit
+# non-zero when a perf or parity gate fails — bench_appd_multistream gates
+# that StreamSet's independent mode reproduces the standalone engines
+# bitwise while reporting the joint-vs-independent quality/cost deltas.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,3 +15,4 @@ cmake --build build -j
 cd build && ctest --output-on-failure -j
 ./bench_planner_scaling
 ./bench_forecast_training
+./bench_appd_multistream

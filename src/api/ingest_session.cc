@@ -1,0 +1,51 @@
+#include "api/ingest_session.h"
+
+namespace sky::api {
+
+Status IngestSession::Step() { return engine_->Step(); }
+
+Status IngestSession::RunUntil(SimTime t) { return engine_->RunUntil(t); }
+
+Result<core::EngineResult> IngestSession::RunToCompletion() {
+  while (!engine_->Done()) {
+    SKY_RETURN_NOT_OK(engine_->Step());
+  }
+  return engine_->partial_result();
+}
+
+bool IngestSession::Done() const { return engine_->Done(); }
+
+SimTime IngestSession::CurrentTime() const { return engine_->CurrentTime(); }
+
+const core::EngineResult& IngestSession::Progress() const {
+  return engine_->partial_result();
+}
+
+const core::KnobPlan* IngestSession::CurrentPlan() const {
+  return engine_->current_plan();
+}
+
+double IngestSession::BufferOccupancyBytes() const {
+  return engine_->buffer_occupancy_bytes();
+}
+
+double IngestSession::LagSeconds() const { return engine_->lag_seconds(); }
+
+Result<core::EngineResult> IngestSession::Finish() const {
+  if (!engine_->Done()) {
+    return Status::FailedPrecondition(
+        "session still has segments to ingest; call RunToCompletion()");
+  }
+  return engine_->partial_result();
+}
+
+Result<SessionCheckpoint> IngestSession::Checkpoint() const {
+  SKY_ASSIGN_OR_RETURN(core::IngestState state, engine_->Checkpoint());
+  return SessionCheckpoint{engine_->CurrentTime(), std::move(state)};
+}
+
+Status IngestSession::Restore(const SessionCheckpoint& checkpoint) {
+  return engine_->Restore(checkpoint.state);
+}
+
+}  // namespace sky::api

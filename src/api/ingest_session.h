@@ -1,0 +1,98 @@
+#ifndef SKYSCRAPER_API_INGEST_SESSION_H_
+#define SKYSCRAPER_API_INGEST_SESSION_H_
+
+#include <memory>
+#include <utility>
+
+#include "core/engine.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace sky::api {
+
+class Skyscraper;
+
+/// Value snapshot of a running ingest session, produced by
+/// IngestSession::Checkpoint(). Self-contained: it can be held after the
+/// session advances (or is destroyed) and restored into any session created
+/// from the same Skyscraper fit with the same options — the restored run's
+/// continuation is bitwise-identical to never having stopped.
+struct SessionCheckpoint {
+  SimTime captured_at = 0.0;  ///< virtual-clock time of the capture
+  core::IngestState state;
+};
+
+/// A live, steppable ingestion run — the streaming counterpart of the
+/// batch `Skyscraper::Ingest` call. Obtained from `Skyscraper::StartIngest`;
+/// the session is already started and positioned at the first segment.
+///
+///   auto session = sky.StartIngest(Days(16), options);
+///   session->RunUntil(Days(16) + Hours(6));       // ingest six hours
+///   inspect(session->Progress(), session->CurrentPlan());
+///   auto saved = session->Checkpoint();           // pause point
+///   session->Step();                              // one more segment
+///   session->Restore(*saved);                     // rewind
+///   auto result = session->RunToCompletion();     // == batch Ingest, bitwise
+///
+/// The session borrows the workload, offline model and provisioning from
+/// the Skyscraper it came from: it must not outlive that object, a
+/// re-`Fit()`, or a `SetResources()` call.
+class IngestSession {
+ public:
+  IngestSession(IngestSession&&) = default;
+  IngestSession& operator=(IngestSession&&) = default;
+  IngestSession(const IngestSession&) = delete;
+  IngestSession& operator=(const IngestSession&) = delete;
+
+  /// Ingests one segment.
+  Status Step();
+
+  /// Advances the virtual clock to `t` (or to the end of the run).
+  Status RunUntil(SimTime t);
+
+  /// Steps through every remaining segment and returns the final result.
+  Result<core::EngineResult> RunToCompletion();
+
+  bool Done() const;
+
+  /// Arrival time of the next segment to ingest.
+  SimTime CurrentTime() const;
+
+  /// The result accumulated so far, trace-so-far included; at Done() this
+  /// is the final result.
+  const core::EngineResult& Progress() const;
+
+  /// The knob plan currently steering the switcher (null before the first
+  /// segment is stepped).
+  const core::KnobPlan* CurrentPlan() const;
+
+  /// Bytes of arrived-but-unprocessed video currently buffered.
+  double BufferOccupancyBytes() const;
+
+  /// Processing backlog behind the live stream, seconds.
+  double LagSeconds() const;
+
+  /// The final result; kFailedPrecondition while segments remain.
+  Result<core::EngineResult> Finish() const;
+
+  /// Snapshot of the full session state at the current position.
+  Result<SessionCheckpoint> Checkpoint() const;
+
+  /// Rewinds (or fast-forwards) the session to a previously captured
+  /// checkpoint from the same fit + options.
+  Status Restore(const SessionCheckpoint& checkpoint);
+
+  /// The underlying engine, for advanced inspection.
+  const core::IngestionEngine& engine() const { return *engine_; }
+
+ private:
+  friend class Skyscraper;
+  explicit IngestSession(std::unique_ptr<core::IngestionEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  std::unique_ptr<core::IngestionEngine> engine_;
+};
+
+}  // namespace sky::api
+
+#endif  // SKYSCRAPER_API_INGEST_SESSION_H_

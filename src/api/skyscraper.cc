@@ -1,5 +1,8 @@
 #include "api/skyscraper.h"
 
+#include <memory>
+#include <utility>
+
 namespace sky::api {
 
 Skyscraper::Skyscraper(const core::Workload* workload)
@@ -25,19 +28,42 @@ Status Skyscraper::Fit(const core::OfflineOptions& options) {
   return Status::Ok();
 }
 
+Result<const core::OfflineModel*> Skyscraper::model() const {
+  if (!model_.has_value()) {
+    return Status::FailedPrecondition("call Fit() before model()");
+  }
+  return &*model_;
+}
+
+Result<IngestSession> Skyscraper::StartIngest(SimTime start_time,
+                                              core::EngineOptions options) {
+  if (!model_.has_value()) {
+    return Status::FailedPrecondition("call Fit() before StartIngest()");
+  }
+  // Fill in provisioning only where the caller expressed no opinion: an
+  // explicitly set buffer size or cloud budget (even an explicit 0.0,
+  // disabling bursting) always wins over the Resources defaults.
+  if (!options.buffer_bytes.has_value()) {
+    options.buffer_bytes = resources_.buffer_bytes;
+  }
+  if (!options.cloud_budget_usd_per_interval.has_value()) {
+    options.cloud_budget_usd_per_interval =
+        resources_.cloud_budget_usd_per_interval;
+  }
+  auto engine = std::make_unique<core::IngestionEngine>(
+      workload_, &*model_, cluster_, &cost_model_, std::move(options));
+  SKY_RETURN_NOT_OK(engine->Start(start_time));
+  return IngestSession(std::move(engine));
+}
+
 Result<core::EngineResult> Skyscraper::Ingest(SimTime start_time,
                                               core::EngineOptions options) {
   if (!model_.has_value()) {
     return Status::FailedPrecondition("call Fit() before Ingest()");
   }
-  options.buffer_bytes = resources_.buffer_bytes;
-  if (options.cloud_budget_usd_per_interval == 0.0) {
-    options.cloud_budget_usd_per_interval =
-        resources_.cloud_budget_usd_per_interval;
-  }
-  core::IngestionEngine engine(workload_, &*model_, cluster_, &cost_model_,
-                               options);
-  return engine.Run(start_time);
+  SKY_ASSIGN_OR_RETURN(IngestSession session,
+                       StartIngest(start_time, std::move(options)));
+  return session.RunToCompletion();
 }
 
 }  // namespace sky::api

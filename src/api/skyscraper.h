@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "api/ingest_session.h"
 #include "core/engine.h"
 #include "core/offline.h"
 #include "core/workload.h"
@@ -33,11 +34,24 @@ struct Resources {
 ///   sky.SetResources({.cores = 8, .buffer_bytes = 4ull << 30,
 ///                     .cloud_budget_usd_per_interval = 5.0});
 ///   auto fit = sky.Fit();                      // offline phase (§3)
+///
+///   // Batch: ingest a fixed window in one blocking call.
 ///   auto run = sky.Ingest(Days(16), {.duration = Days(1)});  // online (§4)
+///
+///   // Streaming: a steppable session with pause/inspect/resume and
+///   // checkpoint/restore — same engine, same (bitwise) results.
+///   auto session = sky.StartIngest(Days(16), {.duration = Days(1)});
+///   while (!session->Done()) session->Step();
 ///
 /// The workload object plays the role of the registered UDFs, knobs and
 /// quality metric of the Python snippet; CallbackWorkload (see
 /// callback_workload.h) builds one from plain std::functions.
+///
+/// EngineOptions fields the caller sets explicitly always win; only
+/// provisioning fields left unset (buffer_bytes, cloud budget) are filled
+/// in from the Resources given to SetResources. In particular an explicit
+/// `cloud_budget_usd_per_interval = 0.0` disables cloud bursting even when
+/// the provisioned Resources grant credits.
 class Skyscraper {
  public:
   explicit Skyscraper(const core::Workload* workload);
@@ -47,13 +61,26 @@ class Skyscraper {
   /// Runs the offline preparation phase (§3) on the provisioned hardware.
   Status Fit(const core::OfflineOptions& options = {});
 
-  /// Ingests live video starting at `start_time` into the content process.
-  /// Requires a successful Fit().
+  /// Ingests live video starting at `start_time` into the content process,
+  /// blocking until the whole duration is processed. Requires a successful
+  /// Fit(). Convenience wrapper over StartIngest + RunToCompletion —
+  /// bitwise-identical to driving the session incrementally.
   Result<core::EngineResult> Ingest(SimTime start_time,
                                     core::EngineOptions options = {});
 
+  /// Starts a steppable ingestion session at `start_time`. Requires a
+  /// successful Fit(). The session borrows this object's workload, model
+  /// and provisioning: it must not outlive this Skyscraper, a re-Fit(), or
+  /// a SetResources() call.
+  Result<IngestSession> StartIngest(SimTime start_time,
+                                    core::EngineOptions options = {});
+
   bool fitted() const { return model_.has_value(); }
-  const core::OfflineModel& model() const { return *model_; }
+
+  /// The fitted offline model; kFailedPrecondition before a successful
+  /// Fit() (never dereferences an empty fit).
+  Result<const core::OfflineModel*> model() const;
+
   const sim::ClusterSpec& cluster() const { return cluster_; }
   const sim::CostModel& cost_model() const { return cost_model_; }
 

@@ -2,12 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
-#include "util/rng.h"
 #include "util/stats.h"
 #include "video/stream_source.h"
 
 namespace sky::core {
+
+namespace {
+/// Bit-pattern equality for doubles: NaNs with equal bits compare equal,
+/// +0.0 and -0.0 compare different — exactly the "bitwise" contract the
+/// parity gates promise (operator== would get both cases wrong).
+bool BitsEqual(double a, double b) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+}  // namespace
+
+bool EngineResultsIdentical(const EngineResult& a, const EngineResult& b) {
+  if (!BitsEqual(a.total_quality, b.total_quality) ||
+      !BitsEqual(a.mean_quality, b.mean_quality) ||
+      a.segments != b.segments ||
+      !BitsEqual(a.work_core_seconds, b.work_core_seconds) ||
+      !BitsEqual(a.onprem_core_seconds, b.onprem_core_seconds) ||
+      !BitsEqual(a.cloud_usd, b.cloud_usd) ||
+      a.buffer_high_water_bytes != b.buffer_high_water_bytes ||
+      a.overflow_events != b.overflow_events ||
+      a.switch_count != b.switch_count ||
+      a.degraded_count != b.degraded_count ||
+      a.misclassified != b.misclassified ||
+      a.type_a_errors != b.type_a_errors ||
+      a.type_b_errors != b.type_b_errors || a.trace.size() != b.trace.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    const TracePoint& p = a.trace[i];
+    const TracePoint& q = b.trace[i];
+    if (!BitsEqual(p.t, q.t) || !BitsEqual(p.quality, q.quality) ||
+        !BitsEqual(p.work_core_s_per_s, q.work_core_s_per_s) ||
+        !BitsEqual(p.buffer_bytes, q.buffer_bytes) ||
+        !BitsEqual(p.cloud_usd_cumulative, q.cloud_usd_cumulative) ||
+        !BitsEqual(p.cloud_usd_planned, q.cloud_usd_planned) ||
+        p.config_idx != q.config_idx || p.category != q.category) {
+      return false;
+    }
+  }
+  return true;
+}
 
 IngestionEngine::IngestionEngine(const Workload* workload,
                                  const OfflineModel* model,
@@ -18,7 +61,17 @@ IngestionEngine::IngestionEngine(const Workload* workload,
       model_(model),
       cluster_(cluster),
       cost_model_(cost_model),
-      options_(options) {}
+      options_(std::move(options)) {
+  // Resolve the optional provisioning fields once: unset means the engine
+  // defaults (the api facade fills in its Resources *before* construction,
+  // and only for fields the caller left unset).
+  if (!options_.buffer_bytes.has_value()) {
+    options_.buffer_bytes = kDefaultBufferBytes;
+  }
+  if (!options_.cloud_budget_usd_per_interval.has_value()) {
+    options_.cloud_budget_usd_per_interval = 0.0;
+  }
+}
 
 const IngestionEngine::SegmentTruth& IngestionEngine::CachedTruth(
     int64_t segment_index) const {
@@ -52,27 +105,12 @@ void IngestionEngine::GroundTruthForecastInto(int64_t first_segment_index,
   *out = NormalizeHistogram(std::move(*out));
 }
 
-Result<KnobPlan> IngestionEngine::MakePlan(int64_t first_segment_index,
-                                           const std::vector<size_t>& history,
-                                           const Forecaster* forecaster) const {
-  size_t num_c = model_->categories.NumCategories();
-  // All buffers below live in scratch_ and are written in place — including
-  // the forecaster forward pass, which runs against its own reusable
-  // inference scratch. The only steady-state allocation left on this path
-  // is the returned plan itself.
-  std::vector<double>& forecast = scratch_.forecast;
-  if (options_.use_ground_truth_forecast) {
-    GroundTruthForecastInto(first_segment_index, &forecast);
-  } else if (forecaster != nullptr && !history.empty()) {
-    forecaster->FeaturesFromHistoryInto(history, model_->segment_seconds,
-                                        &scratch_.features);
-    forecaster->ForecastInto(scratch_.features, &forecast);
-  } else if (!history.empty()) {
-    CategoryHistogramInto(history, 0, history.size(), num_c, &forecast);
-  } else {
-    forecast.assign(num_c, 1.0 / static_cast<double>(num_c));
-  }
+void IngestionEngine::ResetTruthRing(int64_t segs_per_interval) {
+  truth_ring_.resize(static_cast<size_t>(segs_per_interval));
+  for (SegmentTruth& slot : truth_ring_) slot.segment_index = -1;
+}
 
+const std::vector<double>& IngestionEngine::config_costs() const {
   std::vector<double>& costs = scratch_.costs;
   if (costs.size() != model_->profiles.size()) {
     costs.clear();
@@ -81,26 +119,49 @@ Result<KnobPlan> IngestionEngine::MakePlan(int64_t first_segment_index,
       costs.push_back(p.work_core_s_per_video_s);
     }
   }
+  return costs;
+}
 
+double IngestionEngine::PlanBudgetCoreSPerVideoS() const {
   double budget = static_cast<double>(cluster_.cores);
-  if (options_.enable_cloud && options_.cloud_budget_usd_per_interval > 0) {
-    budget += cost_model_->UsdToCoreSeconds(
-                  options_.cloud_budget_usd_per_interval) /
-              options_.plan_interval;
+  double cloud_budget = *options_.cloud_budget_usd_per_interval;
+  if (options_.enable_cloud && cloud_budget > 0) {
+    budget +=
+        cost_model_->UsdToCoreSeconds(cloud_budget) / options_.plan_interval;
   }
   if (options_.work_budget_override > 0) {
     budget = options_.work_budget_override;
   }
+  return budget;
+}
 
-  Result<KnobPlan> plan =
-      ComputeKnobPlan(model_->categories, forecast, costs, budget,
-                      options_.planner_backend, &scratch_.workspace);
-  if (plan.ok()) return plan;
-  if (plan.status().code() != StatusCode::kResourceExhausted) {
-    return plan.status();
+void IngestionEngine::ComputeBoundaryForecastInto(std::vector<double>* out) {
+  IngestState& s = *state_;
+  size_t num_c = model_->categories.NumCategories();
+  const Forecaster* forecaster =
+      s.forecaster.has_value() ? &*s.forecaster : nullptr;
+  if (options_.use_ground_truth_forecast) {
+    GroundTruthForecastInto(s.first_segment + s.next_index, out);
+  } else if (forecaster != nullptr && !s.history.empty()) {
+    // The forecaster forward pass runs against its own reusable inference
+    // scratch; the feature buffer lives in scratch_ — nothing here
+    // allocates at steady state.
+    forecaster->FeaturesFromHistoryInto(s.history, model_->segment_seconds,
+                                        &scratch_.features);
+    forecaster->ForecastInto(scratch_.features, out);
+  } else if (!s.history.empty()) {
+    CategoryHistogramInto(s.history, 0, s.history.size(), num_c, out);
+  } else {
+    out->assign(num_c, 1.0 / static_cast<double>(num_c));
   }
+}
+
+KnobPlan IngestionEngine::FallbackPlan(
+    const std::vector<double>& forecast) const {
   // Budget below even the cheapest configuration: degrade to an
   // all-cheapest plan; the switcher's buffer guard does the rest.
+  const std::vector<double>& costs = config_costs();
+  size_t num_c = model_->categories.NumCategories();
   size_t cheapest = 0;
   for (size_t k = 1; k < costs.size(); ++k) {
     if (costs[k] < costs[cheapest]) cheapest = k;
@@ -117,39 +178,120 @@ Result<KnobPlan> IngestionEngine::MakePlan(int64_t first_segment_index,
   return fallback;
 }
 
-Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
+Result<KnobPlan> IngestionEngine::PlanFromPreparedForecast() {
+  IngestState& s = *state_;
+  Result<KnobPlan> plan = ComputeKnobPlan(
+      model_->categories, s.boundary_forecast, config_costs(),
+      PlanBudgetCoreSPerVideoS(), options_.planner_backend,
+      &scratch_.workspace);
+  if (plan.ok()) return plan;
+  if (plan.status().code() != StatusCode::kResourceExhausted) {
+    return plan.status();
+  }
+  return FallbackPlan(s.boundary_forecast);
+}
+
+bool IngestionEngine::AtPlanBoundary() const {
+  return state_ != nullptr && state_->next_index < state_->n_segments &&
+         state_->next_index % state_->segs_per_interval == 0 &&
+         !state_->boundary_installed;
+}
+
+Status IngestionEngine::PrepareBoundary() {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("Start() the engine before stepping");
+  }
+  IngestState& s = *state_;
+  if (s.next_index >= s.n_segments) {
+    return Status::FailedPrecondition("ingest run is complete");
+  }
+  if (s.next_index % s.segs_per_interval != 0 || s.boundary_installed) {
+    return Status::FailedPrecondition("engine is not at a plan boundary");
+  }
+  if (s.boundary_prepared) return Status::Ok();
+  // Online forecaster fine-tuning: at each boundary, feed back the realized
+  // distribution of the interval that just ended (§3.3).
+  if (s.next_index > 0 && options_.online_forecaster_updates &&
+      s.forecaster.has_value() && !s.plan_features.empty()) {
+    size_t interval_segs = static_cast<size_t>(s.segs_per_interval);
+    if (s.history.size() >= interval_segs) {
+      CategoryHistogramInto(s.history, s.history.size() - interval_segs,
+                            s.history.size(),
+                            model_->categories.NumCategories(), &s.realized);
+      s.forecaster->OnlineUpdate(s.plan_features, s.realized);
+    }
+  }
+  ComputeBoundaryForecastInto(&s.boundary_forecast);
+  s.boundary_prepared = true;
+  return Status::Ok();
+}
+
+Status IngestionEngine::InstallPlan(KnobPlan plan,
+                                    std::optional<double> cloud_credits_usd) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("Start() the engine before stepping");
+  }
+  IngestState& s = *state_;
+  if (s.next_index >= s.n_segments) {
+    return Status::FailedPrecondition("ingest run is complete");
+  }
+  if (s.next_index % s.segs_per_interval != 0 || s.boundary_installed) {
+    return Status::FailedPrecondition("engine is not at a plan boundary");
+  }
+  s.plan = std::move(plan);
+  s.switcher.SetPlan(&s.plan);
+  // Features are only consumed by the fine-tuning step of PrepareBoundary,
+  // at the *next* boundary; skip them (and their scan) when updates are off.
+  if (options_.online_forecaster_updates && s.forecaster.has_value()) {
+    s.forecaster->FeaturesFromHistoryInto(s.history, model_->segment_seconds,
+                                          &s.plan_features);
+  }
+  double cloud_budget =
+      options_.enable_cloud
+          ? cloud_credits_usd.value_or(*options_.cloud_budget_usd_per_interval)
+          : 0.0;
+  s.credits_remaining = cloud_budget;
+  s.planned_usd_per_interval = std::min(
+      cloud_budget,
+      cost_model_->CoreSecondsToUsd(
+          std::max(0.0,
+                   s.plan.expected_work - static_cast<double>(cluster_.cores)) *
+          options_.plan_interval));
+  ++s.interval_index;
+  s.boundary_prepared = false;
+  s.boundary_installed = true;
+  return Status::Ok();
+}
+
+Status IngestionEngine::Start(SimTime start_time) {
   if (model_->profiles.empty()) {
     return Status::FailedPrecondition("offline model has no profiles");
   }
   double seg = model_->segment_seconds;
-  int64_t n_segments = static_cast<int64_t>(options_.duration / seg);
   int64_t segs_per_interval =
       std::max<int64_t>(1, static_cast<int64_t>(options_.plan_interval / seg));
 
-  video::StreamSource source(&workload_->content_process(), seg);
-  int64_t first_segment = static_cast<int64_t>(start_time / seg);
+  state_ = std::make_unique<IngestState>(
+      &model_->categories, &model_->profiles,
+      options_.enable_buffer ? *options_.buffer_bytes : 0);
+  IngestState& s = *state_;
+  s.start_time = start_time;
+  s.n_segments = static_cast<int64_t>(options_.duration / seg);
+  s.segs_per_interval = segs_per_interval;
+  s.first_segment = static_cast<int64_t>(start_time / seg);
 
   // Truth memo ring: one slot per segment of a plan interval. The lookahead
   // fills at most one interval ahead and the ingest loop consumes within the
   // same interval, so slots are never evicted while live (tags catch any
-  // reuse across intervals). Reset tags in case Run is called twice.
-  truth_ring_.resize(static_cast<size_t>(segs_per_interval));
-  for (SegmentTruth& slot : truth_ring_) slot.segment_index = -1;
+  // reuse across intervals). Tags reset in case the engine ran before.
+  ResetTruthRing(segs_per_interval);
 
   Rng rng(options_.seed);
-  Rng noise = rng.Fork("measurement");
-
-  // Loop-invariant model lookups, hoisted out of the segment loop.
-  const std::vector<KnobConfig>& configs = model_->configs;
-  const std::vector<ConfigProfile>& profiles = model_->profiles;
-  const ContentCategories& categories = model_->categories;
-  const size_t num_categories = categories.NumCategories();
-
-  KnobSwitcher switcher(&categories, &profiles);
+  s.noise = rng.Fork("measurement");
 
   // The engine fine-tunes its own copy of the forecaster online (§3.3); the
   // offline model stays untouched so runs are independent.
-  std::optional<Forecaster> forecaster = model_->forecaster;
+  s.forecaster = model_->forecaster;
 
   // Rolling category history, bounded to the feature window instead of
   // growing O(duration): the forecaster features read the last `input_span`
@@ -160,211 +302,246 @@ Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
   // compaction to O(1) per segment with no further allocation; bootstrapped
   // with the tail of the offline training sequence.
   size_t history_window = static_cast<size_t>(segs_per_interval);
-  if (forecaster.has_value()) {
-    const ForecasterOptions& fopts = forecaster->options();
+  if (s.forecaster.has_value()) {
+    const ForecasterOptions& fopts = s.forecaster->options();
     history_window = std::max(
         history_window,
         std::max<size_t>(fopts.input_splits,
                          static_cast<size_t>(fopts.input_span / seg)));
   }
+  s.history_window = history_window;
   const std::vector<size_t>& train_seq = model_->train_category_sequence;
   size_t bootstrap = std::min(history_window, train_seq.size());
-  std::vector<size_t> history;
-  history.reserve(2 * history_window);
-  history.assign(train_seq.end() - static_cast<ptrdiff_t>(bootstrap),
-                 train_seq.end());
-
-  EngineResult result;
-  double lag_s = 0.0;
-  double buffered_bytes = 0.0;
-  sim::VideoBuffer buffer(options_.enable_buffer ? options_.buffer_bytes : 0);
-  double credits_remaining = 0.0;
-  double planned_usd_per_interval = 0.0;
-  size_t interval_index = 0;
+  s.history.reserve(2 * history_window);
+  s.history.assign(train_seq.end() - static_cast<ptrdiff_t>(bootstrap),
+                   train_seq.end());
 
   // Start on the cheapest profiled configuration.
-  size_t current_config = 0;
+  const std::vector<ConfigProfile>& profiles = model_->profiles;
+  s.current_config = 0;
   for (size_t k = 1; k < profiles.size(); ++k) {
     if (profiles[k].work_core_s_per_video_s <
-        profiles[current_config].work_core_s_per_video_s) {
-      current_config = k;
+        profiles[s.current_config].work_core_s_per_video_s) {
+      s.current_config = k;
     }
   }
-  double last_measured = workload_->MeasuredQuality(
-      configs[current_config], workload_->content_process().At(start_time),
-      &noise);
+  s.last_measured = workload_->MeasuredQuality(
+      model_->configs[s.current_config],
+      workload_->content_process().At(start_time), &s.noise);
 
-  KnobPlan plan;
-  std::vector<double> plan_features;
-  std::vector<double> realized;
-  double next_trace_t = start_time;
+  s.next_trace_t = start_time;
+  return Status::Ok();
+}
 
-  for (int64_t i = 0; i < n_segments; ++i) {
-    SimTime t = start_time + static_cast<double>(i) * seg;
+SimTime IngestionEngine::CurrentTime() const {
+  if (state_ == nullptr) return 0.0;
+  return state_->start_time +
+         static_cast<double>(state_->next_index) * model_->segment_seconds;
+}
 
-    if (i % segs_per_interval == 0) {
-      // Online forecaster fine-tuning: at each boundary, feed back the
-      // realized distribution of the interval that just ended (§3.3).
-      if (i > 0 && options_.online_forecaster_updates &&
-          forecaster.has_value() && !plan_features.empty()) {
-        size_t interval_segs = static_cast<size_t>(segs_per_interval);
-        if (history.size() >= interval_segs) {
-          CategoryHistogramInto(history, history.size() - interval_segs,
-                                history.size(), num_categories, &realized);
-          forecaster->OnlineUpdate(plan_features, realized);
-        }
-      }
-      SKY_ASSIGN_OR_RETURN(
-          plan, MakePlan(first_segment + i, history,
-                         forecaster.has_value() ? &*forecaster : nullptr));
-      switcher.SetPlan(&plan);
-      // Features are only consumed by the fine-tuning step above, at the
-      // *next* boundary; skip them (and their scan) when updates are off.
-      if (options_.online_forecaster_updates && forecaster.has_value()) {
-        forecaster->FeaturesFromHistoryInto(history, model_->segment_seconds,
-                                            &plan_features);
-      }
-      credits_remaining =
-          options_.enable_cloud ? options_.cloud_budget_usd_per_interval : 0.0;
-      planned_usd_per_interval = std::min(
-          options_.enable_cloud ? options_.cloud_budget_usd_per_interval : 0.0,
-          cost_model_->CoreSecondsToUsd(
-              std::max(0.0, plan.expected_work -
-                                static_cast<double>(cluster_.cores)) *
-              options_.plan_interval));
-      ++interval_index;
-    }
-
-    video::SegmentInfo info = source.Segment(first_segment + i);
-    double bytes_per_s =
-        static_cast<double>(info.bytes) / std::max(1e-9, info.duration_s);
-
-    // One ground-truth computation per segment, shared by the category
-    // override, the §5.6 accuracy accounting below, and (when ground-truth
-    // forecasting is on) the lookahead that already classified this segment
-    // at the last plan boundary. The reference stays valid through this
-    // iteration: this segment's ring slot is only overwritten an interval
-    // from now.
-    const SegmentTruth& truth = CachedTruth(first_segment + i);
-
-    SwitchContext ctx;
-    ctx.current_config_idx = current_config;
-    ctx.measured_quality =
-        options_.eliminate_type_b_errors
-            ? workload_->MeasuredQuality(configs[current_config],
-                                         info.content, &noise)
-            : last_measured;
-    ctx.lag_seconds = lag_s;
-    ctx.segment_seconds = seg;
-    ctx.bytes_per_video_second = bytes_per_s;
-    ctx.buffered_bytes = buffered_bytes;
-    ctx.buffer_capacity_bytes = buffer.capacity_bytes();
-    ctx.cloud_credits_remaining_usd = credits_remaining;
-    ctx.allow_cloud = options_.enable_cloud;
-    ctx.allow_buffer = options_.enable_buffer;
-    if (options_.use_ground_truth_categories) {
-      ctx.category_override = static_cast<int64_t>(truth.category);
-    }
-
-    SKY_ASSIGN_OR_RETURN(SwitchDecision decision, switcher.Decide(ctx));
-    switcher.RecordUsage(decision.category, decision.config_idx);
-    if (decision.degraded) ++result.degraded_count;
-    if (decision.config_idx != current_config) ++result.switch_count;
-
-    const ConfigProfile& profile = profiles[decision.config_idx];
-    const PlacementProfile& placement =
-        profile.placements[decision.placement_idx];
-
-    // Advance the backlog: the stream gains one segment while the processor
-    // spends placement.runtime_s on this one. Backlog growth buffers bytes
-    // at the current stream rate; shrinkage releases bytes at the backlog's
-    // historical average rate.
-    double new_lag = std::max(0.0, lag_s + placement.runtime_s - seg);
-    if (new_lag > lag_s) {
-      buffered_bytes += (new_lag - lag_s) * bytes_per_s;
-    } else if (lag_s > 0.0) {
-      buffered_bytes -= (lag_s - new_lag) * (buffered_bytes / lag_s);
-    }
-    if (new_lag <= 1e-12) buffered_bytes = 0.0;
-    lag_s = new_lag;
-    if (buffered_bytes >
-        static_cast<double>(buffer.capacity_bytes()) + 1e-6) {
-      // Hard fault: only reachable when no configuration fits at all (the
-      // switcher's guarantee covers every provisioned case).
-      ++result.overflow_events;
-      buffered_bytes = static_cast<double>(buffer.capacity_bytes());
-    }
-    result.buffer_high_water_bytes =
-        std::max(result.buffer_high_water_bytes,
-                 static_cast<uint64_t>(buffered_bytes));
-
-    result.cloud_usd += placement.cloud_usd;
-    credits_remaining -= placement.cloud_usd;
-    result.onprem_core_seconds += placement.onprem_core_s;
-    result.work_core_seconds += profile.work_core_s_per_video_s * seg;
-
-    // The decision config's true quality is one coordinate of the memoized
-    // ground-truth vector — no extra TrueQuality call.
-    double true_q = truth.quals[decision.config_idx];
-    result.total_quality += true_q;
-    if (!options_.eliminate_type_b_errors) {
-      // Skipped in type-B-elimination mode, where the switcher measures the
-      // current segment itself: both modes then consume exactly one noise
-      // draw per segment, so a Fig. 15 comparison is noise-paired and
-      // differs only in measurement timing.
-      last_measured = workload_->MeasuredQuality(configs[decision.config_idx],
-                                                 info.content, &noise);
-    }
-
-    // Switcher accuracy accounting (§5.6), on the same memoized truth.
-    size_t true_cat = truth.category;
-    if (decision.category != true_cat) {
-      ++result.misclassified;
-      // Type-A: would perfect timing have produced the same error? Classify
-      // with the previous configuration's quality on *this* segment.
-      size_t timely_cat = categories.ClassifyPartial(
-          ctx.current_config_idx, truth.quals[ctx.current_config_idx]);
-      if (timely_cat != true_cat) {
-        ++result.type_a_errors;
-      } else {
-        ++result.type_b_errors;
-      }
-    }
-    if (history.size() >= 2 * history_window) {
-      std::copy(history.end() - static_cast<ptrdiff_t>(history_window),
-                history.end(), history.begin());
-      history.resize(history_window);
-    }
-    history.push_back(decision.category);
-    current_config = decision.config_idx;
-    ++result.segments;
-
-    if (options_.record_trace && t >= next_trace_t) {
-      TracePoint point;
-      point.t = t;
-      point.quality = true_q;
-      point.work_core_s_per_s =
-          profile.work_core_s_per_video_s;
-      point.buffer_bytes = buffered_bytes;
-      point.cloud_usd_cumulative = result.cloud_usd;
-      double interval_fraction =
-          static_cast<double>(i % segs_per_interval) /
-          static_cast<double>(segs_per_interval);
-      point.cloud_usd_planned =
-          (static_cast<double>(interval_index - 1) + interval_fraction) *
-          planned_usd_per_interval;
-      point.config_idx = decision.config_idx;
-      point.category = decision.category;
-      result.trace.push_back(point);
-      next_trace_t += options_.trace_resolution_s;
-    }
+Status IngestionEngine::Step() {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("Start() the engine before Step()");
+  }
+  IngestState& s = *state_;
+  if (s.next_index >= s.n_segments) {
+    return Status::FailedPrecondition("ingest run is complete");
   }
 
-  result.mean_quality =
-      result.segments == 0
+  // Plan boundary: self-plan unless StreamSet (or a caller) already
+  // installed a jointly computed plan for this boundary.
+  if (s.next_index % s.segs_per_interval == 0 && !s.boundary_installed) {
+    SKY_RETURN_NOT_OK(PrepareBoundary());
+    SKY_ASSIGN_OR_RETURN(KnobPlan plan, PlanFromPreparedForecast());
+    SKY_RETURN_NOT_OK(InstallPlan(std::move(plan)));
+  }
+  // The boundary is consumed by this (first-of-interval) segment.
+  s.boundary_installed = false;
+
+  // Loop-invariant model lookups.
+  const std::vector<KnobConfig>& configs = model_->configs;
+  const std::vector<ConfigProfile>& profiles = model_->profiles;
+  const ContentCategories& categories = model_->categories;
+  double seg = model_->segment_seconds;
+
+  int64_t i = s.next_index;
+  SimTime t = s.start_time + static_cast<double>(i) * seg;
+
+  video::StreamSource source(&workload_->content_process(), seg);
+  video::SegmentInfo info = source.Segment(s.first_segment + i);
+  double bytes_per_s =
+      static_cast<double>(info.bytes) / std::max(1e-9, info.duration_s);
+
+  // One ground-truth computation per segment, shared by the category
+  // override, the §5.6 accuracy accounting below, and (when ground-truth
+  // forecasting is on) the lookahead that already classified this segment
+  // at the last plan boundary. The reference stays valid through this
+  // step: this segment's ring slot is only overwritten an interval from
+  // now.
+  const SegmentTruth& truth = CachedTruth(s.first_segment + i);
+
+  SwitchContext ctx;
+  ctx.current_config_idx = s.current_config;
+  ctx.measured_quality =
+      options_.eliminate_type_b_errors
+          ? workload_->MeasuredQuality(configs[s.current_config], info.content,
+                                       &s.noise)
+          : s.last_measured;
+  ctx.lag_seconds = s.lag_s;
+  ctx.segment_seconds = seg;
+  ctx.bytes_per_video_second = bytes_per_s;
+  ctx.buffered_bytes = s.buffered_bytes;
+  ctx.buffer_capacity_bytes = s.buffer.capacity_bytes();
+  ctx.cloud_credits_remaining_usd = s.credits_remaining;
+  ctx.allow_cloud = options_.enable_cloud;
+  ctx.allow_buffer = options_.enable_buffer;
+  if (options_.use_ground_truth_categories) {
+    ctx.category_override = static_cast<int64_t>(truth.category);
+  }
+
+  SKY_ASSIGN_OR_RETURN(SwitchDecision decision, s.switcher.Decide(ctx));
+  s.switcher.RecordUsage(decision.category, decision.config_idx);
+  if (decision.degraded) ++s.result.degraded_count;
+  if (decision.config_idx != s.current_config) ++s.result.switch_count;
+
+  const ConfigProfile& profile = profiles[decision.config_idx];
+  const PlacementProfile& placement =
+      profile.placements[decision.placement_idx];
+
+  // Advance the backlog: the stream gains one segment while the processor
+  // spends placement.runtime_s on this one. Backlog growth buffers bytes
+  // at the current stream rate; shrinkage releases bytes at the backlog's
+  // historical average rate.
+  double new_lag = std::max(0.0, s.lag_s + placement.runtime_s - seg);
+  if (new_lag > s.lag_s) {
+    s.buffered_bytes += (new_lag - s.lag_s) * bytes_per_s;
+  } else if (s.lag_s > 0.0) {
+    s.buffered_bytes -= (s.lag_s - new_lag) * (s.buffered_bytes / s.lag_s);
+  }
+  if (new_lag <= 1e-12) s.buffered_bytes = 0.0;
+  s.lag_s = new_lag;
+  if (s.buffered_bytes >
+      static_cast<double>(s.buffer.capacity_bytes()) + 1e-6) {
+    // Hard fault: only reachable when no configuration fits at all (the
+    // switcher's guarantee covers every provisioned case).
+    ++s.result.overflow_events;
+    s.buffered_bytes = static_cast<double>(s.buffer.capacity_bytes());
+  }
+  s.result.buffer_high_water_bytes =
+      std::max(s.result.buffer_high_water_bytes,
+               static_cast<uint64_t>(s.buffered_bytes));
+
+  s.result.cloud_usd += placement.cloud_usd;
+  s.credits_remaining -= placement.cloud_usd;
+  s.result.onprem_core_seconds += placement.onprem_core_s;
+  s.result.work_core_seconds += profile.work_core_s_per_video_s * seg;
+
+  // The decision config's true quality is one coordinate of the memoized
+  // ground-truth vector — no extra TrueQuality call.
+  double true_q = truth.quals[decision.config_idx];
+  s.result.total_quality += true_q;
+  if (!options_.eliminate_type_b_errors) {
+    // Skipped in type-B-elimination mode, where the switcher measures the
+    // current segment itself: both modes then consume exactly one noise
+    // draw per segment, so a Fig. 15 comparison is noise-paired and
+    // differs only in measurement timing.
+    s.last_measured = workload_->MeasuredQuality(configs[decision.config_idx],
+                                                 info.content, &s.noise);
+  }
+
+  // Switcher accuracy accounting (§5.6), on the same memoized truth.
+  size_t true_cat = truth.category;
+  if (decision.category != true_cat) {
+    ++s.result.misclassified;
+    // Type-A: would perfect timing have produced the same error? Classify
+    // with the previous configuration's quality on *this* segment.
+    size_t timely_cat = categories.ClassifyPartial(
+        ctx.current_config_idx, truth.quals[ctx.current_config_idx]);
+    if (timely_cat != true_cat) {
+      ++s.result.type_a_errors;
+    } else {
+      ++s.result.type_b_errors;
+    }
+  }
+  if (s.history.size() >= 2 * s.history_window) {
+    std::copy(s.history.end() - static_cast<ptrdiff_t>(s.history_window),
+              s.history.end(), s.history.begin());
+    s.history.resize(s.history_window);
+  }
+  s.history.push_back(decision.category);
+  s.current_config = decision.config_idx;
+  ++s.result.segments;
+
+  if (options_.record_trace && t >= s.next_trace_t) {
+    TracePoint point;
+    point.t = t;
+    point.quality = true_q;
+    point.work_core_s_per_s = profile.work_core_s_per_video_s;
+    point.buffer_bytes = s.buffered_bytes;
+    point.cloud_usd_cumulative = s.result.cloud_usd;
+    double interval_fraction =
+        static_cast<double>(i % s.segs_per_interval) /
+        static_cast<double>(s.segs_per_interval);
+    point.cloud_usd_planned =
+        (static_cast<double>(s.interval_index - 1) + interval_fraction) *
+        s.planned_usd_per_interval;
+    point.config_idx = decision.config_idx;
+    point.category = decision.category;
+    s.result.trace.push_back(point);
+    s.next_trace_t += options_.trace_resolution_s;
+  }
+
+  ++s.next_index;
+  // Keep the partial result coherent at every step; at the last step this
+  // is exactly the one final division the batch loop used to do.
+  s.result.mean_quality =
+      s.result.segments == 0
           ? 0.0
-          : result.total_quality / static_cast<double>(result.segments);
-  return result;
+          : s.result.total_quality / static_cast<double>(s.result.segments);
+  return Status::Ok();
+}
+
+Status IngestionEngine::RunUntil(SimTime t) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("Start() the engine before RunUntil()");
+  }
+  while (!Done() && CurrentTime() < t) {
+    SKY_RETURN_NOT_OK(Step());
+  }
+  return Status::Ok();
+}
+
+Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
+  SKY_RETURN_NOT_OK(Start(start_time));
+  while (!Done()) {
+    SKY_RETURN_NOT_OK(Step());
+  }
+  // Copy (not move) the result out: the completed session stays inspectable
+  // through partial_result()/Done()/current_plan() until the next Start.
+  return state_->result;
+}
+
+Result<IngestState> IngestionEngine::Checkpoint() const {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no session to checkpoint: call Start() first");
+  }
+  return IngestState(*state_);
+}
+
+Status IngestionEngine::Restore(const IngestState& snapshot) {
+  if (model_->profiles.empty()) {
+    return Status::FailedPrecondition("offline model has no profiles");
+  }
+  if (snapshot.segs_per_interval <= 0) {
+    return Status::InvalidArgument(
+        "checkpoint does not hold a started session");
+  }
+  state_ = std::make_unique<IngestState>(snapshot);
+  // The truth ring is a memo of a deterministic per-segment function; it is
+  // not part of the checkpoint and simply refills after a restore.
+  ResetTruthRing(state_->segs_per_interval);
+  return Status::Ok();
 }
 
 }  // namespace sky::core

@@ -2,6 +2,8 @@
 #define SKYSCRAPER_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/offline.h"
@@ -11,19 +13,30 @@
 #include "sim/buffer.h"
 #include "sim/cost_model.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "util/sim_time.h"
 
 namespace sky::core {
+
+/// Buffer capacity used when EngineOptions::buffer_bytes is left unset
+/// (4 GB, as in Fig. 3).
+inline constexpr uint64_t kDefaultBufferBytes = 4ull << 30;
 
 struct EngineOptions {
   /// Length of the ingested live stream.
   SimTime duration = Days(8);
   /// Knob-planner period / forecast horizon (§4.1: "every couple of days").
   SimTime plan_interval = Days(2);
-  /// Cloud credits granted per planned interval, USD. 0 disables bursting
-  /// economically even when enable_cloud is true.
-  double cloud_budget_usd_per_interval = 0.0;
-  uint64_t buffer_bytes = 4ull << 30;  ///< 4 GB, as in Fig. 3
+  /// Cloud credits granted per planned interval, USD. Unset means "no
+  /// opinion": the engine treats it as 0 and api::Skyscraper fills in the
+  /// provisioned Resources value. An explicitly engaged 0.0 disables
+  /// bursting economically even when enable_cloud is true — and is never
+  /// silently overridden by the facade.
+  std::optional<double> cloud_budget_usd_per_interval;
+  /// Video buffer capacity. Unset means "no opinion": the engine falls back
+  /// to kDefaultBufferBytes and api::Skyscraper fills in the provisioned
+  /// Resources value; an explicitly set value always wins.
+  std::optional<uint64_t> buffer_bytes;
   bool enable_cloud = true;
   bool enable_buffer = true;
   /// When > 0, overrides the planner budget (cores + cloud credits) with a
@@ -91,18 +104,232 @@ struct EngineResult {
   }
 };
 
+/// True when two engine results are bitwise identical on every field,
+/// including the full trace. The parity handle behind the stepped-vs-batch
+/// and StreamSet-vs-RunStreamEngines guarantees.
+bool EngineResultsIdentical(const EngineResult& a, const EngineResult& b);
+
+/// Every piece of per-run mutable state of the ingestion engine, extracted
+/// so a run can be stepped, inspected, checkpointed and restored. Treat the
+/// contents as engine-internal: the struct is exposed (by value) only as the
+/// opaque payload of IngestionEngine::Checkpoint()/Restore().
+///
+/// The base holds the members with default-generated copy/move; IngestState
+/// wraps them to fix up the one internal pointer (the switcher follows the
+/// plan member by address) after every copy or move, so snapshots are
+/// self-contained values.
+struct IngestStateData {
+  IngestStateData(const ContentCategories* categories,
+                  const std::vector<ConfigProfile>* profiles,
+                  uint64_t buffer_capacity_bytes)
+      : noise(0), switcher(categories, profiles),
+        buffer(buffer_capacity_bytes) {}
+
+  // --- Run geometry, fixed at Start ---
+  SimTime start_time = 0.0;
+  int64_t first_segment = 0;      ///< global index of the first segment
+  int64_t n_segments = 0;         ///< total segments this run will ingest
+  int64_t segs_per_interval = 0;  ///< plan-interval length in segments
+  size_t history_window = 0;      ///< rolling history bound (see Start)
+
+  // --- Progress ---
+  int64_t next_index = 0;    ///< run-local index of the next segment
+  size_t interval_index = 0; ///< completed plan boundaries
+
+  // --- Stochastic + learned state ---
+  Rng noise;  ///< measurement-noise stream ("measurement" fork of the seed)
+  /// The engine's own online fine-tuned forecaster copy (§3.3); the offline
+  /// model's stays untouched so runs are independent.
+  std::optional<Forecaster> forecaster;
+
+  // --- Decision state ---
+  KnobSwitcher switcher;
+  KnobPlan plan;                   ///< plan of the current interval
+  bool boundary_prepared = false;  ///< PrepareBoundary ran this boundary
+  bool boundary_installed = false; ///< InstallPlan ran this boundary
+  std::vector<double> boundary_forecast;  ///< forecast behind `plan`
+  std::vector<double> plan_features;  ///< features the plan was made from
+  std::vector<double> realized;       ///< scratch: realized interval histogram
+  std::vector<size_t> history;        ///< rolling category history
+  size_t current_config = 0;
+  double last_measured = 0.0;
+
+  // --- Resource accounting ---
+  double lag_s = 0.0;
+  double buffered_bytes = 0.0;
+  sim::VideoBuffer buffer;
+  double credits_remaining = 0.0;
+  double planned_usd_per_interval = 0.0;
+
+  // --- Output so far ---
+  EngineResult result;  ///< partial result; mean_quality kept current
+  double next_trace_t = 0.0;
+};
+
+struct IngestState : IngestStateData {
+  using IngestStateData::IngestStateData;
+  IngestState(const IngestState& o) : IngestStateData(o) { RebindPlan(); }
+  IngestState(IngestState&& o) noexcept : IngestStateData(std::move(o)) {
+    RebindPlan();
+  }
+  IngestState& operator=(const IngestState& o) {
+    IngestStateData::operator=(o);
+    RebindPlan();
+    return *this;
+  }
+  IngestState& operator=(IngestState&& o) noexcept {
+    IngestStateData::operator=(std::move(o));
+    RebindPlan();
+    return *this;
+  }
+
+ private:
+  /// After a memberwise copy/move the switcher still points at the source
+  /// state's plan object; re-point it at our own copy (usage histograms are
+  /// preserved — this is a relocation, not a new interval).
+  void RebindPlan() {
+    if (switcher.plan() != nullptr) switcher.RebindPlan(&plan);
+  }
+};
+
 /// The online ingestion engine (§4): advances a virtual clock in
 /// segment-sized steps, runs the knob planner every plan_interval and the
 /// knob switcher every segment, charges cloud credits, and accounts for the
 /// buffer. `start_time` offsets into the content process — run it after the
 /// offline training horizon so train and test data do not overlap.
+///
+/// The engine is an explicit state machine. Drive it either as a batch:
+///
+///   auto result = engine.Run(start);             // Start + Step to the end
+///
+/// or incrementally, with mid-run inspection and checkpoint/restore:
+///
+///   engine.Start(start);
+///   while (!engine.Done()) {
+///     engine.Step();                             // one segment
+///     inspect(engine.partial_result(), engine.current_plan(), ...);
+///   }
+///
+/// Both drive the identical code path: a stepped run is bitwise-equal to
+/// Run on every EngineResult field including the trace.
 class IngestionEngine {
  public:
   IngestionEngine(const Workload* workload, const OfflineModel* model,
                   const sim::ClusterSpec& cluster,
                   const sim::CostModel* cost_model, EngineOptions options);
 
+  /// Batch convenience wrapper: Start, Step until Done, return the result.
   Result<EngineResult> Run(SimTime start_time);
+
+  // --- Steppable session surface ---
+
+  /// Begins (or restarts) a run at `start_time`. Any previous session state
+  /// is discarded.
+  Status Start(SimTime start_time);
+
+  /// True once Start/Restore (or a Run) has created session state; stays
+  /// true after completion so the finished run remains inspectable.
+  bool started() const { return state_ != nullptr; }
+
+  /// True when every segment of the run has been ingested.
+  bool Done() const {
+    return state_ != nullptr && state_->next_index >= state_->n_segments;
+  }
+
+  /// Ingests one segment (running the plan boundary first when due).
+  Status Step();
+
+  /// Steps until the virtual clock reaches `t` (or the run completes).
+  Status RunUntil(SimTime t);
+
+  /// Arrival time of the next segment to ingest (== start_time + elapsed).
+  SimTime CurrentTime() const;
+
+  /// The result accumulated so far (mean_quality kept current, trace-so-far
+  /// included). At Done() this IS the final result — a completed Run()
+  /// leaves it (and the whole session) inspectable until the next Start.
+  /// Empty before the first Start.
+  const EngineResult& partial_result() const {
+    static const EngineResult kEmpty;
+    return state_ == nullptr ? kEmpty : state_->result;
+  }
+
+  /// The plan the switcher currently follows; null before the first boundary.
+  const KnobPlan* current_plan() const {
+    return state_ == nullptr ? nullptr : state_->switcher.plan();
+  }
+
+  /// Bytes of arrived-but-unprocessed video currently buffered.
+  double buffer_occupancy_bytes() const {
+    return state_ == nullptr ? 0.0 : state_->buffered_bytes;
+  }
+
+  /// Processing backlog behind the live stream, seconds.
+  double lag_seconds() const {
+    return state_ == nullptr ? 0.0 : state_->lag_s;
+  }
+
+  /// Plan-interval length in segments (0 before the first Start).
+  int64_t segments_per_interval() const {
+    return state_ == nullptr ? 0 : state_->segs_per_interval;
+  }
+
+  // --- Checkpoint / restore ---
+
+  /// Value snapshot of the full session state. Restoring it (into this
+  /// engine or another engine over the SAME workload/model/options) resumes
+  /// the run exactly: the continuation is bitwise-identical to never having
+  /// stopped.
+  Result<IngestState> Checkpoint() const;
+  Status Restore(const IngestState& snapshot);
+
+  // --- Plan-boundary hooks (used by StreamSet for joint planning) ---
+
+  /// True when the next Step() would run the knob planner (and the plan for
+  /// that boundary has not been installed yet).
+  bool AtPlanBoundary() const;
+
+  /// Runs the boundary-side model maintenance exactly as a self-planning
+  /// Step() would: the online forecaster fine-tune on the just-realized
+  /// interval (§3.3), then the forecast for the coming interval (readable
+  /// via boundary_forecast()). Idempotent within one boundary.
+  Status PrepareBoundary();
+
+  /// The forecast computed by PrepareBoundary for the upcoming interval
+  /// (empty before the first prepared boundary).
+  const std::vector<double>& boundary_forecast() const {
+    static const std::vector<double> kEmpty;
+    return state_ == nullptr ? kEmpty : state_->boundary_forecast;
+  }
+
+  /// cost(k) per filtered configuration, core-seconds per video-second.
+  const std::vector<double>& config_costs() const;
+
+  /// This stream's own planning budget: cores plus cloud credits (or the
+  /// work_budget_override), core-seconds per video-second.
+  double PlanBudgetCoreSPerVideoS() const;
+
+  /// Installs `plan` for the current boundary and completes the boundary
+  /// bookkeeping (switcher reset, feature capture for the next fine-tune,
+  /// cloud-credit refill, interval counter). Called with a self-computed
+  /// plan by Step(), or with a jointly-computed plan by StreamSet.
+  ///
+  /// `cloud_credits_usd` overrides THIS interval's cloud-credit refill:
+  /// joint multi-stream planning pools every stream's credits and
+  /// re-divides them to follow the joint plan, so a stream may receive
+  /// more (or less) than its own EngineOptions budget. Unset uses the
+  /// stream's own budget — the single-stream behavior.
+  Status InstallPlan(KnobPlan plan,
+                     std::optional<double> cloud_credits_usd = std::nullopt);
+
+  /// The all-cheapest degradation plan used when the planning program is
+  /// infeasible under the budget (the switcher's buffer guard does the
+  /// rest).
+  KnobPlan FallbackPlan(const std::vector<double>& forecast) const;
+
+  /// Engine options with unset fields resolved to engine defaults.
+  const EngineOptions& options() const { return options_; }
+  const OfflineModel& model() const { return *model_; }
 
  private:
   /// Realized category distribution over the plan interval starting at
@@ -124,31 +351,40 @@ class IngestionEngine {
   };
   const SegmentTruth& CachedTruth(int64_t segment_index) const;
 
-  /// Builds a plan for the interval starting at global segment
-  /// `first_segment_index`, falling back to an all-cheapest plan if the LP
-  /// is infeasible. `forecaster` is the engine's own (online fine-tuned)
-  /// copy; may be null.
-  Result<KnobPlan> MakePlan(int64_t first_segment_index,
-                            const std::vector<size_t>& history,
-                            const Forecaster* forecaster) const;
+  /// The forecast the planner will see at the current boundary (ground
+  /// truth, forecaster, recency histogram, or uniform), written into `out`.
+  void ComputeBoundaryForecastInto(std::vector<double>* out);
+
+  /// Solves the planning program for the prepared boundary forecast,
+  /// degrading to FallbackPlan when the budget fits no configuration.
+  Result<KnobPlan> PlanFromPreparedForecast();
+
+  /// (Re)sizes the truth memo ring for `segs_per_interval` and invalidates
+  /// the slot tags.
+  void ResetTruthRing(int64_t segs_per_interval);
 
   const Workload* workload_;
   const OfflineModel* model_;
   sim::ClusterSpec cluster_;
   const sim::CostModel* cost_model_;
   EngineOptions options_;
+  /// All per-run mutable state; null before the first Start.
+  std::unique_ptr<IngestState> state_;
   /// Truth memo as a ring buffer sized to the plan interval (slot =
   /// segment_index % size): the ground-truth-forecast lookahead fills one
   /// interval's slots at the plan boundary and the ingest loop reads them
   /// back, so a live entry is never evicted; slots (and their quality
   /// vectors) are overwritten in place the next interval — no hashing, no
-  /// rehash growth, no per-segment allocation.
+  /// rehash growth, no per-segment allocation. Purely a memo of a
+  /// deterministic function of the segment index, so it lives outside
+  /// IngestState: checkpoints stay small and restores just refill it.
   mutable std::vector<SegmentTruth> truth_ring_;
-  /// Buffers reused across plan boundaries so MakePlan allocates nothing at
-  /// steady state: forecast/feature/histogram vectors, the loop-invariant
-  /// config costs, and the planner's coefficient + solver workspace.
+  /// Buffers reused across plan boundaries so planning allocates nothing at
+  /// steady state: forecaster feature scratch, the loop-invariant config
+  /// costs, and the planner's coefficient + solver workspace. Holds no
+  /// run-defining state (everything here is recomputed or invariant), so it
+  /// too stays outside IngestState.
   struct PlanScratch {
-    std::vector<double> forecast;
     std::vector<double> features;
     std::vector<double> costs;
     PlanWorkspace workspace;

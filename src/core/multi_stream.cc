@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace sky::core {
 
@@ -10,22 +11,277 @@ int FairCoreShare(int cores, size_t num_streams) {
   return std::max(1, cores / static_cast<int>(num_streams));
 }
 
-std::vector<Result<EngineResult>> RunStreamEngines(
-    const std::vector<StreamEngineJob>& jobs, dag::ThreadPool* pool) {
-  std::vector<Result<EngineResult>> results(
-      jobs.size(), Result<EngineResult>(Status::Internal("stream not run")));
-  dag::ParallelFor(pool, jobs.size(), [&](size_t i) {
-    const StreamEngineJob& job = jobs[i];
+Result<StreamSet> StreamSet::Create(std::vector<StreamEngineJob> jobs,
+                                    StreamSetOptions options) {
+  StreamSet set(options);
+  set.jobs_ = std::move(jobs);
+  set.engines_.resize(set.jobs_.size());
+  set.statuses_.assign(set.jobs_.size(), Status::Ok());
+
+  for (size_t v = 0; v < set.jobs_.size(); ++v) {
+    const StreamEngineJob& job = set.jobs_[v];
     if (job.workload == nullptr || job.model == nullptr ||
         job.cost_model == nullptr) {
-      results[i] = Status::InvalidArgument("null pointer in stream job");
-      return;
+      set.statuses_[v] = Status::InvalidArgument("null pointer in stream job");
+      continue;
     }
-    IngestionEngine engine(job.workload, job.model, job.cluster,
-                           job.cost_model, job.options);
-    results[i] = engine.Run(job.start_time);
-  });
-  return results;
+    set.engines_[v] = std::make_unique<IngestionEngine>(
+        job.workload, job.model, job.cluster, job.cost_model, job.options);
+    Status started = set.engines_[v]->Start(job.start_time);
+    if (!started.ok()) {
+      set.statuses_[v] = started;
+    }
+  }
+
+  if (options.planning == MultiStreamPlanning::kJoint) {
+    // Joint planning intercepts plan boundaries across streams; they only
+    // line up when every stream shares the boundary cadence.
+    double seg_s = -1.0;
+    int64_t segs_per_interval = -1;
+    for (size_t v = 0; v < set.jobs_.size(); ++v) {
+      if (!set.Active(v)) continue;
+      double seg = set.jobs_[v].model->segment_seconds;
+      int64_t segs = set.engines_[v]->segments_per_interval();
+      if (seg_s < 0.0) {
+        seg_s = seg;
+        segs_per_interval = segs;
+      } else if (seg != seg_s || segs != segs_per_interval) {
+        return Status::InvalidArgument(
+            "joint planning requires every stream to share one segment "
+            "length and plan interval (lockstep boundaries)");
+      }
+    }
+  }
+  return set;
+}
+
+bool StreamSet::Done() const {
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    if (Active(v)) return false;
+  }
+  return true;
+}
+
+Status StreamSet::JointPlanBoundaryIfDue() {
+  // Live streams hit boundaries in lockstep (validated at Create): either
+  // all of them are due or none is.
+  bool any_due = false;
+  bool any_not_due = false;
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    if (!Active(v)) continue;
+    (engines_[v]->AtPlanBoundary() ? any_due : any_not_due) = true;
+  }
+  if (!any_due) return Status::Ok();
+  if (any_not_due) {
+    return Status::Internal("streams fell out of lockstep plan boundaries");
+  }
+
+  inputs_.clear();
+  planned_.clear();
+  double derived_budget = 0.0;
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    if (!Active(v)) continue;
+    // Per-stream boundary maintenance (online forecaster fine-tune +
+    // forecast) runs exactly as a self-planning engine would.
+    Status prepared = engines_[v]->PrepareBoundary();
+    if (!prepared.ok()) {
+      statuses_[v] = prepared;
+      continue;
+    }
+    StreamPlanInput in;
+    in.categories = &jobs_[v].model->categories;
+    in.forecast = engines_[v]->boundary_forecast();
+    in.config_costs = engines_[v]->config_costs();
+    inputs_.push_back(std::move(in));
+    planned_.push_back(v);
+    derived_budget += engines_[v]->PlanBudgetCoreSPerVideoS();
+  }
+  if (planned_.empty()) return Status::Ok();
+
+  double budget = options_.shared_budget_core_s_per_video_s > 0.0
+                      ? options_.shared_budget_core_s_per_video_s
+                      : derived_budget;
+  Result<std::vector<KnobPlan>> plans = ComputeJointKnobPlan(
+      inputs_, budget, options_.planner_backend, &joint_ws_);
+
+  if (!plans.ok() &&
+      plans.status().code() == StatusCode::kResourceExhausted) {
+    // Budget fits no configuration anywhere: degrade every stream to its
+    // own all-cheapest plan, mirroring the single-stream fallback.
+    for (size_t idx = 0; idx < planned_.size(); ++idx) {
+      size_t v = planned_[idx];
+      Status installed = engines_[v]->InstallPlan(
+          engines_[v]->FallbackPlan(engines_[v]->boundary_forecast()));
+      if (!installed.ok()) statuses_[v] = installed;
+    }
+    return Status::Ok();
+  }
+  if (!plans.ok()) {
+    for (size_t v : planned_) statuses_[v] = plans.status();
+    return Status::Ok();
+  }
+
+  // The joint program allocated the POOLED budget; the per-stream credit
+  // guards must follow it, or the plan's cloud bursts could never execute
+  // beyond each stream's own even share. Re-divide the pooled credits by
+  // each plan's implied cloud need (expected work above the local cores),
+  // spreading any slack evenly so reactive bursting stays possible; scale
+  // down proportionally when the needs exceed the pool. Total spendable
+  // credits per interval remain exactly the sum of the streams' own
+  // budgets — joint mode moves money, it never prints it.
+  std::vector<double> needs(planned_.size(), 0.0);
+  double pooled_credits = 0.0;
+  double total_need = 0.0;
+  for (size_t idx = 0; idx < planned_.size(); ++idx) {
+    size_t v = planned_[idx];
+    const EngineOptions& opts = engines_[v]->options();
+    if (opts.enable_cloud) {
+      pooled_credits += *opts.cloud_budget_usd_per_interval;
+    }
+    double burst_core_s =
+        std::max(0.0, (*plans)[idx].expected_work -
+                          static_cast<double>(jobs_[v].cluster.cores)) *
+        opts.plan_interval;
+    needs[idx] = jobs_[v].cost_model->CoreSecondsToUsd(burst_core_s);
+    total_need += needs[idx];
+  }
+  for (size_t idx = 0; idx < planned_.size(); ++idx) {
+    size_t v = planned_[idx];
+    double allotted;
+    if (total_need <= pooled_credits) {
+      allotted = needs[idx] + (pooled_credits - total_need) /
+                                  static_cast<double>(planned_.size());
+    } else {
+      allotted = pooled_credits * needs[idx] / total_need;
+    }
+    Status installed =
+        engines_[v]->InstallPlan(std::move((*plans)[idx]), allotted);
+    if (!installed.ok()) statuses_[v] = installed;
+  }
+  return Status::Ok();
+}
+
+Status StreamSet::Step() {
+  if (options_.planning == MultiStreamPlanning::kJoint) {
+    SKY_RETURN_NOT_OK(JointPlanBoundaryIfDue());
+  }
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    if (!Active(v)) continue;
+    Status stepped = engines_[v]->Step();
+    if (!stepped.ok()) statuses_[v] = stepped;
+  }
+  return Status::Ok();
+}
+
+Status StreamSet::RunUntilElapsed(SimTime elapsed) {
+  if (options_.planning == MultiStreamPlanning::kJoint) {
+    // Lockstep cadence (validated at Create): every stream is equally far
+    // along, so stepping the whole set while anyone is behind never
+    // overshoots.
+    auto behind = [&]() {
+      for (size_t v = 0; v < engines_.size(); ++v) {
+        if (Active(v) &&
+            engines_[v]->CurrentTime() - jobs_[v].start_time < elapsed) {
+          return true;
+        }
+      }
+      return false;
+    };
+    while (!Done() && behind()) {
+      SKY_RETURN_NOT_OK(Step());
+    }
+    return Status::Ok();
+  }
+  // Independent mode allows heterogeneous segment lengths: advance each
+  // stream on its own until IT reaches the target, so fast-segment streams
+  // are not dragged past the pause point by slow-segment ones.
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    while (Active(v) &&
+           engines_[v]->CurrentTime() - jobs_[v].start_time < elapsed) {
+      Status stepped = engines_[v]->Step();
+      if (!stepped.ok()) {
+        statuses_[v] = stepped;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+/// Advances one engine through the remainder of its current plan interval
+/// (or to completion): the boundary it sits on must already be planned.
+Status StepInterval(IngestionEngine* engine) {
+  do {
+    SKY_RETURN_NOT_OK(engine->Step());
+  } while (!engine->Done() && !engine->AtPlanBoundary());
+  return Status::Ok();
+}
+}  // namespace
+
+Status StreamSet::RunToCompletion(dag::ThreadPool* pool) {
+  if (options_.planning == MultiStreamPlanning::kIndependent) {
+    // Streams are fully independent simulations: one stream per pool slot,
+    // each stepped straight through — the exact RunStreamEngines fan-out,
+    // identical results for any thread count.
+    dag::ParallelFor(pool, engines_.size(), [&](size_t v) {
+      if (!Active(v)) return;
+      while (!engines_[v]->Done()) {
+        Status stepped = engines_[v]->Step();
+        if (!stepped.ok()) {
+          statuses_[v] = stepped;
+          return;
+        }
+      }
+    });
+    return Status::Ok();
+  }
+  // Joint mode: the joint solve at each lockstep boundary is serial (it
+  // couples the streams); between boundaries the streams are independent
+  // again, so each interval fans out one stream per pool slot. The step
+  // sequence per stream is identical to Step()-ing the set segment by
+  // segment — and to a single-stream engine everywhere but the plan.
+  while (!Done()) {
+    SKY_RETURN_NOT_OK(JointPlanBoundaryIfDue());
+    dag::ParallelFor(pool, engines_.size(), [&](size_t v) {
+      if (!Active(v)) return;
+      Status ran = StepInterval(engines_[v].get());
+      if (!ran.ok()) statuses_[v] = ran;
+    });
+  }
+  return Status::Ok();
+}
+
+std::vector<Result<EngineResult>> StreamSet::Results() const {
+  std::vector<Result<EngineResult>> out;
+  out.reserve(engines_.size());
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    if (!statuses_[v].ok()) {
+      out.push_back(statuses_[v]);
+    } else if (engines_[v] == nullptr || !engines_[v]->Done()) {
+      out.push_back(Status::FailedPrecondition("stream not finished"));
+    } else {
+      out.push_back(engines_[v]->partial_result());
+    }
+  }
+  return out;
+}
+
+std::vector<Result<EngineResult>> RunStreamEngines(
+    const std::vector<StreamEngineJob>& jobs, dag::ThreadPool* pool) {
+  StreamSetOptions options;
+  options.planning = MultiStreamPlanning::kIndependent;
+  Result<StreamSet> set = StreamSet::Create(jobs, options);
+  if (!set.ok()) {
+    return std::vector<Result<EngineResult>>(
+        jobs.size(), Result<EngineResult>(set.status()));
+  }
+  Status ran = set->RunToCompletion(pool);
+  if (!ran.ok()) {
+    return std::vector<Result<EngineResult>>(jobs.size(),
+                                             Result<EngineResult>(ran));
+  }
+  return set->Results();
 }
 
 Result<std::vector<KnobPlan>> ComputeJointKnobPlan(

@@ -1,6 +1,7 @@
 #ifndef SKYSCRAPER_CORE_MULTI_STREAM_H_
 #define SKYSCRAPER_CORE_MULTI_STREAM_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/engine.h"
@@ -51,9 +52,118 @@ struct StreamEngineJob {
   SimTime start_time = 0.0;
 };
 
+/// How a StreamSet plans its streams at each boundary.
+enum class MultiStreamPlanning {
+  /// Every stream runs the single-stream planner on its own budget — the
+  /// even-split baseline of Appendix D (and the exact behavior of running
+  /// each engine on its own).
+  kIndependent,
+  /// Appendix D's joint program (Eqs. 7-9): at every lockstep plan
+  /// boundary, all streams' (forecast, cost) coefficients enter ONE
+  /// fractional MCKP under the shared budget, so credits flow to the
+  /// streams whose hard content gains the most.
+  kJoint,
+};
+
+struct StreamSetOptions {
+  MultiStreamPlanning planning = MultiStreamPlanning::kJoint;
+  /// Shared budget for joint planning, core-seconds per video-second.
+  /// When <= 0 it is derived at every boundary as the sum of each stream's
+  /// own planning budget (cores + cloud credits, or the work override) —
+  /// i.e. joint planning re-divides exactly the resources the independent
+  /// mode splits evenly.
+  double shared_budget_core_s_per_video_s = 0.0;
+  /// Solver for the joint program. Independent mode uses each engine's own
+  /// EngineOptions::planner_backend instead.
+  PlannerBackend planner_backend = PlannerBackend::kStructured;
+};
+
+/// N ingestion sessions multiplexed on one shared virtual clock. Each
+/// stream keeps its own workload, offline model and switcher state; the set
+/// steps them together, and — in joint mode — intercepts the lockstep plan
+/// boundaries to run Appendix D's joint knob planner across all live
+/// streams under the shared budget.
+///
+///   auto set = StreamSet::Create(jobs, {.planning = kJoint});
+///   while (!set->Done()) set->Step();        // or RunToCompletion(&pool)
+///   auto results = set->Results();
+///
+/// Independent mode is the exact semantics of running every engine on its
+/// own (RunStreamEngines is a thin wrapper over it): results are
+/// bitwise-identical to per-engine Run, for any thread count.
+class StreamSet {
+ public:
+  /// Validates and starts every stream. Jobs with null pointers (or whose
+  /// engine fails to start) are recorded per-stream — mirroring the
+  /// per-stream error semantics of RunStreamEngines — and do not fail the
+  /// set. Joint mode additionally requires every valid stream to share the
+  /// same segment length and plan interval, so boundaries hit in lockstep.
+  static Result<StreamSet> Create(std::vector<StreamEngineJob> jobs,
+                                  StreamSetOptions options = {});
+
+  StreamSet(StreamSet&&) = default;
+  StreamSet& operator=(StreamSet&&) = default;
+
+  size_t num_streams() const { return engines_.size(); }
+  MultiStreamPlanning planning() const { return options_.planning; }
+
+  /// True once no stream remains live (finished or failed).
+  bool Done() const;
+
+  /// Advances every live stream by one segment on the shared clock; in
+  /// joint mode, runs the joint planner first when the streams sit at a
+  /// plan boundary.
+  Status Step();
+
+  /// Steps until every live stream has ingested at least `elapsed` seconds
+  /// of its own stream (or finished).
+  Status RunUntilElapsed(SimTime elapsed);
+
+  /// Runs every stream to completion. Independent mode fans whole engine
+  /// runs out on `pool` (one stream per slot); joint mode solves each
+  /// lockstep boundary serially and fans the in-between intervals out.
+  /// Results are identical for any pool size, and identical to stepping
+  /// the set manually.
+  Status RunToCompletion(dag::ThreadPool* pool = nullptr);
+
+  /// Per-stream results in job order: the final EngineResult for finished
+  /// streams, the stream's error otherwise (kFailedPrecondition for
+  /// streams that are still mid-run).
+  std::vector<Result<EngineResult>> Results() const;
+
+  /// Live inspection of stream `v` (null when the job was invalid).
+  const IngestionEngine* engine(size_t v) const { return engines_[v].get(); }
+
+  /// The terminal error of stream `v` (Ok while live or finished).
+  const Status& stream_status(size_t v) const { return statuses_[v]; }
+
+ private:
+  explicit StreamSet(StreamSetOptions options) : options_(options) {}
+
+  bool Active(size_t v) const {
+    return engines_[v] != nullptr && statuses_[v].ok() &&
+           !engines_[v]->Done();
+  }
+
+  /// Joint mode: when the live streams sit at their (lockstep) plan
+  /// boundary, prepare every stream, solve the joint program, and install
+  /// the per-stream plans.
+  Status JointPlanBoundaryIfDue();
+
+  StreamSetOptions options_;
+  std::vector<StreamEngineJob> jobs_;
+  std::vector<std::unique_ptr<IngestionEngine>> engines_;
+  std::vector<Status> statuses_;
+  /// Joint-solve scratch, reused across boundaries.
+  PlanWorkspace joint_ws_;
+  std::vector<StreamPlanInput> inputs_;
+  std::vector<size_t> planned_;
+};
+
 /// Runs every stream's ingestion engine, fanned out on `pool` (each stream
 /// is an independent simulation; null runs them serially). Results are
-/// returned in job order and are identical for any thread count.
+/// returned in job order and are identical for any thread count. Thin
+/// wrapper over a StreamSet in independent-planning mode.
 std::vector<Result<EngineResult>> RunStreamEngines(
     const std::vector<StreamEngineJob>& jobs, dag::ThreadPool* pool = nullptr);
 

@@ -68,6 +68,15 @@ class KnobSwitcher {
   /// histograms reset so the new interval adheres to the new plan.
   void SetPlan(const KnobPlan* plan);
 
+  /// The currently installed plan (null before the first SetPlan).
+  const KnobPlan* plan() const { return plan_; }
+
+  /// Re-points the installed plan WITHOUT resetting the usage histograms.
+  /// Only for relocating the plan object the switcher already follows —
+  /// engine state snapshots copy the plan by value and must rebind the
+  /// switcher to the copy mid-interval, preserving Eq. 6's alpha-hat state.
+  void RebindPlan(const KnobPlan* plan) { plan_ = plan; }
+
   Result<SwitchDecision> Decide(const SwitchContext& ctx) const;
 
   /// Records that `config_idx` was actually used for content of `category`

@@ -26,6 +26,104 @@ TEST(SkyscraperApiTest, IngestRequiresFit) {
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(SkyscraperApiTest, FacadePreconditionsBeforeFit) {
+  workloads::EvCountingWorkload job;
+  Skyscraper sky(&job);
+  EXPECT_FALSE(sky.fitted());
+  // model() is checked: no empty-optional dereference before Fit().
+  auto model = sky.model();
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kFailedPrecondition);
+  auto session = sky.StartIngest(Days(4));
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(sky.Fit(FastOffline()).ok());
+  auto fitted_model = sky.model();
+  ASSERT_TRUE(fitted_model.ok());
+  EXPECT_GE((*fitted_model)->configs.size(), 3u);
+
+  // SetResources invalidates the fit — and the precondition trips again.
+  sky.SetResources(Resources{});
+  EXPECT_FALSE(sky.model().ok());
+}
+
+TEST(SkyscraperApiTest, ExplicitEngineOptionsWinOverResources) {
+  workloads::EvCountingWorkload job;
+  Skyscraper sky(&job);
+  Resources res;
+  res.cores = 4;
+  res.buffer_bytes = 4ull << 30;
+  res.cloud_budget_usd_per_interval = 5.0;
+  sky.SetResources(res);
+  ASSERT_TRUE(sky.Fit(FastOffline()).ok());
+
+  core::EngineOptions run;
+  run.duration = Hours(12);
+  run.plan_interval = Days(1);
+
+  // Unset fields inherit the provisioned Resources: with a tiny buffer
+  // forced below, the generous cloud budget is actually spent...
+  core::EngineOptions small_buffer = run;
+  small_buffer.buffer_bytes = 64ull << 20;  // explicit value is respected
+  auto with_cloud = sky.Ingest(Days(4), small_buffer);
+  ASSERT_TRUE(with_cloud.ok()) << with_cloud.status().ToString();
+  EXPECT_LE(with_cloud->buffer_high_water_bytes, 64ull << 20);
+  EXPECT_GT(with_cloud->cloud_usd, 0.0);
+  EXPECT_LE(with_cloud->cloud_usd, 5.0 + 1e-9);
+
+  // ...while an explicit 0.0 disables bursting despite the Resources
+  // credits (the old 0.0-means-unset sentinel silently re-enabled it).
+  core::EngineOptions no_cloud = small_buffer;
+  no_cloud.cloud_budget_usd_per_interval = 0.0;
+  auto without_cloud = sky.Ingest(Days(4), no_cloud);
+  ASSERT_TRUE(without_cloud.ok());
+  EXPECT_DOUBLE_EQ(without_cloud->cloud_usd, 0.0);
+}
+
+TEST(SkyscraperApiTest, SteppedSessionMatchesBatchIngestBitwise) {
+  workloads::EvCountingWorkload job;
+  Skyscraper sky(&job);
+  Resources res;
+  res.cores = 4;
+  res.cloud_budget_usd_per_interval = 1.0;
+  sky.SetResources(res);
+  ASSERT_TRUE(sky.Fit(FastOffline()).ok());
+
+  core::EngineOptions run;
+  run.duration = Hours(12);
+  run.plan_interval = Hours(4);
+  run.record_trace = true;
+  auto batch = sky.Ingest(Days(4), run);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  auto session = sky.StartIngest(Days(4), run);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_FALSE(session->Done());
+  // Finish() refuses mid-run.
+  EXPECT_EQ(session->Finish().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Step a while, checkpoint, overrun, restore, and run to completion:
+  // the result must equal the batch call on every field.
+  ASSERT_TRUE(session->RunUntil(Days(4) + Hours(3)).ok());
+  EXPECT_GT(session->Progress().segments, 0u);
+  ASSERT_NE(session->CurrentPlan(), nullptr);
+  auto saved = session->Checkpoint();
+  ASSERT_TRUE(saved.ok());
+  EXPECT_DOUBLE_EQ(saved->captured_at, Days(4) + Hours(3));
+  ASSERT_TRUE(session->RunUntil(Days(4) + Hours(7)).ok());
+  ASSERT_TRUE(session->Restore(*saved).ok());
+  auto final = session->RunToCompletion();
+  ASSERT_TRUE(final.ok());
+  EXPECT_TRUE(session->Done());
+  EXPECT_TRUE(core::EngineResultsIdentical(*batch, *final));
+  // Finish() now hands out the same result.
+  auto finished = session->Finish();
+  ASSERT_TRUE(finished.ok());
+  EXPECT_TRUE(core::EngineResultsIdentical(*batch, *finished));
+}
+
 TEST(SkyscraperApiTest, FitThenIngestEndToEnd) {
   workloads::EvCountingWorkload job;
   Skyscraper sky(&job);

@@ -74,7 +74,7 @@ TEST_F(EngineTest, RunsWithoutOverflowAndProducesQuality) {
   EXPECT_GT(result->mean_quality, 0.5);
   EXPECT_LE(result->mean_quality, 1.0);
   EXPECT_GT(result->switch_count, 10u);
-  EXPECT_LE(result->buffer_high_water_bytes, BaseOptions().buffer_bytes);
+  EXPECT_LE(result->buffer_high_water_bytes, *BaseOptions().buffer_bytes);
 }
 
 TEST_F(EngineTest, AdaptiveBeatsBestRealTimeStaticOnQualityPerWork) {

@@ -120,7 +120,8 @@ TEST_P(WorkloadSweep, EngineInvariantsHoldEndToEnd) {
   EXPECT_LE(result->mean_quality, 1.0);
   EXPECT_EQ(result->type_a_errors + result->type_b_errors,
             result->misclassified);
-  EXPECT_LE(result->buffer_high_water_bytes, run.buffer_bytes);
+  EXPECT_LE(result->buffer_high_water_bytes,
+            run.buffer_bytes.value_or(core::kDefaultBufferBytes));
   EXPECT_GT(result->work_core_seconds, 0.0);
 }
 
