@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "core/offline.h"
 #include "dag/thread_pool.h"
+#include "io/model_io.h"
 #include "util/table.h"
 #include "workloads/covid.h"
 
@@ -92,6 +93,34 @@ int main(int argc, char** argv) {
               serial->configs.size(), serial->categories.NumCategories(),
               serial->train_category_sequence.size());
 
+  // Persistence overhead (tracked from day one): what `sky offline` pays to
+  // save the model and `sky ingest` pays to load it, relative to the
+  // retraining both of them avoid.
+  WallTimer save_timer;
+  std::string serialized;
+  Status ser = io::SerializeOfflineModel(*serial, "COVID", &serialized);
+  double save_s = save_timer.Seconds();
+  bool roundtrip_identical = false;
+  double load_s = 0.0;
+  if (!ser.ok()) {
+    std::printf("model serialization failed: %s\n", ser.ToString().c_str());
+  } else {
+    WallTimer load_timer;
+    auto reloaded = io::DeserializeOfflineModel(serialized);
+    load_s = load_timer.Seconds();
+    if (!reloaded.ok()) {
+      std::printf("model deserialization failed: %s\n",
+                  reloaded.status().ToString().c_str());
+    } else {
+      roundtrip_identical = core::OfflineModelsIdentical(*serial, *reloaded);
+    }
+  }
+  std::printf("persistence: save %.4f s, load %.4f s, %.2f MiB serialized; "
+              "round trip %s\n",
+              save_s, load_s,
+              static_cast<double>(serialized.size()) / (1 << 20),
+              roundtrip_identical ? "bit-identical" : "DIFFERS (bug!)");
+
   BenchJson json("table3_offline_runtime");
   json.Set("threads", static_cast<double>(hw_threads));
   json.Set("serial_wall_s", serial_s);
@@ -108,7 +137,11 @@ int main(int argc, char** argv) {
   json.Set("parallel_content_categories_s", pt.content_categories_s);
   json.Set("parallel_forecast_training_data_s", pt.forecast_training_data_s);
   json.Set("parallel_forecast_training_s", pt.forecast_training_s);
+  json.Set("model_save_s", save_s);
+  json.Set("model_load_s", load_s);
+  json.Set("model_serialized_bytes", static_cast<double>(serialized.size()));
+  json.Set("model_roundtrip_identical", roundtrip_identical ? "yes" : "no");
   std::string path = json.Write();
   if (!path.empty()) std::printf("metrics written to %s\n", path.c_str());
-  return identical ? 0 : 1;
+  return identical && roundtrip_identical ? 0 : 1;
 }

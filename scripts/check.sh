@@ -1,18 +1,45 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run the test suite (which includes the
-# session/StreamSet parity gates: session_test, stream_set_test, api_test).
-# Mirrors CI. Follows with the gating benches so the trajectory
+# session/StreamSet parity gates — session_test, stream_set_test, api_test —
+# and the model-persistence round-trip/ingest-parity gates in
+# model_io_test). Mirrors CI.
+#
+# After the tests: a smoke test of the `sky` CLI's train-once / serve-many
+# flow (offline -> save -> load -> ingest as separate processes), the docs
+# link check, and the gating benches so the trajectory
 # (BENCH_planner_scaling.json, BENCH_forecast_training.json,
-# BENCH_appd_multistream.json) is refreshed on every local check; all exit
-# non-zero when a perf or parity gate fails — bench_appd_multistream gates
-# that StreamSet's independent mode reproduces the standalone engines
-# bitwise while reporting the joint-vs-independent quality/cost deltas.
+# BENCH_appd_multistream.json, BENCH_table3_offline_runtime.json — the
+# latter now also records model save/load wall time and serialized size) is
+# refreshed on every local check; all exit non-zero when a perf or parity
+# gate fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j
 cd build && ctest --output-on-failure -j
+
+# sky CLI smoke test: train in one process, serve from the saved file in
+# another — the end-to-end flow of the train-once / serve-many split.
+SKY_SMOKE_MODEL=$(mktemp /tmp/sky_smoke_model.XXXXXX.bin)
+trap 'rm -f "${SKY_SMOKE_MODEL}"' EXIT
+./sky offline --workload ev --out "${SKY_SMOKE_MODEL}" \
+  --train-days 3 --plan-days 1 --categories 3
+./sky inspect --model "${SKY_SMOKE_MODEL}"
+./sky ingest --model "${SKY_SMOKE_MODEL}" --workload ev --duration-days 0.25
+# A model trained for another workload must be refused.
+if ./sky ingest --model "${SKY_SMOKE_MODEL}" --workload covid \
+    --duration-days 0.25 >/dev/null 2>&1; then
+  echo "sky ingest accepted a model for the wrong workload" >&2
+  exit 1
+fi
+echo "sky CLI smoke test passed"
+
+cd ..
+scripts/check_md_links.sh
+cd build
+
 ./bench_planner_scaling
 ./bench_forecast_training
 ./bench_appd_multistream
+./bench_table3_offline_runtime

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Docs gate: fail when any relative markdown link in a tracked *.md file
+# points at a path that does not exist. Pure grep/sed, no network — external
+# links (http/https/mailto) and pure #anchors are skipped, not fetched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"   # drop an anchor suffix
+    path="${path%% *}"     # drop an optional "title" part
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done < <(
+    # Drop fenced (```) and indented code blocks first: C++ snippets are
+    # full of `operator[](const T&)`-style text that parses like a link.
+    awk '/^(```|~~~)/ { fence = !fence; next }
+         fence || /^(    |\t)/ { next }
+         { print }' "$md" |
+      grep -oE '\]\([^)]+\)' 2>/dev/null | sed -E 's/^\]\(//; s/\)$//'
+  )
+done < <(git ls-files '*.md')
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_md_links: broken relative links found" >&2
+else
+  echo "check_md_links: all relative markdown links resolve"
+fi
+exit "$fail"

@@ -34,9 +34,15 @@ struct SessionCheckpoint {
 ///   session->Restore(*saved);                     // rewind
 ///   auto result = session->RunToCompletion();     // == batch Ingest, bitwise
 ///
+/// Lifecycle / state machine: a session handed out by StartIngest is
+/// already started and positioned at the first segment. It moves strictly
+/// forward one segment per Step() until Done(); the only rewind is
+/// Restore(). After Done() the session stays inspectable (Progress() is
+/// the final result) but further Step() calls fail with kFailedPrecondition.
 /// The session borrows the workload, offline model and provisioning from
 /// the Skyscraper it came from: it must not outlive that object, a
-/// re-`Fit()`, or a `SetResources()` call.
+/// re-`Fit()`, a `LoadModel()`, or a `SetResources()` call. Move-only; the
+/// moved-from session must not be used.
 class IngestSession {
  public:
   IngestSession(IngestSession&&) = default;
@@ -44,18 +50,24 @@ class IngestSession {
   IngestSession(const IngestSession&) = delete;
   IngestSession& operator=(const IngestSession&) = delete;
 
-  /// Ingests one segment.
+  /// Ingests one segment (running the plan boundary first when one is
+  /// due). kFailedPrecondition once Done().
   Status Step();
 
-  /// Advances the virtual clock to `t` (or to the end of the run).
+  /// Advances the virtual clock to `t` (or to the end of the run,
+  /// whichever comes first). A `t` at or before CurrentTime() is a no-op —
+  /// the session never steps backwards.
   Status RunUntil(SimTime t);
 
   /// Steps through every remaining segment and returns the final result.
+  /// Calling it on an already-Done() session just returns that result.
   Result<core::EngineResult> RunToCompletion();
 
+  /// True when every segment of the run has been ingested.
   bool Done() const;
 
-  /// Arrival time of the next segment to ingest.
+  /// Arrival time of the next segment to ingest (== start_time + elapsed
+  /// virtual time; the end of the run once Done()).
   SimTime CurrentTime() const;
 
   /// The result accumulated so far, trace-so-far included; at Done() this
@@ -75,14 +87,21 @@ class IngestSession {
   /// The final result; kFailedPrecondition while segments remain.
   Result<core::EngineResult> Finish() const;
 
-  /// Snapshot of the full session state at the current position.
+  /// Snapshot of the full session state at the current position — a
+  /// self-contained value (own RNG stream, fine-tuned forecaster copy,
+  /// switcher, buffer, partial result). Capturing never perturbs the run:
+  /// a checkpointed run and an uninterrupted one are bitwise-equal.
   Result<SessionCheckpoint> Checkpoint() const;
 
   /// Rewinds (or fast-forwards) the session to a previously captured
-  /// checkpoint from the same fit + options.
+  /// checkpoint. The checkpoint must come from the same fit (or the same
+  /// loaded model file) and the same EngineOptions; restoring into a
+  /// fresh session over that model is equally valid — the continuation is
+  /// bitwise-identical to never having stopped either way.
   Status Restore(const SessionCheckpoint& checkpoint);
 
-  /// The underlying engine, for advanced inspection.
+  /// The underlying engine, for advanced inspection (plan-boundary hooks,
+  /// resolved options). Borrowed; lifetime is the session's.
   const core::IngestionEngine& engine() const { return *engine_; }
 
  private:

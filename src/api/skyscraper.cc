@@ -1,7 +1,10 @@
 #include "api/skyscraper.h"
 
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "io/model_io.h"
 
 namespace sky::api {
 
@@ -28,9 +31,35 @@ Status Skyscraper::Fit(const core::OfflineOptions& options) {
   return Status::Ok();
 }
 
+Status Skyscraper::SaveModel(const std::string& path,
+                             const std::string& annotation) const {
+  if (!model_.has_value()) {
+    return Status::FailedPrecondition(
+        "call Fit() or LoadModel() before SaveModel()");
+  }
+  return io::SaveOfflineModel(*model_, path, annotation);
+}
+
+Status Skyscraper::LoadModel(const std::string& path,
+                             const std::string& expected_annotation) {
+  std::string annotation;
+  auto loaded = io::LoadOfflineModel(path, &annotation);
+  if (!loaded.ok()) return loaded.status();
+  if (!expected_annotation.empty() && annotation != expected_annotation) {
+    return Status::InvalidArgument(
+        "model file was saved for '" + annotation + "', expected '" +
+        expected_annotation + "'");
+  }
+  // Only after every check passes does the current model get replaced: a
+  // failed load never leaves the facade with partial state.
+  model_.emplace(std::move(loaded).value());
+  return Status::Ok();
+}
+
 Result<const core::OfflineModel*> Skyscraper::model() const {
   if (!model_.has_value()) {
-    return Status::FailedPrecondition("call Fit() before model()");
+    return Status::FailedPrecondition(
+        "call Fit() or LoadModel() before model()");
   }
   return &*model_;
 }
@@ -38,7 +67,8 @@ Result<const core::OfflineModel*> Skyscraper::model() const {
 Result<IngestSession> Skyscraper::StartIngest(SimTime start_time,
                                               core::EngineOptions options) {
   if (!model_.has_value()) {
-    return Status::FailedPrecondition("call Fit() before StartIngest()");
+    return Status::FailedPrecondition(
+        "call Fit() or LoadModel() before StartIngest()");
   }
   // Fill in provisioning only where the caller expressed no opinion: an
   // explicitly set buffer size or cloud budget (even an explicit 0.0,
@@ -59,7 +89,8 @@ Result<IngestSession> Skyscraper::StartIngest(SimTime start_time,
 Result<core::EngineResult> Skyscraper::Ingest(SimTime start_time,
                                               core::EngineOptions options) {
   if (!model_.has_value()) {
-    return Status::FailedPrecondition("call Fit() before Ingest()");
+    return Status::FailedPrecondition(
+        "call Fit() or LoadModel() before Ingest()");
   }
   SKY_ASSIGN_OR_RETURN(IngestSession session,
                        StartIngest(start_time, std::move(options)));

@@ -2,6 +2,7 @@
 #define SKYSCRAPER_API_SKYSCRAPER_H_
 
 #include <optional>
+#include <string>
 
 #include "api/ingest_session.h"
 #include "core/engine.h"
@@ -17,11 +18,15 @@ namespace sky::api {
 /// types of §1: an always-on local cluster, a bounded video buffer, and an
 /// on-demand cloud budget.
 struct Resources {
+  /// Cores of the always-on on-premise cluster.
   int cores = 8;
+  /// Capacity of the video buffer that absorbs load bursts (§4.2).
   uint64_t buffer_bytes = 4ull << 30;
   /// Cloud credits granted per planned interval (e.g. per 2 days), USD.
   double cloud_budget_usd_per_interval = 0.0;
+  /// Uplink bandwidth to the cloud (bytes shipped by cloud placements).
   double uplink_bytes_per_s = 12.5e6;
+  /// Downlink bandwidth from the cloud.
   double downlink_bytes_per_s = 25.0e6;
   /// Cloud-to-on-premise compute price ratio (Appendix L).
   double cloud_to_onprem_cost_ratio = 1.8;
@@ -43,6 +48,20 @@ struct Resources {
 ///   auto session = sky.StartIngest(Days(16), {.duration = Days(1)});
 ///   while (!session->Done()) session->Step();
 ///
+/// Train-once / serve-many: the expensive offline fit can be persisted and
+/// reloaded, so serving processes never pay Table-3 retraining:
+///
+///   sky.Fit();  sky.SaveModel("model.bin");    // training process
+///   ...
+///   api::Skyscraper serve(&job);               // serving process
+///   serve.SetResources(same_resources);
+///   serve.LoadModel("model.bin");              // instead of Fit()
+///   serve.Ingest(Days(16), {.duration = Days(1)});  // == fit-and-ingest,
+///                                                   //    bitwise
+///
+/// (The `sky` CLI in tools/sky_cli.cc wraps exactly this flow as the
+/// `sky offline` and `sky ingest` subcommands.)
+///
 /// The workload object plays the role of the registered UDFs, knobs and
 /// quality metric of the Python snippet; CallbackWorkload (see
 /// callback_workload.h) builds one from plain std::functions.
@@ -54,34 +73,74 @@ struct Resources {
 /// the provisioned Resources grant credits.
 class Skyscraper {
  public:
+  /// Binds the facade to a workload (borrowed, not owned: the workload must
+  /// outlive this object and every session started from it). Starts with
+  /// default Resources and no fitted model.
   explicit Skyscraper(const core::Workload* workload);
 
+  /// (Re)provisions the deployment hardware. Discards any fitted or loaded
+  /// model — the profiled placements are only valid for the cluster they
+  /// were profiled on — so call this BEFORE Fit() or LoadModel(). Live
+  /// sessions from the previous provisioning are invalidated.
   void SetResources(const Resources& resources);
 
   /// Runs the offline preparation phase (§3) on the provisioned hardware.
+  /// Blocking and expensive (Table 3); on success fitted() turns true and
+  /// the model can be served or persisted with SaveModel().
   Status Fit(const core::OfflineOptions& options = {});
+
+  /// Persists the fitted model to `path` in the versioned binary format of
+  /// docs/model_format.md (magic, chunk table, checksum; exact double
+  /// round-tripping). `annotation` is stored verbatim — conventionally the
+  /// workload name, which the sky CLI checks at load time. Returns
+  /// kFailedPrecondition when no model is fitted or loaded.
+  Status SaveModel(const std::string& path,
+                   const std::string& annotation = "") const;
+
+  /// Loads a model saved by SaveModel(), replacing any current model: the
+  /// train-once / serve-many substitute for Fit(). On success fitted()
+  /// turns true and ingestion behaves bitwise-identically to running on
+  /// the originally fitted model. On any error (missing file, corruption,
+  /// version mismatch, annotation mismatch) the facade keeps its previous
+  /// model untouched.
+  ///
+  /// Preconditions and caveats:
+  ///  - The file's placement profiles assume the hardware it was trained
+  ///    on; provision the same Resources before loading (SetResources()
+  ///    AFTER LoadModel() discards the loaded model, like it discards a
+  ///    fit).
+  ///  - A non-empty `expected_annotation` must equal the stored annotation
+  ///    (kInvalidArgument otherwise) — the guard the CLI uses to refuse a
+  ///    model trained for a different workload.
+  Status LoadModel(const std::string& path,
+                   const std::string& expected_annotation = "");
 
   /// Ingests live video starting at `start_time` into the content process,
   /// blocking until the whole duration is processed. Requires a successful
-  /// Fit(). Convenience wrapper over StartIngest + RunToCompletion —
-  /// bitwise-identical to driving the session incrementally.
+  /// Fit() or LoadModel(). Convenience wrapper over StartIngest +
+  /// RunToCompletion — bitwise-identical to driving the session
+  /// incrementally.
   Result<core::EngineResult> Ingest(SimTime start_time,
                                     core::EngineOptions options = {});
 
   /// Starts a steppable ingestion session at `start_time`. Requires a
-  /// successful Fit(). The session borrows this object's workload, model
-  /// and provisioning: it must not outlive this Skyscraper, a re-Fit(), or
-  /// a SetResources() call.
+  /// successful Fit() or LoadModel(). The session borrows this object's
+  /// workload, model and provisioning: it must not outlive this Skyscraper,
+  /// a re-Fit(), a LoadModel(), or a SetResources() call.
   Result<IngestSession> StartIngest(SimTime start_time,
                                     core::EngineOptions options = {});
 
+  /// True once Fit() or LoadModel() has installed a model.
   bool fitted() const { return model_.has_value(); }
 
-  /// The fitted offline model; kFailedPrecondition before a successful
-  /// Fit() (never dereferences an empty fit).
+  /// The fitted (or loaded) offline model; kFailedPrecondition before a
+  /// successful Fit()/LoadModel() (never dereferences an empty fit).
   Result<const core::OfflineModel*> model() const;
 
+  /// The on-premise cluster derived from the provisioned Resources.
   const sim::ClusterSpec& cluster() const { return cluster_; }
+
+  /// The Appendix-L cost model derived from the provisioned Resources.
   const sim::CostModel& cost_model() const { return cost_model_; }
 
  private:

@@ -45,6 +45,13 @@ class ContentCategories {
   static ContentCategories FromKMeans(ml::KMeansModel model);
   static ContentCategories FromGmm(ml::GmmModel model);
 
+  /// The fitted clustering behind the active backend, exposed for
+  /// io::SaveOfflineModel: round-tripping through FromKMeans/FromGmm with
+  /// these values reproduces the categorizer bitwise. The inactive model is
+  /// default-empty (kKMeans never has a GMM and vice versa).
+  const ml::KMeansModel& kmeans_model() const { return kmeans_; }
+  const std::optional<ml::GmmModel>& gmm_model() const { return gmm_; }
+
  private:
   CategorizerBackend backend_ = CategorizerBackend::kKMeans;
   ml::KMeansModel kmeans_;

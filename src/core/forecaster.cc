@@ -139,6 +139,28 @@ Result<Forecaster> Forecaster::Train(
                     std::move(report));
 }
 
+Result<Forecaster> Forecaster::FromParts(const ml::NetSnapshot& net_snapshot,
+                                         const ForecasterOptions& options,
+                                         size_t num_categories,
+                                         ml::TrainReport report) {
+  if (num_categories == 0) {
+    return Status::InvalidArgument("forecaster needs at least one category");
+  }
+  SKY_ASSIGN_OR_RETURN(ml::FeedForwardNet net,
+                       ml::FeedForwardNet::FromSnapshot(net_snapshot));
+  if (net.output_dim() != num_categories ||
+      net.input_dim() != options.input_splits * num_categories) {
+    return Status::InvalidArgument(
+        "forecaster network shape disagrees with its options");
+  }
+  // Same pool hygiene as Train: stored options never carry a live pool.
+  ForecasterOptions stored = options;
+  stored.pool = nullptr;
+  stored.train_options.pool = nullptr;
+  return Forecaster(std::move(net), stored, num_categories,
+                    std::move(report));
+}
+
 std::vector<double> Forecaster::FeaturesFromHistory(
     const std::vector<size_t>& recent_categories,
     double segment_seconds) const {

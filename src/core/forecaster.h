@@ -111,6 +111,23 @@ class Forecaster {
     return net_.FlattenParameters();
   }
 
+  /// Full persistent state of the forecasting network (architecture,
+  /// parameters, Adam moments) for io::SaveOfflineModel. Together with
+  /// options(), num_categories() and train_report() this is everything
+  /// FromParts needs to reassemble the forecaster bitwise.
+  ml::NetSnapshot SnapshotNet() const { return net_.Snapshot(); }
+
+  /// Reassembles a trained forecaster from persisted parts — the inverse of
+  /// SnapshotNet()/options()/train_report(). The restored object is bitwise
+  /// equivalent to the original: same forecasts AND the same OnlineUpdate
+  /// trajectory (the network snapshot carries the optimizer state). Fails
+  /// when the network shape disagrees with the options (input must be
+  /// input_splits * num_categories wide, output num_categories wide).
+  static Result<Forecaster> FromParts(const ml::NetSnapshot& net_snapshot,
+                                      const ForecasterOptions& options,
+                                      size_t num_categories,
+                                      ml::TrainReport report);
+
  private:
   Forecaster(ml::FeedForwardNet net, ForecasterOptions options,
              size_t num_categories, ml::TrainReport report)

@@ -1,0 +1,659 @@
+#include "io/model_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "ml/nn.h"
+
+namespace sky::io {
+
+namespace {
+
+// --- Format constants (docs/model_format.md) -------------------------------
+
+constexpr char kMagic[8] = {'S', 'K', 'Y', 'M', 'O', 'D', 'L', '1'};
+/// Written as a native u32; a reader on a machine with different endianness
+/// sees a scrambled value and rejects the file instead of mis-parsing it.
+constexpr uint32_t kEndianMarker = 0x01020304u;
+
+/// Chunk tags, stored as four ASCII bytes in file order.
+constexpr char kChunkMeta[4] = {'M', 'E', 'T', 'A'};
+constexpr char kChunkAnnotation[4] = {'A', 'N', 'N', 'O'};
+constexpr char kChunkConfigs[4] = {'K', 'N', 'B', 'C'};
+constexpr char kChunkProfiles[4] = {'P', 'R', 'O', 'F'};
+constexpr char kChunkCategories[4] = {'C', 'A', 'T', 'G'};
+constexpr char kChunkTrainSeq[4] = {'T', 'S', 'E', 'Q'};
+constexpr char kChunkForecaster[4] = {'F', 'C', 'S', 'T'};
+constexpr char kChunkRuntimes[4] = {'R', 'T', 'I', 'M'};
+constexpr char kChunkChecksum[4] = {'C', 'S', 'U', 'M'};
+
+/// FNV-1a 64-bit over a byte range — cheap, dependency-free integrity check
+/// (this guards against truncation and bit rot, not adversaries).
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- Little writer ---------------------------------------------------------
+
+void PutRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void PutU8(std::string* out, uint8_t v) { PutRaw(out, &v, 1); }
+void PutU32(std::string* out, uint32_t v) { PutRaw(out, &v, sizeof(v)); }
+void PutU64(std::string* out, uint64_t v) { PutRaw(out, &v, sizeof(v)); }
+void PutF64(std::string* out, double v) { PutRaw(out, &v, sizeof(v)); }
+
+void PutU64Vec(std::string* out, const std::vector<size_t>& v) {
+  PutU64(out, v.size());
+  for (size_t x : v) PutU64(out, x);
+}
+
+void PutF64Vec(std::string* out, const std::vector<double>& v) {
+  PutU64(out, v.size());
+  if (!v.empty()) PutRaw(out, v.data(), v.size() * sizeof(double));
+}
+
+/// k rows of equal width, stored as (rows, cols, row-major payload).
+Status PutF64Rows(std::string* out,
+                  const std::vector<std::vector<double>>& rows) {
+  PutU64(out, rows.size());
+  size_t cols = rows.empty() ? 0 : rows[0].size();
+  PutU64(out, cols);
+  for (const std::vector<double>& row : rows) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("ragged rows are not serializable");
+    }
+    if (!row.empty()) PutRaw(out, row.data(), row.size() * sizeof(double));
+  }
+  return Status::Ok();
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  PutRaw(out, s.data(), s.size());
+}
+
+/// Appends one tagged chunk: 4-byte tag, u64 payload size, payload.
+void PutChunk(std::string* out, const char tag[4], const std::string& payload) {
+  PutRaw(out, tag, 4);
+  PutU64(out, payload.size());
+  out->append(payload);
+}
+
+// --- Bounds-checked reader -------------------------------------------------
+
+/// Sequential reader over the serialized bytes. Every accessor checks the
+/// remaining length first, so truncated or corrupted input surfaces as an
+/// error Status instead of an out-of-bounds read.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), end_(size) {}
+
+  size_t remaining() const { return end_ - pos_; }
+  size_t pos() const { return pos_; }
+
+  Status Read(void* out, size_t n) {
+    if (n > remaining()) {
+      return Status::InvalidArgument("model file truncated mid-field");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  Status Skip(size_t n) {
+    if (n > remaining()) {
+      return Status::InvalidArgument("model file truncated mid-chunk");
+    }
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  Status ReadU8(uint8_t* v) { return Read(v, 1); }
+  Status ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  Status ReadF64(double* v) { return Read(v, sizeof(*v)); }
+
+  /// Reads a u64 count that the payload must still be able to satisfy at
+  /// `elem_bytes` per element — rejects absurd counts from corrupt input
+  /// before any allocation is attempted.
+  Status ReadCount(size_t elem_bytes, uint64_t* count) {
+    SKY_RETURN_NOT_OK(ReadU64(count));
+    if (elem_bytes > 0 && *count > remaining() / elem_bytes) {
+      return Status::InvalidArgument("model file declares impossible count");
+    }
+    return Status::Ok();
+  }
+
+  Status ReadU64Vec(std::vector<size_t>* v) {
+    uint64_t n = 0;
+    SKY_RETURN_NOT_OK(ReadCount(sizeof(uint64_t), &n));
+    v->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t x = 0;
+      SKY_RETURN_NOT_OK(ReadU64(&x));
+      (*v)[i] = x;
+    }
+    return Status::Ok();
+  }
+
+  Status ReadF64Vec(std::vector<double>* v) {
+    uint64_t n = 0;
+    SKY_RETURN_NOT_OK(ReadCount(sizeof(double), &n));
+    v->resize(n);
+    if (n > 0) return Read(v->data(), n * sizeof(double));
+    return Status::Ok();
+  }
+
+  Status ReadF64Rows(std::vector<std::vector<double>>* rows) {
+    uint64_t k = 0, cols = 0;
+    SKY_RETURN_NOT_OK(ReadU64(&k));
+    SKY_RETURN_NOT_OK(ReadU64(&cols));
+    // Guard the multiplication itself, then the row count — and bound k by
+    // the remaining payload even for zero-width rows, so no crafted header
+    // can request an unbounded allocation.
+    if (cols > remaining() / sizeof(double)) {
+      return Status::InvalidArgument("model file declares impossible count");
+    }
+    uint64_t row_bytes = cols * sizeof(double);
+    if (row_bytes > 0 ? k > remaining() / row_bytes : k > remaining()) {
+      return Status::InvalidArgument("model file declares impossible count");
+    }
+    rows->assign(k, std::vector<double>(cols));
+    for (auto& row : *rows) {
+      if (cols > 0) SKY_RETURN_NOT_OK(Read(row.data(), cols * sizeof(double)));
+    }
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* s) {
+    uint64_t n = 0;
+    SKY_RETURN_NOT_OK(ReadCount(1, &n));
+    s->resize(n);
+    if (n > 0) return Read(&(*s)[0], n);
+    return Status::Ok();
+  }
+
+ private:
+  const char* data_;
+  size_t pos_ = 0;
+  size_t end_;
+};
+
+// --- Per-chunk serializers -------------------------------------------------
+
+std::string MetaPayload(const core::OfflineModel& model) {
+  std::string p;
+  PutF64(&p, model.segment_seconds);
+  PutF64(&p, model.train_horizon);
+  return p;
+}
+
+Status ParseMeta(Cursor* c, core::OfflineModel* model) {
+  SKY_RETURN_NOT_OK(c->ReadF64(&model->segment_seconds));
+  return c->ReadF64(&model->train_horizon);
+}
+
+std::string ConfigsPayload(const core::OfflineModel& model) {
+  std::string p;
+  PutU64(&p, model.configs.size());
+  for (const core::KnobConfig& k : model.configs) PutU64Vec(&p, k);
+  return p;
+}
+
+Status ParseConfigs(Cursor* c, core::OfflineModel* model) {
+  uint64_t n = 0;
+  SKY_RETURN_NOT_OK(c->ReadCount(sizeof(uint64_t), &n));
+  model->configs.resize(n);
+  for (auto& k : model->configs) SKY_RETURN_NOT_OK(c->ReadU64Vec(&k));
+  return Status::Ok();
+}
+
+std::string ProfilesPayload(const core::OfflineModel& model) {
+  std::string p;
+  PutU64(&p, model.profiles.size());
+  for (const core::ConfigProfile& cp : model.profiles) {
+    PutU64Vec(&p, cp.config);
+    PutU64(&p, cp.config_id);
+    PutF64(&p, cp.work_core_s_per_video_s);
+    PutU64(&p, cp.placements.size());
+    for (const core::PlacementProfile& pl : cp.placements) {
+      PutU64(&p, pl.placement.node_loc.size());
+      for (dag::Loc loc : pl.placement.node_loc) {
+        PutU8(&p, static_cast<uint8_t>(loc));
+      }
+      PutF64(&p, pl.runtime_s);
+      PutF64(&p, pl.cloud_usd);
+      PutF64(&p, pl.onprem_core_s);
+      PutF64(&p, pl.uplink_bytes);
+    }
+  }
+  return p;
+}
+
+Status ParseProfiles(Cursor* c, core::OfflineModel* model) {
+  uint64_t n = 0;
+  SKY_RETURN_NOT_OK(c->ReadCount(sizeof(uint64_t), &n));
+  model->profiles.resize(n);
+  for (auto& cp : model->profiles) {
+    SKY_RETURN_NOT_OK(c->ReadU64Vec(&cp.config));
+    uint64_t id = 0;
+    SKY_RETURN_NOT_OK(c->ReadU64(&id));
+    cp.config_id = id;
+    SKY_RETURN_NOT_OK(c->ReadF64(&cp.work_core_s_per_video_s));
+    uint64_t num_placements = 0;
+    SKY_RETURN_NOT_OK(c->ReadCount(sizeof(double), &num_placements));
+    cp.placements.resize(num_placements);
+    for (auto& pl : cp.placements) {
+      uint64_t num_nodes = 0;
+      SKY_RETURN_NOT_OK(c->ReadCount(1, &num_nodes));
+      pl.placement.node_loc.resize(num_nodes);
+      for (auto& loc : pl.placement.node_loc) {
+        uint8_t raw = 0;
+        SKY_RETURN_NOT_OK(c->ReadU8(&raw));
+        if (raw > static_cast<uint8_t>(dag::Loc::kCloud)) {
+          return Status::InvalidArgument("invalid task placement location");
+        }
+        loc = static_cast<dag::Loc>(raw);
+      }
+      SKY_RETURN_NOT_OK(c->ReadF64(&pl.runtime_s));
+      SKY_RETURN_NOT_OK(c->ReadF64(&pl.cloud_usd));
+      SKY_RETURN_NOT_OK(c->ReadF64(&pl.onprem_core_s));
+      SKY_RETURN_NOT_OK(c->ReadF64(&pl.uplink_bytes));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::string> CategoriesPayload(const core::OfflineModel& model) {
+  std::string p;
+  PutU32(&p, static_cast<uint32_t>(model.categories.backend()));
+  if (model.categories.backend() == core::CategorizerBackend::kKMeans) {
+    const ml::KMeansModel& km = model.categories.kmeans_model();
+    SKY_RETURN_NOT_OK(PutF64Rows(&p, km.centers));
+    PutU64Vec(&p, km.assignments);
+    PutF64(&p, km.inertia);
+  } else {
+    if (!model.categories.gmm_model().has_value()) {
+      return Status::InvalidArgument("GMM categorizer without a GMM model");
+    }
+    const ml::GmmModel& gm = *model.categories.gmm_model();
+    SKY_RETURN_NOT_OK(PutF64Rows(&p, gm.means));
+    SKY_RETURN_NOT_OK(PutF64Rows(&p, gm.variances));
+    PutF64Vec(&p, gm.weights);
+    PutF64(&p, gm.log_likelihood);
+  }
+  return p;
+}
+
+Status ParseCategories(Cursor* c, core::OfflineModel* model) {
+  uint32_t backend = 0;
+  SKY_RETURN_NOT_OK(c->ReadU32(&backend));
+  if (backend == static_cast<uint32_t>(core::CategorizerBackend::kKMeans)) {
+    ml::KMeansModel km;
+    SKY_RETURN_NOT_OK(c->ReadF64Rows(&km.centers));
+    SKY_RETURN_NOT_OK(c->ReadU64Vec(&km.assignments));
+    SKY_RETURN_NOT_OK(c->ReadF64(&km.inertia));
+    model->categories = core::ContentCategories::FromKMeans(std::move(km));
+    return Status::Ok();
+  }
+  if (backend == static_cast<uint32_t>(core::CategorizerBackend::kGmm)) {
+    ml::GmmModel gm;
+    SKY_RETURN_NOT_OK(c->ReadF64Rows(&gm.means));
+    SKY_RETURN_NOT_OK(c->ReadF64Rows(&gm.variances));
+    SKY_RETURN_NOT_OK(c->ReadF64Vec(&gm.weights));
+    SKY_RETURN_NOT_OK(c->ReadF64(&gm.log_likelihood));
+    if (gm.variances.size() != gm.means.size() ||
+        gm.weights.size() != gm.means.size()) {
+      return Status::InvalidArgument("inconsistent GMM component counts");
+    }
+    model->categories = core::ContentCategories::FromGmm(std::move(gm));
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown categorizer backend in model file");
+}
+
+std::string ForecasterPayload(const core::OfflineModel& model) {
+  std::string p;
+  PutU8(&p, model.forecaster.has_value() ? 1 : 0);
+  if (!model.forecaster.has_value()) return p;
+  const core::Forecaster& f = *model.forecaster;
+
+  const core::ForecasterOptions& o = f.options();
+  PutF64(&p, o.input_span);
+  PutU64(&p, o.input_splits);
+  PutF64(&p, o.planned_interval);
+  PutF64(&p, o.training_stride);
+  PutU64(&p, o.seed);
+  const ml::TrainOptions& t = o.train_options;
+  PutU64(&p, t.epochs);
+  PutU64(&p, t.batch_size);
+  PutF64(&p, t.learning_rate);
+  PutF64(&p, t.validation_split);
+  PutU32(&p, static_cast<uint32_t>(t.loss));
+  PutU64(&p, t.shuffle_seed);
+  PutU8(&p, t.keep_best_validation_weights ? 1 : 0);
+  PutU32(&p, static_cast<uint32_t>(t.backend));
+  PutU64(&p, t.grad_chunk_rows);
+
+  PutU64(&p, f.num_categories());
+
+  const ml::TrainReport& r = f.train_report();
+  PutF64Vec(&p, r.train_loss_per_epoch);
+  PutF64Vec(&p, r.val_loss_per_epoch);
+  PutF64(&p, r.best_val_loss);
+  PutU64(&p, r.best_epoch);
+
+  ml::NetSnapshot net = f.SnapshotNet();
+  PutU64(&p, net.input_dim);
+  PutU64Vec(&p, net.hidden);
+  PutU64(&p, net.output_dim);
+  PutU32(&p, static_cast<uint32_t>(net.output_activation));
+  PutU64(&p, net.adam_steps);
+  PutF64Vec(&p, net.params);
+  PutF64Vec(&p, net.adam_m);
+  PutF64Vec(&p, net.adam_v);
+  return p;
+}
+
+Status ParseForecaster(Cursor* c, core::OfflineModel* model) {
+  uint8_t present = 0;
+  SKY_RETURN_NOT_OK(c->ReadU8(&present));
+  if (present == 0) {
+    model->forecaster.reset();
+    return Status::Ok();
+  }
+  if (present != 1) {
+    return Status::InvalidArgument("invalid forecaster presence flag");
+  }
+
+  core::ForecasterOptions o;
+  uint64_t u = 0;
+  uint32_t e = 0;
+  uint8_t b = 0;
+  SKY_RETURN_NOT_OK(c->ReadF64(&o.input_span));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  o.input_splits = u;
+  SKY_RETURN_NOT_OK(c->ReadF64(&o.planned_interval));
+  SKY_RETURN_NOT_OK(c->ReadF64(&o.training_stride));
+  SKY_RETURN_NOT_OK(c->ReadU64(&o.seed));
+  ml::TrainOptions& t = o.train_options;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  t.epochs = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  t.batch_size = u;
+  SKY_RETURN_NOT_OK(c->ReadF64(&t.learning_rate));
+  SKY_RETURN_NOT_OK(c->ReadF64(&t.validation_split));
+  SKY_RETURN_NOT_OK(c->ReadU32(&e));
+  if (e > static_cast<uint32_t>(ml::Loss::kCrossEntropy)) {
+    return Status::InvalidArgument("invalid loss id in model file");
+  }
+  t.loss = static_cast<ml::Loss>(e);
+  SKY_RETURN_NOT_OK(c->ReadU64(&t.shuffle_seed));
+  SKY_RETURN_NOT_OK(c->ReadU8(&b));
+  t.keep_best_validation_weights = b != 0;
+  SKY_RETURN_NOT_OK(c->ReadU32(&e));
+  if (e > static_cast<uint32_t>(ml::TrainBackend::kPerSample)) {
+    return Status::InvalidArgument("invalid train backend id in model file");
+  }
+  t.backend = static_cast<ml::TrainBackend>(e);
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  t.grad_chunk_rows = u;
+
+  uint64_t num_categories = 0;
+  SKY_RETURN_NOT_OK(c->ReadU64(&num_categories));
+
+  ml::TrainReport report;
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&report.train_loss_per_epoch));
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&report.val_loss_per_epoch));
+  SKY_RETURN_NOT_OK(c->ReadF64(&report.best_val_loss));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  report.best_epoch = u;
+
+  ml::NetSnapshot net;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  net.input_dim = u;
+  SKY_RETURN_NOT_OK(c->ReadU64Vec(&net.hidden));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  net.output_dim = u;
+  SKY_RETURN_NOT_OK(c->ReadU32(&e));
+  if (e > static_cast<uint32_t>(ml::Activation::kSoftmax)) {
+    return Status::InvalidArgument("invalid activation id in model file");
+  }
+  net.output_activation = static_cast<ml::Activation>(e);
+  SKY_RETURN_NOT_OK(c->ReadU64(&net.adam_steps));
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&net.params));
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&net.adam_m));
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&net.adam_v));
+
+  SKY_ASSIGN_OR_RETURN(core::Forecaster forecaster,
+                       core::Forecaster::FromParts(net, o, num_categories,
+                                                   std::move(report)));
+  model->forecaster.emplace(std::move(forecaster));
+  return Status::Ok();
+}
+
+std::string RuntimesPayload(const core::OfflineModel& model) {
+  std::string p;
+  const core::OfflineStepRuntimes& rt = model.step_runtimes;
+  PutF64(&p, rt.filter_configs_s);
+  PutF64(&p, rt.filter_placements_s);
+  PutF64(&p, rt.content_categories_s);
+  PutF64(&p, rt.forecast_training_data_s);
+  PutF64(&p, rt.forecast_training_s);
+  return p;
+}
+
+Status ParseRuntimes(Cursor* c, core::OfflineModel* model) {
+  core::OfflineStepRuntimes& rt = model->step_runtimes;
+  SKY_RETURN_NOT_OK(c->ReadF64(&rt.filter_configs_s));
+  SKY_RETURN_NOT_OK(c->ReadF64(&rt.filter_placements_s));
+  SKY_RETURN_NOT_OK(c->ReadF64(&rt.content_categories_s));
+  SKY_RETURN_NOT_OK(c->ReadF64(&rt.forecast_training_data_s));
+  return c->ReadF64(&rt.forecast_training_s);
+}
+
+bool TagIs(const char tag[4], const char expected[4]) {
+  return std::memcmp(tag, expected, 4) == 0;
+}
+
+}  // namespace
+
+Status SerializeOfflineModel(const core::OfflineModel& model,
+                             const std::string& annotation,
+                             std::string* out) {
+  out->clear();
+  PutRaw(out, kMagic, sizeof(kMagic));
+  PutU32(out, kModelFormatVersion);
+  PutU32(out, kEndianMarker);
+
+  PutChunk(out, kChunkMeta, MetaPayload(model));
+  {
+    std::string p;
+    PutString(&p, annotation);
+    PutChunk(out, kChunkAnnotation, p);
+  }
+  PutChunk(out, kChunkConfigs, ConfigsPayload(model));
+  PutChunk(out, kChunkProfiles, ProfilesPayload(model));
+  SKY_ASSIGN_OR_RETURN(std::string categories, CategoriesPayload(model));
+  PutChunk(out, kChunkCategories, categories);
+  {
+    std::string p;
+    PutU64Vec(&p, model.train_category_sequence);
+    PutChunk(out, kChunkTrainSeq, p);
+  }
+  PutChunk(out, kChunkForecaster, ForecasterPayload(model));
+  PutChunk(out, kChunkRuntimes, RuntimesPayload(model));
+
+  // Trailing integrity chunk: FNV-1a-64 of every byte written so far
+  // (header + all preceding chunks).
+  std::string checksum;
+  PutU64(&checksum, Fnv1a64(out->data(), out->size()));
+  PutChunk(out, kChunkChecksum, checksum);
+  return Status::Ok();
+}
+
+Result<core::OfflineModel> DeserializeOfflineModel(const std::string& bytes,
+                                                   std::string* annotation) {
+  Cursor header(bytes.data(), bytes.size());
+  char magic[8];
+  SKY_RETURN_NOT_OK(header.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a Skyscraper model file (bad magic)");
+  }
+  uint32_t version = 0, endian = 0;
+  SKY_RETURN_NOT_OK(header.ReadU32(&version));
+  if (version != kModelFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported model format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kModelFormatVersion) + ")");
+  }
+  SKY_RETURN_NOT_OK(header.ReadU32(&endian));
+  if (endian != kEndianMarker) {
+    return Status::InvalidArgument(
+        "model file written with different byte order");
+  }
+
+  // Pass 1: walk the chunk table to locate the checksum trailer and verify
+  // it covers exactly the bytes before it. Nothing is parsed until the file
+  // is known to be intact end to end.
+  Cursor walk(bytes.data(), bytes.size());
+  SKY_RETURN_NOT_OK(walk.Skip(16));  // header
+  bool checksum_seen = false;
+  while (walk.remaining() > 0) {
+    char tag[4];
+    SKY_RETURN_NOT_OK(walk.Read(tag, 4));
+    uint64_t size = 0;
+    SKY_RETURN_NOT_OK(walk.ReadU64(&size));
+    if (TagIs(tag, kChunkChecksum)) {
+      if (size != sizeof(uint64_t) || walk.remaining() != size) {
+        return Status::InvalidArgument("malformed model checksum trailer");
+      }
+      size_t covered = walk.pos() - 12;  // bytes before the CSUM chunk
+      uint64_t stored = 0;
+      SKY_RETURN_NOT_OK(walk.ReadU64(&stored));
+      if (stored != Fnv1a64(bytes.data(), covered)) {
+        return Status::InvalidArgument(
+            "model file checksum mismatch (corrupted)");
+      }
+      checksum_seen = true;
+      break;
+    }
+    SKY_RETURN_NOT_OK(walk.Skip(size));
+  }
+  if (!checksum_seen) {
+    return Status::InvalidArgument("model file missing checksum trailer");
+  }
+
+  // Pass 2: parse chunk payloads into a fresh model. Every chunk must
+  // appear exactly once; unknown tags are an error (see the versioning
+  // policy in docs/model_format.md).
+  core::OfflineModel model;
+  bool seen_meta = false, seen_anno = false, seen_configs = false;
+  bool seen_profiles = false, seen_categories = false, seen_seq = false;
+  bool seen_forecaster = false, seen_runtimes = false;
+  auto mark_once = [](bool* seen) {
+    if (*seen) {
+      return Status::InvalidArgument("duplicate chunk in model file");
+    }
+    *seen = true;
+    return Status::Ok();
+  };
+  Cursor c(bytes.data(), bytes.size());
+  SKY_RETURN_NOT_OK(c.Skip(16));
+  while (c.remaining() > 0) {
+    char tag[4];
+    SKY_RETURN_NOT_OK(c.Read(tag, 4));
+    uint64_t size = 0;
+    SKY_RETURN_NOT_OK(c.ReadU64(&size));
+    if (size > c.remaining()) {  // pass 1 guarantees this; stay defensive
+      return Status::InvalidArgument("model file truncated mid-chunk");
+    }
+    Cursor payload(bytes.data() + c.pos(), size);
+    if (TagIs(tag, kChunkChecksum)) break;  // verified in pass 1
+
+    Status st;
+    if (TagIs(tag, kChunkMeta)) {
+      SKY_RETURN_NOT_OK(mark_once(&seen_meta));
+      st = ParseMeta(&payload, &model);
+    } else if (TagIs(tag, kChunkAnnotation)) {
+      SKY_RETURN_NOT_OK(mark_once(&seen_anno));
+      std::string anno;
+      st = payload.ReadString(&anno);
+      if (annotation != nullptr) *annotation = std::move(anno);
+    } else if (TagIs(tag, kChunkConfigs)) {
+      SKY_RETURN_NOT_OK(mark_once(&seen_configs));
+      st = ParseConfigs(&payload, &model);
+    } else if (TagIs(tag, kChunkProfiles)) {
+      SKY_RETURN_NOT_OK(mark_once(&seen_profiles));
+      st = ParseProfiles(&payload, &model);
+    } else if (TagIs(tag, kChunkCategories)) {
+      SKY_RETURN_NOT_OK(mark_once(&seen_categories));
+      st = ParseCategories(&payload, &model);
+    } else if (TagIs(tag, kChunkTrainSeq)) {
+      SKY_RETURN_NOT_OK(mark_once(&seen_seq));
+      st = payload.ReadU64Vec(&model.train_category_sequence);
+    } else if (TagIs(tag, kChunkForecaster)) {
+      SKY_RETURN_NOT_OK(mark_once(&seen_forecaster));
+      st = ParseForecaster(&payload, &model);
+    } else if (TagIs(tag, kChunkRuntimes)) {
+      SKY_RETURN_NOT_OK(mark_once(&seen_runtimes));
+      st = ParseRuntimes(&payload, &model);
+    } else {
+      return Status::InvalidArgument("unknown chunk tag in model file");
+    }
+    SKY_RETURN_NOT_OK(st);
+    if (payload.remaining() != 0) {
+      return Status::InvalidArgument("model chunk has trailing bytes");
+    }
+    SKY_RETURN_NOT_OK(c.Skip(size));  // past the payload just parsed
+  }
+  if (!seen_meta || !seen_anno || !seen_configs || !seen_profiles ||
+      !seen_categories || !seen_seq || !seen_forecaster || !seen_runtimes) {
+    return Status::InvalidArgument("model file is missing required chunks");
+  }
+  return model;
+}
+
+Status SaveOfflineModel(const core::OfflineModel& model,
+                        const std::string& path,
+                        const std::string& annotation) {
+  std::string bytes;
+  SKY_RETURN_NOT_OK(SerializeOfflineModel(model, annotation, &bytes));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<core::OfflineModel> LoadOfflineModel(const std::string& path,
+                                            std::string* annotation) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open model file " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("error reading model file " + path);
+  }
+  return DeserializeOfflineModel(bytes, annotation);
+}
+
+}  // namespace sky::io

@@ -186,6 +186,78 @@ std::vector<double> FeedForwardNet::FlattenParameters() const {
   return flat;
 }
 
+NetSnapshot FeedForwardNet::Snapshot() const {
+  NetSnapshot snap;
+  snap.input_dim = input_dim_;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    snap.hidden.push_back(layers_[i].w.rows());
+  }
+  snap.output_dim = output_dim_;
+  snap.output_activation = layers_.back().act;
+  snap.adam_steps = adam_t_;
+  snap.params = FlattenParameters();
+  snap.adam_m.reserve(snap.params.size());
+  snap.adam_v.reserve(snap.params.size());
+  for (const Layer& l : layers_) {
+    snap.adam_m.insert(snap.adam_m.end(), l.mw.data().begin(),
+                       l.mw.data().end());
+    snap.adam_m.insert(snap.adam_m.end(), l.mb.begin(), l.mb.end());
+    snap.adam_v.insert(snap.adam_v.end(), l.vw.data().begin(),
+                       l.vw.data().end());
+    snap.adam_v.insert(snap.adam_v.end(), l.vb.begin(), l.vb.end());
+  }
+  return snap;
+}
+
+Result<FeedForwardNet> FeedForwardNet::FromSnapshot(
+    const NetSnapshot& snapshot) {
+  if (snapshot.input_dim == 0 || snapshot.output_dim == 0) {
+    return Status::InvalidArgument("net snapshot has zero-width layers");
+  }
+  for (size_t width : snapshot.hidden) {
+    if (width == 0) {
+      return Status::InvalidArgument("net snapshot has zero-width layers");
+    }
+  }
+  // Build the architecture (the random initialization is overwritten below),
+  // then restore every parameter and both Adam moment tensors in the
+  // FlattenParameters layout.
+  Rng rng(0);
+  FeedForwardNet net(snapshot.input_dim, snapshot.hidden, snapshot.output_dim,
+                     snapshot.output_activation, &rng);
+  size_t expected = net.NumParameters();
+  if (snapshot.params.size() != expected ||
+      snapshot.adam_m.size() != expected ||
+      snapshot.adam_v.size() != expected) {
+    return Status::InvalidArgument(
+        "net snapshot parameter count does not match its architecture");
+  }
+  size_t offset = 0;
+  for (Layer& l : net.layers_) {
+    size_t nw = l.w.rows() * l.w.cols();
+    std::copy(snapshot.params.begin() + offset,
+              snapshot.params.begin() + offset + nw, l.w.data().begin());
+    std::copy(snapshot.adam_m.begin() + offset,
+              snapshot.adam_m.begin() + offset + nw, l.mw.data().begin());
+    std::copy(snapshot.adam_v.begin() + offset,
+              snapshot.adam_v.begin() + offset + nw, l.vw.data().begin());
+    offset += nw;
+    size_t nb = l.b.size();
+    std::copy(snapshot.params.begin() + offset,
+              snapshot.params.begin() + offset + nb, l.b.begin());
+    std::copy(snapshot.adam_m.begin() + offset,
+              snapshot.adam_m.begin() + offset + nb, l.mb.begin());
+    std::copy(snapshot.adam_v.begin() + offset,
+              snapshot.adam_v.begin() + offset + nb, l.vb.begin());
+    offset += nb;
+    // The batched forward reads the transposed weights; keep them in sync
+    // with the restored w exactly as AdamStep does.
+    l.w.TransposeInto(&l.wt);
+  }
+  net.adam_t_ = snapshot.adam_steps;
+  return net;
+}
+
 std::vector<double> FeedForwardNet::Forward(const std::vector<double>& x,
                                             ForwardCache* cache) const {
   std::vector<double> cur = x;

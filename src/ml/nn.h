@@ -86,6 +86,24 @@ struct PredictScratch {
   std::vector<double> odd;
 };
 
+/// The complete persistent state of a FeedForwardNet as plain values: the
+/// architecture plus every trainable parameter AND the Adam optimizer
+/// moments. Produced by FeedForwardNet::Snapshot() and consumed by
+/// FromSnapshot(); the round trip is bitwise — including the optimizer
+/// state, so a restored net continues OnlineUpdate fine-tuning exactly
+/// where the original would. The flat vectors use the FlattenParameters
+/// layout (per layer: weights row-major, then biases).
+struct NetSnapshot {
+  size_t input_dim = 0;
+  std::vector<size_t> hidden;  ///< hidden widths (always ReLU)
+  size_t output_dim = 0;
+  Activation output_activation = Activation::kIdentity;
+  uint64_t adam_steps = 0;  ///< Adam's bias-correction step counter t
+  std::vector<double> params;  ///< weights+biases, FlattenParameters order
+  std::vector<double> adam_m;  ///< first moments, same layout
+  std::vector<double> adam_v;  ///< second moments, same layout
+};
+
 /// A small fully connected network trained with Adam. This is the forecasting
 /// model of the paper (Appendix K): input -> 16 ReLU -> 8 ReLU -> |C| softmax.
 /// It is intentionally minimal — no autograd graph, just dense layers.
@@ -135,6 +153,16 @@ class FeedForwardNet {
   /// vector — the bit-identity comparison handle for determinism tests and
   /// OfflineModelsIdentical.
   std::vector<double> FlattenParameters() const;
+
+  /// Full persistent state (architecture + parameters + Adam moments) as
+  /// plain values, for serialization.
+  NetSnapshot Snapshot() const;
+
+  /// Reassembles a net from a snapshot; the inverse of Snapshot(), bitwise
+  /// (the transposed-weight caches are rebuilt from the restored weights).
+  /// Fails on inconsistent dimensions (flat vector sizes must match the
+  /// architecture exactly).
+  static Result<FeedForwardNet> FromSnapshot(const NetSnapshot& snapshot);
 
  private:
   struct Layer {

@@ -1,0 +1,334 @@
+// Tests for the model persistence layer (src/io/model_io) and the facade's
+// SaveModel/LoadModel — the train-once / serve-many contract:
+//
+//  1. a save/load round trip reproduces the OfflineModel bitwise
+//     (core::OfflineModelsIdentical, which compares configs, full placement
+//     profiles, category centers, the training sequence, and the trained
+//     forecaster's parameters);
+//  2. ingestion from a loaded model is bitwise-equal to ingestion from the
+//     in-memory model on every EngineResult field including the trace —
+//     which also gates that the forecaster's Adam optimizer state survives
+//     the round trip (online fine-tuning at plan boundaries would diverge
+//     otherwise);
+//  3. corrupted / truncated / wrong-version / wrong-magic files fail with
+//     an error Status — no crashes, and a failed facade LoadModel leaves
+//     the previous model untouched;
+//  4. facade precondition paths: SaveModel without a model, LoadModel as a
+//     full substitute for Fit().
+
+#include "io/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "api/skyscraper.h"
+#include "core/engine.h"
+#include "core/offline.h"
+#include "workloads/ev_counting.h"
+
+namespace sky::io {
+namespace {
+
+core::OfflineOptions FastOffline() {
+  core::OfflineOptions opts;
+  opts.segment_seconds = 4.0;
+  opts.train_horizon = Days(4);
+  opts.num_categories = 3;
+  opts.forecaster.input_span = Days(1);
+  opts.forecaster.planned_interval = Days(1);
+  return opts;
+}
+
+/// One shared fitted model per suite (the offline fit dominates test time).
+const core::OfflineModel& FittedModel() {
+  static const core::OfflineModel* model = [] {
+    workloads::EvCountingWorkload job;
+    sim::ClusterSpec cluster;
+    cluster.cores = 4;
+    sim::CostModel cost_model(1.8);
+    auto fitted =
+        core::RunOfflinePhase(job, cluster, cost_model, FastOffline());
+    EXPECT_TRUE(fitted.ok()) << fitted.status().ToString();
+    return new core::OfflineModel(std::move(fitted).value());
+  }();
+  return *model;
+}
+
+std::string Serialized(const std::string& annotation = "EV-COUNT") {
+  std::string bytes;
+  Status st = SerializeOfflineModel(FittedModel(), annotation, &bytes);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return bytes;
+}
+
+TEST(ModelIoTest, RoundTripIsBitwiseIdentical) {
+  std::string bytes = Serialized();
+  std::string annotation;
+  auto loaded = DeserializeOfflineModel(bytes, &annotation);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(annotation, "EV-COUNT");
+  EXPECT_TRUE(core::OfflineModelsIdentical(FittedModel(), *loaded));
+  // Informational fields outside OfflineModelsIdentical round-trip too.
+  EXPECT_EQ(loaded->step_runtimes.filter_configs_s,
+            FittedModel().step_runtimes.filter_configs_s);
+  EXPECT_EQ(loaded->step_runtimes.forecast_training_s,
+            FittedModel().step_runtimes.forecast_training_s);
+  ASSERT_TRUE(loaded->forecaster.has_value());
+  EXPECT_EQ(loaded->forecaster->train_report().best_val_loss,
+            FittedModel().forecaster->train_report().best_val_loss);
+  EXPECT_EQ(loaded->forecaster->train_report().train_loss_per_epoch,
+            FittedModel().forecaster->train_report().train_loss_per_epoch);
+}
+
+TEST(ModelIoTest, SerializationIsDeterministic) {
+  EXPECT_EQ(Serialized(), Serialized());
+}
+
+TEST(ModelIoTest, LoadedModelIngestsBitwiseEqually) {
+  std::string bytes = Serialized();
+  auto loaded = DeserializeOfflineModel(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  workloads::EvCountingWorkload job;
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  sim::CostModel cost_model(1.8);
+  core::EngineOptions opts;
+  opts.duration = Days(1);
+  opts.plan_interval = Hours(6);  // several boundaries -> online fine-tunes
+  opts.cloud_budget_usd_per_interval = 0.5;
+  opts.record_trace = true;
+
+  core::IngestionEngine from_memory(&job, &FittedModel(), cluster,
+                                    &cost_model, opts);
+  auto memory_run = from_memory.Run(Days(4));
+  ASSERT_TRUE(memory_run.ok()) << memory_run.status().ToString();
+
+  core::IngestionEngine from_file(&job, &*loaded, cluster, &cost_model, opts);
+  auto file_run = from_file.Run(Days(4));
+  ASSERT_TRUE(file_run.ok()) << file_run.status().ToString();
+
+  // Bitwise on every field including the trace. Online forecaster updates
+  // are on (the default), so this fails unless the Adam moments and step
+  // counter survived serialization exactly.
+  EXPECT_TRUE(core::EngineResultsIdentical(*memory_run, *file_run));
+  EXPECT_GT(memory_run->segments, 0u);
+}
+
+TEST(ModelIoTest, RejectsWrongMagic) {
+  std::string bytes = Serialized();
+  bytes[0] = 'X';
+  auto loaded = DeserializeOfflineModel(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelIoTest, RejectsWrongVersion) {
+  std::string bytes = Serialized();
+  bytes[8] = static_cast<char>(kModelFormatVersion + 1);  // u32 version LSB
+  auto loaded = DeserializeOfflineModel(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(ModelIoTest, RejectsFlippedByteAnywhere) {
+  std::string pristine = Serialized();
+  // A corrupted byte anywhere in the payload must trip the checksum (or an
+  // earlier structural check) — sample positions across the whole file.
+  for (size_t pos = 16; pos < pristine.size(); pos += pristine.size() / 37) {
+    std::string bytes = pristine;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x5a);
+    auto loaded = DeserializeOfflineModel(bytes);
+    EXPECT_FALSE(loaded.ok()) << "flip at " << pos << " was not detected";
+  }
+}
+
+TEST(ModelIoTest, RejectsTruncationAtEveryBoundary) {
+  std::string pristine = Serialized();
+  // Every strict prefix is invalid (the checksum trailer is missing or the
+  // chunk table is cut short). Sample a spread of truncation points plus
+  // the pathological tiny ones.
+  for (size_t keep : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{15},
+                      size_t{16}, size_t{17}, pristine.size() / 3,
+                      pristine.size() / 2, pristine.size() - 9,
+                      pristine.size() - 1}) {
+    std::string bytes = pristine.substr(0, keep);
+    auto loaded = DeserializeOfflineModel(bytes);
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << keep << " accepted";
+  }
+}
+
+// --- Crafted-file tests: structurally valid (checksummed) but hostile ------
+
+/// FNV-1a-64, re-implemented so tests can forge files with valid trailers.
+uint64_t TestFnv(const std::string& s, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(s[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Byte offset of the chunk with `tag` (pointing at the tag itself), and its
+/// payload size; npos when absent.
+size_t FindChunk(const std::string& bytes, const char* tag, uint64_t* size) {
+  size_t pos = 16;
+  while (pos + 12 <= bytes.size()) {
+    uint64_t chunk_size = 0;
+    std::memcpy(&chunk_size, bytes.data() + pos + 4, 8);
+    if (std::memcmp(bytes.data() + pos, tag, 4) == 0) {
+      *size = chunk_size;
+      return pos;
+    }
+    pos += 12 + chunk_size;
+  }
+  return std::string::npos;
+}
+
+/// Replaces the trailing CSUM chunk with one matching the (tampered) body.
+std::string WithRebuiltChecksum(std::string bytes) {
+  uint64_t csum_size = 0;
+  size_t csum_at = FindChunk(bytes, "CSUM", &csum_size);
+  EXPECT_NE(csum_at, std::string::npos);
+  bytes.resize(csum_at);
+  uint64_t checksum = TestFnv(bytes, bytes.size());
+  bytes.append("CSUM", 4);
+  uint64_t payload_size = 8;
+  bytes.append(reinterpret_cast<const char*>(&payload_size), 8);
+  bytes.append(reinterpret_cast<const char*>(&checksum), 8);
+  return bytes;
+}
+
+TEST(ModelIoTest, RejectsDuplicateChunkEvenWithValidChecksum) {
+  std::string bytes = Serialized();
+  uint64_t rtim_size = 0;
+  size_t rtim_at = FindChunk(bytes, "RTIM", &rtim_size);
+  ASSERT_NE(rtim_at, std::string::npos);
+  std::string rtim_chunk = bytes.substr(rtim_at, 12 + rtim_size);
+  bytes.insert(rtim_at, rtim_chunk);
+  bytes = WithRebuiltChecksum(std::move(bytes));
+  auto loaded = DeserializeOfflineModel(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ModelIoTest, RejectsImpossibleCountsWithoutAllocating) {
+  // A crafted-but-checksummed CATG chunk declaring absurd matrix shapes
+  // must fail cleanly — not attempt the 2^63-row allocation. The CATG
+  // payload starts with u32 backend, u64 rows, u64 cols.
+  for (auto [rows, cols] :
+       {std::pair<uint64_t, uint64_t>{1ull << 63, 4},
+        {1ull << 62, 0},                  // zero-width rows, huge count
+        {1, (1ull << 61) + 1}}) {         // cols * 8 wraps around
+    std::string bytes = Serialized();
+    uint64_t catg_size = 0;
+    size_t catg_at = FindChunk(bytes, "CATG", &catg_size);
+    ASSERT_NE(catg_at, std::string::npos);
+    std::memcpy(&bytes[catg_at + 12 + 4], &rows, 8);
+    std::memcpy(&bytes[catg_at + 12 + 4 + 8], &cols, 8);
+    bytes = WithRebuiltChecksum(std::move(bytes));
+    auto loaded = DeserializeOfflineModel(bytes);
+    EXPECT_FALSE(loaded.ok()) << "rows=" << rows << " cols=" << cols;
+  }
+}
+
+TEST(ModelIoTest, LoadMissingFileIsNotFound) {
+  auto loaded = LoadOfflineModel("/nonexistent/sky_model.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/sky_model_io_test.bin";
+  Status saved = SaveOfflineModel(FittedModel(), path, "EV-COUNT");
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  std::string annotation;
+  auto loaded = LoadOfflineModel(path, &annotation);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(annotation, "EV-COUNT");
+  EXPECT_TRUE(core::OfflineModelsIdentical(FittedModel(), *loaded));
+  std::remove(path.c_str());
+}
+
+// --- Facade paths ----------------------------------------------------------
+
+TEST(ModelIoFacadeTest, SaveModelWithoutModelIsFailedPrecondition) {
+  workloads::EvCountingWorkload job;
+  api::Skyscraper sky(&job);
+  Status st = sky.SaveModel(::testing::TempDir() + "/never_written.bin");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelIoFacadeTest, LoadModelSubstitutesForFit) {
+  std::string path = ::testing::TempDir() + "/sky_facade_test.bin";
+  workloads::EvCountingWorkload job;
+  api::Resources res;
+  res.cores = 4;
+
+  // Process 1: fit and persist.
+  api::Skyscraper trainer(&job);
+  trainer.SetResources(res);
+  ASSERT_TRUE(trainer.Fit(FastOffline()).ok());
+  ASSERT_TRUE(trainer.SaveModel(path, job.name()).ok());
+  core::EngineOptions run;
+  run.duration = Hours(12);
+  auto fit_run = trainer.Ingest(Days(4), run);
+  ASSERT_TRUE(fit_run.ok()) << fit_run.status().ToString();
+
+  // Process 2: load instead of Fit — LoadModel before any RunOfflinePhase.
+  api::Skyscraper server(&job);
+  server.SetResources(res);
+  EXPECT_FALSE(server.fitted());
+  ASSERT_TRUE(server.LoadModel(path, job.name()).ok());
+  EXPECT_TRUE(server.fitted());
+  ASSERT_TRUE(server.model().ok());
+
+  auto load_run = server.Ingest(Days(4), run);
+  ASSERT_TRUE(load_run.ok()) << load_run.status().ToString();
+  EXPECT_TRUE(core::EngineResultsIdentical(*fit_run, *load_run));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoFacadeTest, FailedLoadKeepsPreviousModel) {
+  std::string path = ::testing::TempDir() + "/sky_corrupt_test.bin";
+  workloads::EvCountingWorkload job;
+  api::Skyscraper sky(&job);
+  api::Resources res;
+  res.cores = 4;
+  sky.SetResources(res);
+  ASSERT_TRUE(sky.Fit(FastOffline()).ok());
+
+  // Write a corrupted file and try to load it: the error must not disturb
+  // the in-memory model (no partial state).
+  ASSERT_TRUE(sky.SaveModel(path).ok());
+  {
+    std::string bytes = Serialized();
+    bytes[bytes.size() / 2] ^= 0x11;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+  Status st = sky.LoadModel(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(sky.fitted());
+  EXPECT_TRUE(sky.model().ok());
+
+  // Annotation mismatch is likewise refused without clobbering the model.
+  ASSERT_TRUE(sky.SaveModel(path, "EV-COUNT").ok());
+  Status mismatch = sky.LoadModel(path, "COVID");
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(sky.fitted());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sky::io

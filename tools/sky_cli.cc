@@ -1,0 +1,324 @@
+// sky — the Skyscraper command-line deployment tool.
+//
+// Splits the paper's two phases into two processes, so the expensive offline
+// fit (§3, Table 3) is paid once and every serving process starts warm:
+//
+//   # Terminal 1: train once, persist the model.
+//   sky offline --workload covid --out model.bin
+//
+//   # Terminal 2 (later, or on another machine): serve from the saved model.
+//   sky ingest --model model.bin --workload covid --duration-days 2
+//
+// The saved file is the versioned chunked binary of docs/model_format.md;
+// `sky ingest` from a loaded model is bitwise-identical to ingesting right
+// after Fit() in one process (gated by tests/model_io_test.cc). A third
+// subcommand, `sky inspect`, prints a saved model's summary without running
+// anything.
+//
+// Hardware provisioning (--cores, --cloud-budget, --buffer-gb) must match
+// between the two phases: the model's placement profiles describe the
+// cluster they were profiled on (the provisioning is deliberately NOT part
+// of the model file — the same reason you pass the same --workload).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "api/skyscraper.h"
+#include "io/model_io.h"
+#include "util/sim_time.h"
+#include "workloads/covid.h"
+#include "workloads/ev_counting.h"
+#include "workloads/mosei.h"
+#include "workloads/mot.h"
+
+namespace {
+
+using sky::Days;
+using sky::Status;
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: sky <subcommand> [flags]
+
+subcommands:
+  offline   run the offline phase and save the trained model (train once)
+  ingest    load a saved model and ingest a stream (serve many)
+  inspect   print a saved model's summary
+
+common flags:
+  --workload NAME   ev | covid | mot | mosei-high | mosei-long  (default ev)
+  --cores N         on-premise cluster cores                    (default 8)
+  --cloud-budget D  cloud credits (USD) per plan interval       (default 0)
+  --buffer-gb G     video buffer capacity, GiB                  (default 4)
+
+offline flags:
+  --out PATH            where to write the model            (required)
+  --segment-seconds S   knob-switcher period                (default 4)
+  --train-days D        unlabeled training horizon          (default 16)
+  --plan-days D         forecast span / planned interval    (default 2)
+  --categories C        content categories                  (default 4)
+  --threads N           offline worker threads, 0 = all     (default 0)
+  --seed S              offline RNG seed                    (default 81)
+
+ingest flags:
+  --model PATH          model saved by `sky offline`        (required)
+  --start-days D        ingest start (default: the model's train horizon)
+  --duration-days D     how much stream to ingest           (default 1)
+  --plan-interval-days D  knob-planner period (default: the span the
+                          model's forecaster was trained for)
+  --seed S              engine noise seed                   (default 71)
+
+inspect flags:
+  --model PATH          model file to describe              (required)
+)");
+  return 2;
+}
+
+struct Flags {
+  std::string workload = "ev";
+  int cores = 8;
+  double cloud_budget = 0.0;
+  double buffer_gb = 4.0;
+  std::string out;
+  std::string model;
+  double segment_seconds = 4.0;
+  double train_days = 16.0;
+  double plan_days = 2.0;
+  size_t categories = 4;
+  size_t threads = 0;
+  uint64_t offline_seed = 81;
+  double start_days = -1.0;  ///< -1 = derive from the loaded model
+  double duration_days = 1.0;
+  double plan_interval_days = -1.0;  ///< -1 = derive from the loaded model
+  uint64_t engine_seed = 71;
+};
+
+/// Parses "--flag value" / "--flag=value" pairs; returns false on an unknown
+/// flag or a missing value.
+bool ParseFlags(int argc, char** argv, Flags* f) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "sky: flag %s needs a value\n", arg.c_str());
+      return false;
+    }
+    if (arg == "--workload") f->workload = value;
+    else if (arg == "--cores") f->cores = std::atoi(value.c_str());
+    else if (arg == "--cloud-budget") f->cloud_budget = std::atof(value.c_str());
+    else if (arg == "--buffer-gb") f->buffer_gb = std::atof(value.c_str());
+    else if (arg == "--out") f->out = value;
+    else if (arg == "--model") f->model = value;
+    else if (arg == "--segment-seconds") f->segment_seconds = std::atof(value.c_str());
+    else if (arg == "--train-days") f->train_days = std::atof(value.c_str());
+    else if (arg == "--plan-days") f->plan_days = std::atof(value.c_str());
+    else if (arg == "--categories") f->categories = std::strtoull(value.c_str(), nullptr, 10);
+    else if (arg == "--threads") f->threads = std::strtoull(value.c_str(), nullptr, 10);
+    else if (arg == "--seed") { f->offline_seed = std::strtoull(value.c_str(), nullptr, 10); f->engine_seed = f->offline_seed; }
+    else if (arg == "--start-days") f->start_days = std::atof(value.c_str());
+    else if (arg == "--duration-days") f->duration_days = std::atof(value.c_str());
+    else if (arg == "--plan-interval-days") f->plan_interval_days = std::atof(value.c_str());
+    else {
+      std::fprintf(stderr, "sky: unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<sky::core::Workload> MakeWorkload(const std::string& name) {
+  using namespace sky::workloads;
+  if (name == "ev") return std::make_unique<EvCountingWorkload>();
+  if (name == "covid") return std::make_unique<CovidWorkload>();
+  if (name == "mot") return std::make_unique<MotWorkload>();
+  if (name == "mosei-high") {
+    return std::make_unique<MoseiWorkload>(MoseiWorkload::SpikeKind::kHigh);
+  }
+  if (name == "mosei-long") {
+    return std::make_unique<MoseiWorkload>(MoseiWorkload::SpikeKind::kLong);
+  }
+  return nullptr;
+}
+
+sky::api::Resources MakeResources(const Flags& f) {
+  sky::api::Resources res;
+  res.cores = f.cores;
+  res.buffer_bytes = static_cast<uint64_t>(f.buffer_gb * (1ull << 30));
+  res.cloud_budget_usd_per_interval = f.cloud_budget;
+  return res;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "sky: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunOffline(const Flags& f) {
+  if (f.out.empty()) {
+    std::fprintf(stderr, "sky offline: --out is required\n");
+    return 2;
+  }
+  auto workload = MakeWorkload(f.workload);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "sky: unknown workload '%s'\n", f.workload.c_str());
+    return 2;
+  }
+
+  sky::api::Skyscraper sky(workload.get());
+  sky.SetResources(MakeResources(f));
+
+  sky::core::OfflineOptions opts;
+  opts.segment_seconds = f.segment_seconds;
+  opts.train_horizon = Days(f.train_days);
+  opts.num_categories = f.categories;
+  opts.forecaster.input_span = Days(f.plan_days);
+  opts.forecaster.planned_interval = Days(f.plan_days);
+  opts.num_threads = f.threads;
+  opts.seed = f.offline_seed;
+
+  std::printf("sky offline: fitting %s (%.1f-day horizon, %.0f s segments, "
+              "%zu categories, %d cores)...\n",
+              workload->name().c_str(), f.train_days, f.segment_seconds,
+              f.categories, f.cores);
+  Status fit = sky.Fit(opts);
+  if (!fit.ok()) return Fail(fit);
+
+  auto model = sky.model();
+  if (!model.ok()) return Fail(model.status());
+  const auto& rt = (*model)->step_runtimes;
+  std::printf("  filter configs %.2fs | placements %.2fs | categories %.2fs "
+              "| forecast data %.2fs | training %.2fs\n",
+              rt.filter_configs_s, rt.filter_placements_s,
+              rt.content_categories_s, rt.forecast_training_data_s,
+              rt.forecast_training_s);
+
+  Status saved = sky.SaveModel(f.out, workload->name());
+  if (!saved.ok()) return Fail(saved);
+  std::printf("sky offline: saved %zu configs, %zu categories, "
+              "%zu-segment training sequence -> %s\n",
+              (*model)->configs.size(), (*model)->categories.NumCategories(),
+              (*model)->train_category_sequence.size(), f.out.c_str());
+  return 0;
+}
+
+int RunIngest(const Flags& f) {
+  if (f.model.empty()) {
+    std::fprintf(stderr, "sky ingest: --model is required\n");
+    return 2;
+  }
+  auto workload = MakeWorkload(f.workload);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "sky: unknown workload '%s'\n", f.workload.c_str());
+    return 2;
+  }
+
+  sky::api::Skyscraper sky(workload.get());
+  sky.SetResources(MakeResources(f));
+
+  // The annotation check refuses a model trained for another workload —
+  // the quality tables would be silently wrong otherwise.
+  Status loaded = sky.LoadModel(f.model, workload->name());
+  if (!loaded.ok()) return Fail(loaded);
+  auto model = sky.model();
+  if (!model.ok()) return Fail(model.status());
+
+  double start_days =
+      f.start_days >= 0.0 ? f.start_days : (*model)->train_horizon / 86400.0;
+  // Plan at the cadence the forecaster was trained to predict unless the
+  // caller overrides it — a 1-day-forecast model planning every 2 days
+  // would silently degrade.
+  double plan_interval_days = f.plan_interval_days;
+  if (plan_interval_days <= 0.0) {
+    plan_interval_days =
+        (*model)->forecaster.has_value()
+            ? (*model)->forecaster->options().planned_interval / 86400.0
+            : 2.0;
+  }
+  sky::core::EngineOptions opts;
+  opts.duration = Days(f.duration_days);
+  opts.plan_interval = Days(plan_interval_days);
+  opts.seed = f.engine_seed;
+
+  std::printf("sky ingest: %s from %s (day %.1f, %.1f days, plan every "
+              "%.1f days, %d cores, $%.2f cloud/interval)\n",
+              workload->name().c_str(), f.model.c_str(), start_days,
+              f.duration_days, plan_interval_days, f.cores, f.cloud_budget);
+  auto result = sky.Ingest(Days(start_days), opts);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("  segments          %zu\n", result->segments);
+  std::printf("  mean quality      %.4f\n", result->mean_quality);
+  std::printf("  work              %.1f core-s (%.1f on-prem)\n",
+              result->work_core_seconds, result->onprem_core_seconds);
+  std::printf("  cloud spend       $%.3f\n", result->cloud_usd);
+  std::printf("  buffer high water %.1f MiB (%zu overflows)\n",
+              static_cast<double>(result->buffer_high_water_bytes) /
+                  (1 << 20),
+              result->overflow_events);
+  std::printf("  config switches   %zu (%zu degraded)\n",
+              result->switch_count, result->degraded_count);
+  std::printf("  misclassified     %.2f%% (A: %zu, B: %zu)\n",
+              100.0 * result->MisclassificationRate(), result->type_a_errors,
+              result->type_b_errors);
+  return 0;
+}
+
+int RunInspect(const Flags& f) {
+  if (f.model.empty()) {
+    std::fprintf(stderr, "sky inspect: --model is required\n");
+    return 2;
+  }
+  std::string annotation;
+  auto model = sky::io::LoadOfflineModel(f.model, &annotation);
+  if (!model.ok()) return Fail(model.status());
+
+  std::printf("%s: Skyscraper model (format v%u)\n", f.model.c_str(),
+              sky::io::kModelFormatVersion);
+  std::printf("  workload annotation  %s\n",
+              annotation.empty() ? "(none)" : annotation.c_str());
+  std::printf("  knob configurations  %zu\n", model->configs.size());
+  size_t placements = 0;
+  for (const auto& p : model->profiles) placements += p.placements.size();
+  std::printf("  placement profiles   %zu (%zu Pareto placements)\n",
+              model->profiles.size(), placements);
+  std::printf("  content categories   %zu (%s backend)\n",
+              model->categories.NumCategories(),
+              model->categories.backend() ==
+                      sky::core::CategorizerBackend::kKMeans
+                  ? "k-means"
+                  : "GMM");
+  std::printf("  training sequence    %zu segments of %.0f s (%.1f days)\n",
+              model->train_category_sequence.size(), model->segment_seconds,
+              model->train_horizon / 86400.0);
+  if (model->forecaster.has_value()) {
+    std::printf("  forecaster           %zu parameters, best val loss %.4f "
+                "(epoch %zu)\n",
+                model->forecaster->ModelParameters().size(),
+                model->forecaster->train_report().best_val_loss,
+                model->forecaster->train_report().best_epoch);
+  } else {
+    std::printf("  forecaster           (not trained)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Flags flags;
+  if (!ParseFlags(argc - 2, argv + 2, &flags)) return 2;
+  if (cmd == "offline") return RunOffline(flags);
+  if (cmd == "ingest") return RunIngest(flags);
+  if (cmd == "inspect") return RunInspect(flags);
+  return Usage();
+}
