@@ -10,11 +10,15 @@
 
 #include <iostream>
 #include <memory>
+#include <string>
+#include <thread>
+#include <utility>
 
 #include "bench_common.h"
 #include "core/multi_stream.h"
 #include "core/planner.h"
 #include "dag/thread_pool.h"
+#include "util/stats.h"
 #include "util/table.h"
 #include "workloads/ev_counting.h"
 
@@ -223,6 +227,122 @@ int main(int argc, char** argv) {
               100 * (joint_quality - indep_quality), joint_usd, indep_usd,
               joint_s, indep_s);
 
+  // Fleet sweep: the sharded barrier scheduler at {4, 64, 256} streams x
+  // {1, 2, 4, 8, 16} workers. Joint-mode results must be bitwise identical
+  // at every worker count (hard gate); the speedup at 4 streams / 4 workers
+  // is the headline scheduler metric, gated >= 3.0 when the hardware can
+  // actually run 4 workers in parallel. Plan-boundary latency percentiles
+  // come from the 1-worker run (boundary solves are serial at the barrier
+  // regardless of worker count).
+  std::printf("\n=== Fleet sweep: sharded barrier scheduler ===\n");
+  const size_t sweep_counts[] = {4, 64, 256};
+  const size_t sweep_workers[] = {1, 2, 4, 8, 16};
+  bool sweep_identical = true;
+  double speedup_s4_t4 = 0.0;
+  std::vector<std::pair<std::string, double>> sweep_metrics;
+  TablePrinter sweep_table(
+      "Joint StreamSet wall seconds by worker count (speedup vs 1 worker)");
+  sweep_table.SetHeader({"streams", "1 wkr", "2 wkrs", "4 wkrs", "8 wkrs",
+                         "16 wkrs", "bnd p50 ms", "bnd p99 ms"});
+  for (size_t n : sweep_counts) {
+    // Large fleets reuse the four fitted models round-robin: the models are
+    // statistics of the shared content process, so any same-process stream
+    // can serve them; fitting 256 offline phases is not what this bench
+    // times. Shorter horizons at larger counts keep total work bounded.
+    std::vector<std::unique_ptr<workloads::EvCountingWorkload>> fleet;
+    std::vector<core::StreamEngineJob> fleet_jobs;
+    for (size_t s = 0; s < n; ++s) {
+      fleet.push_back(std::make_unique<workloads::EvCountingWorkload>(
+          7200 + static_cast<uint64_t>(s)));
+      core::StreamEngineJob job;
+      job.workload = fleet.back().get();
+      job.model = &models[s % models.size()];
+      job.cluster = cluster;
+      job.cost_model = &cost_model;
+      job.options.duration = n == 4 ? Days(1) : (n == 64 ? Hours(4) : Hours(2));
+      job.options.plan_interval = n == 4 ? Hours(4) : Hours(1);
+      job.options.cloud_budget_usd_per_interval = 1.0;
+      job.start_time = setup.test_start;
+      fleet_jobs.push_back(job);
+    }
+
+    std::vector<Result<core::EngineResult>> ref;
+    double wall_1 = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::vector<std::string> row{std::to_string(n)};
+    for (size_t t : sweep_workers) {
+      std::unique_ptr<dag::ThreadPool> fleet_pool;
+      if (t > 1) fleet_pool = std::make_unique<dag::ThreadPool>(t - 1);
+      WallTimer sweep_timer;
+      auto set = core::StreamSet::Create(fleet_jobs,
+                                         {core::MultiStreamPlanning::kJoint});
+      if (!set.ok() || !set->RunToCompletion(fleet_pool.get()).ok()) {
+        std::printf("sweep run failed at %zu streams / %zu workers\n", n, t);
+        return 1;
+      }
+      double wall = sweep_timer.Seconds();
+      auto runs = set->Results();
+      for (size_t s = 0; s < n; ++s) {
+        if (!runs[s].ok()) {
+          std::printf("sweep stream %zu failed at %zu workers: %s\n", s, t,
+                      runs[s].status().ToString().c_str());
+          return 1;
+        }
+      }
+      if (t == 1) {
+        ref = std::move(runs);
+        wall_1 = wall;
+        std::vector<double> lat = set->boundary_latencies_ms();
+        p50_ms = Percentile(lat, 50.0);
+        p99_ms = Percentile(lat, 99.0);
+        sweep_metrics.emplace_back("plan_boundary_p50_ms_" + std::to_string(n),
+                                   p50_ms);
+        sweep_metrics.emplace_back("plan_boundary_p99_ms_" + std::to_string(n),
+                                   p99_ms);
+        sweep_metrics.emplace_back("plan_boundaries_" + std::to_string(n),
+                                   static_cast<double>(lat.size()));
+        row.push_back(TablePrinter::Fmt(wall, 2));
+      } else {
+        for (size_t s = 0; s < n; ++s) {
+          if (!core::EngineResultsIdentical(*ref[s], *runs[s])) {
+            sweep_identical = false;
+            std::printf("BITWISE MISMATCH: %zu streams, %zu workers, "
+                        "stream %zu\n",
+                        n, t, s);
+          }
+        }
+        double sp = wall > 0 ? wall_1 / wall : 0.0;
+        if (n == 4 && t == 4) speedup_s4_t4 = sp;
+        sweep_metrics.emplace_back("engines_speedup_s" + std::to_string(n) +
+                                       "_t" + std::to_string(t),
+                                   sp);
+        row.push_back(TablePrinter::Fmt(wall, 2) + " (" +
+                      TablePrinter::Fmt(sp, 2) + "x)");
+      }
+    }
+    row.push_back(TablePrinter::Fmt(p50_ms, 3));
+    row.push_back(TablePrinter::Fmt(p99_ms, 3));
+    sweep_table.AddRow(row);
+  }
+  sweep_table.Print(std::cout);
+
+  unsigned hardware_threads = std::thread::hardware_concurrency();
+  bool headline_ok = true;
+  if (hardware_threads >= 4) {
+    headline_ok = speedup_s4_t4 >= 3.0;
+    std::printf("\nscheduler speedup at 4 streams / 4 workers: %.2fx "
+                "(gate: >= 3.0) -- %s\n",
+                speedup_s4_t4, headline_ok ? "OK" : "FAIL");
+  } else {
+    std::printf("\nscheduler speedup at 4 streams / 4 workers: %.2fx -- "
+                "gate skipped: only %u hardware thread(s); wall-clock "
+                "parallel speedup is unmeasurable here\n",
+                speedup_s4_t4, hardware_threads);
+  }
+  std::printf("bitwise identity across worker counts: %s\n",
+              sweep_identical ? "yes" : "NO");
+
   BenchJson json("appd_multistream");
   json.Set("streams", static_cast<double>(jobs.size()));
   json.Set("threads", static_cast<double>(pool.num_threads()));
@@ -239,7 +359,15 @@ int main(int argc, char** argv) {
   json.Set("joint_wall_s", joint_s);
   json.Set("independent_wall_s", indep_s);
   json.Set("streamset_independent_parity", streamset_parity ? "yes" : "no");
+  json.Set("hardware_threads", static_cast<double>(hardware_threads));
+  json.Set("engines_speedup_s4_t4", speedup_s4_t4);
+  for (const auto& [key, value] : sweep_metrics) json.Set(key, value);
+  json.Set("sweep_bitwise_identical", sweep_identical ? "yes" : "no");
+  json.Set("speedup_gate",
+           hardware_threads >= 4 ? (headline_ok ? "pass" : "fail") : "skipped");
   std::string path = json.Write();
   if (!path.empty()) std::printf("metrics written to %s\n", path.c_str());
-  return all_identical && streamset_parity ? 0 : 1;
+  return all_identical && streamset_parity && sweep_identical && headline_ok
+             ? 0
+             : 1;
 }

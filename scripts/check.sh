@@ -12,8 +12,22 @@
 # latter now also records model save/load wall time and serialized size) is
 # refreshed on every local check; all exit non-zero when a perf or parity
 # gate fails.
+# `--tsan` instead runs only the concurrency suite (thread pool, StreamSet
+# scheduler, sessions) under ThreadSanitizer in a separate build-tsan tree
+# and skips the benches: it is a race detector pass, not a perf gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSKY_SANITIZE=thread -DSKY_BUILD_BENCHES=OFF -DSKY_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j
+  cd build-tsan
+  ctest --output-on-failure -j \
+    -R "thread_pool_test|stream_set_test|stream_set_parallel_test|session_test"
+  echo "TSan concurrency suite passed"
+  exit 0
+fi
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j

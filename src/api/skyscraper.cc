@@ -86,6 +86,31 @@ Result<IngestSession> Skyscraper::StartIngest(SimTime start_time,
   return IngestSession(std::move(engine));
 }
 
+Result<core::StreamEngineJob> Skyscraper::MakeStreamJob(
+    SimTime start_time, core::EngineOptions options) const {
+  if (!model_.has_value()) {
+    return Status::FailedPrecondition(
+        "call Fit() or LoadModel() before MakeStreamJob()");
+  }
+  // Same resolution rule as StartIngest: provisioning fills only the fields
+  // the caller left unset.
+  if (!options.buffer_bytes.has_value()) {
+    options.buffer_bytes = resources_.buffer_bytes;
+  }
+  if (!options.cloud_budget_usd_per_interval.has_value()) {
+    options.cloud_budget_usd_per_interval =
+        resources_.cloud_budget_usd_per_interval;
+  }
+  core::StreamEngineJob job;
+  job.workload = workload_;
+  job.model = &*model_;
+  job.cluster = cluster_;
+  job.cost_model = &cost_model_;
+  job.options = std::move(options);
+  job.start_time = start_time;
+  return job;
+}
+
 Result<core::EngineResult> Skyscraper::Ingest(SimTime start_time,
                                               core::EngineOptions options) {
   if (!model_.has_value()) {

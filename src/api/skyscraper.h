@@ -6,6 +6,7 @@
 
 #include "api/ingest_session.h"
 #include "core/engine.h"
+#include "core/multi_stream.h"
 #include "core/offline.h"
 #include "core/workload.h"
 #include "sim/cluster_sim.h"
@@ -129,6 +130,25 @@ class Skyscraper {
   /// a re-Fit(), a LoadModel(), or a SetResources() call.
   Result<IngestSession> StartIngest(SimTime start_time,
                                     core::EngineOptions options = {});
+
+  /// Packages this facade's workload, model and provisioning as ONE stream
+  /// of a multi-stream deployment — the unit a core::StreamSet (or
+  /// RunStreamEngines) schedules. Build one facade per camera, Fit() (or
+  /// LoadModel()) each, collect their jobs, and hand them to
+  /// StreamSet::Create for jointly planned, fleet-scale ingestion:
+  ///
+  ///   std::vector<core::StreamEngineJob> jobs;
+  ///   for (auto& cam : cameras) jobs.push_back(*cam.sky.MakeStreamJob(t0));
+  ///   auto set = core::StreamSet::Create(std::move(jobs));
+  ///   set->RunToCompletion(&pool);
+  ///
+  /// Same Resources resolution as StartIngest: options fields the caller
+  /// left unset fill in from the provisioned Resources, explicit values
+  /// (even 0.0) always win. The job borrows this object's workload and
+  /// model — the same lifetime rules as a session. Requires a successful
+  /// Fit() or LoadModel().
+  Result<core::StreamEngineJob> MakeStreamJob(
+      SimTime start_time, core::EngineOptions options = {}) const;
 
   /// True once Fit() or LoadModel() has installed a model.
   bool fitted() const { return model_.has_value(); }

@@ -511,6 +511,17 @@ Status IngestionEngine::RunUntil(SimTime t) {
   return Status::Ok();
 }
 
+Status IngestionEngine::RunInterval() {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Start() the engine before RunInterval()");
+  }
+  do {
+    SKY_RETURN_NOT_OK(Step());
+  } while (!Done() && !AtPlanBoundary());
+  return Status::Ok();
+}
+
 Result<EngineResult> IngestionEngine::Run(SimTime start_time) {
   SKY_RETURN_NOT_OK(Start(start_time));
   while (!Done()) {

@@ -242,6 +242,13 @@ class IngestionEngine {
   /// Steps until the virtual clock reaches `t` (or the run completes).
   Status RunUntil(SimTime t);
 
+  /// Steps through the remainder of the current plan interval: to the next
+  /// plan boundary, or to completion. The unit of work a StreamSet worker
+  /// runs between boundary barriers — when the boundary this engine sits on
+  /// was already planned (InstallPlan), the whole interval runs without the
+  /// engine ever self-planning.
+  Status RunInterval();
+
   /// Arrival time of the next segment to ingest (== start_time + elapsed).
   SimTime CurrentTime() const;
 

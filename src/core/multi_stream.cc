@@ -1,7 +1,10 @@
 #include "core/multi_stream.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <utility>
 
 namespace sky::core {
@@ -9,6 +12,106 @@ namespace sky::core {
 int FairCoreShare(int cores, size_t num_streams) {
   if (num_streams == 0) return cores;
   return std::max(1, cores / static_cast<int>(num_streams));
+}
+
+Status JointPlanner::Plan(const std::vector<StreamPlanInput>& streams,
+                          double budget, std::vector<KnobPlan>* plans) {
+  if (plans == nullptr) {
+    return Status::InvalidArgument("null plans output");
+  }
+  if (streams.empty()) {
+    return Status::InvalidArgument("no streams to plan for");
+  }
+  if (!(budget > 0) || !std::isfinite(budget)) {
+    return Status::InvalidArgument("budget must be positive and finite");
+  }
+  last_groups_rebuilt_ = 0;
+  last_groups_rescaled_ = 0;
+
+  // Validate shapes and detect whether the (stream, category) -> group
+  // layout survived since the last call. Any layout change (streams added,
+  // removed, reordered into different category counts) invalidates every
+  // first_group, so the solver resets wholesale; per-stream content changes
+  // are handled below at group granularity.
+  bool relayout = cache_.size() != streams.size();
+  size_t total_groups = 0;
+  for (size_t v = 0; v < streams.size(); ++v) {
+    const StreamPlanInput& s = streams[v];
+    if (s.categories == nullptr) {
+      return Status::InvalidArgument("null categories in stream input");
+    }
+    size_t num_c = s.categories->NumCategories();
+    size_t num_k = s.categories->NumConfigs();
+    if (num_c == 0 || num_k == 0 || s.forecast.size() != num_c ||
+        s.config_costs.size() != num_k) {
+      return Status::InvalidArgument("stream input shape mismatch");
+    }
+    if (!relayout && (cache_[v].first_group != total_groups ||
+                      cache_[v].num_categories != num_c)) {
+      relayout = true;
+    }
+    total_groups += num_c;
+  }
+  if (relayout) {
+    solver_.Reset(total_groups);
+    cache_.assign(streams.size(), StreamCache{});
+    size_t g = 0;
+    for (size_t v = 0; v < streams.size(); ++v) {
+      cache_[v].first_group = g;
+      cache_[v].num_categories = streams[v].categories->NumCategories();
+      g += cache_[v].num_categories;
+    }
+  }
+
+  for (size_t v = 0; v < streams.size(); ++v) {
+    const StreamPlanInput& s = streams[v];
+    StreamCache& cached = cache_[v];
+    size_t num_k = s.categories->NumConfigs();
+    if (cached.categories != s.categories ||
+        cached.config_costs != s.config_costs) {
+      // Hull rebuild: the unscaled points of category c's group are
+      // (cost(k), qual(c, k)); the forecast enters only as the scale.
+      group_values_.resize(num_k);
+      for (size_t c = 0; c < cached.num_categories; ++c) {
+        for (size_t k = 0; k < num_k; ++k) {
+          group_values_[k] = s.categories->CenterQuality(c, k);
+        }
+        SKY_RETURN_NOT_OK(solver_.SetGroup(cached.first_group + c,
+                                           s.config_costs.data(),
+                                           group_values_.data(), num_k));
+        SKY_RETURN_NOT_OK(
+            solver_.ScaleGroup(cached.first_group + c, s.forecast[c]));
+        ++last_groups_rebuilt_;
+      }
+      cached.categories = s.categories;
+      cached.config_costs = s.config_costs;
+      cached.forecast = s.forecast;
+    } else {
+      for (size_t c = 0; c < cached.num_categories; ++c) {
+        if (s.forecast[c] == cached.forecast[c]) continue;
+        SKY_RETURN_NOT_OK(
+            solver_.ScaleGroup(cached.first_group + c, s.forecast[c]));
+        cached.forecast[c] = s.forecast[c];
+        ++last_groups_rescaled_;
+      }
+    }
+  }
+
+  SKY_RETURN_NOT_OK(solver_.Solve(budget, &solution_));
+  if (solution_.status == lp::MckpStatus::kInfeasible) {
+    return Status::ResourceExhausted(
+        "joint knob plan infeasible under the shared budget");
+  }
+
+  plans->clear();
+  plans->reserve(streams.size());
+  for (size_t v = 0; v < streams.size(); ++v) {
+    const StreamPlanInput& s = streams[v];
+    plans->push_back(ExtractPlanFromChoices(solution_, cache_[v].first_group,
+                                            *s.categories, s.forecast,
+                                            s.config_costs));
+  }
+  return Status::Ok();
 }
 
 Result<StreamSet> StreamSet::Create(std::vector<StreamEngineJob> jobs,
@@ -76,6 +179,14 @@ Status StreamSet::JointPlanBoundaryIfDue() {
     return Status::Internal("streams fell out of lockstep plan boundaries");
   }
 
+  auto boundary_start = std::chrono::steady_clock::now();
+  auto record_latency = [&] {
+    boundary_ms_.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() -
+                               boundary_start)
+                               .count());
+  };
+
   inputs_.clear();
   planned_.clear();
   double derived_budget = 0.0;
@@ -101,23 +212,39 @@ Status StreamSet::JointPlanBoundaryIfDue() {
   double budget = options_.shared_budget_core_s_per_video_s > 0.0
                       ? options_.shared_budget_core_s_per_video_s
                       : derived_budget;
-  Result<std::vector<KnobPlan>> plans = ComputeJointKnobPlan(
-      inputs_, budget, options_.planner_backend, &joint_ws_);
+  // kStructured boundaries run on the warm incremental planner (hull cache
+  // + warm-started MCKP frontier); the kSimplex oracle keeps the cold path.
+  Status solved;
+  if (options_.planner_backend == PlannerBackend::kStructured) {
+    solved = joint_planner_.Plan(inputs_, budget, &joint_plans_);
+  } else {
+    Result<std::vector<KnobPlan>> cold = ComputeJointKnobPlan(
+        inputs_, budget, options_.planner_backend, &joint_ws_);
+    solved = cold.status();
+    if (cold.ok()) joint_plans_ = std::move(*cold);
+  }
 
-  if (!plans.ok() &&
-      plans.status().code() == StatusCode::kResourceExhausted) {
-    // Budget fits no configuration anywhere: degrade every stream to its
+  if (!solved.ok() && solved.code() == StatusCode::kResourceExhausted) {
+    // Budget fits no configuration anywhere. A mid-run budget shock keeps
+    // the previous interval's installed plan (the switcher's buffer guard
+    // absorbs the overload) rather than collapsing to all-cheapest; only a
+    // stream with no plan yet — the very first boundary — degrades to its
     // own all-cheapest plan, mirroring the single-stream fallback.
     for (size_t idx = 0; idx < planned_.size(); ++idx) {
       size_t v = planned_[idx];
-      Status installed = engines_[v]->InstallPlan(
-          engines_[v]->FallbackPlan(engines_[v]->boundary_forecast()));
+      const KnobPlan* previous = engines_[v]->current_plan();
+      KnobPlan fallback =
+          previous != nullptr
+              ? *previous
+              : engines_[v]->FallbackPlan(engines_[v]->boundary_forecast());
+      Status installed = engines_[v]->InstallPlan(std::move(fallback));
       if (!installed.ok()) statuses_[v] = installed;
     }
+    record_latency();
     return Status::Ok();
   }
-  if (!plans.ok()) {
-    for (size_t v : planned_) statuses_[v] = plans.status();
+  if (!solved.ok()) {
+    for (size_t v : planned_) statuses_[v] = solved;
     return Status::Ok();
   }
 
@@ -139,7 +266,7 @@ Status StreamSet::JointPlanBoundaryIfDue() {
       pooled_credits += *opts.cloud_budget_usd_per_interval;
     }
     double burst_core_s =
-        std::max(0.0, (*plans)[idx].expected_work -
+        std::max(0.0, joint_plans_[idx].expected_work -
                           static_cast<double>(jobs_[v].cluster.cores)) *
         opts.plan_interval;
     needs[idx] = jobs_[v].cost_model->CoreSecondsToUsd(burst_core_s);
@@ -155,9 +282,10 @@ Status StreamSet::JointPlanBoundaryIfDue() {
       allotted = pooled_credits * needs[idx] / total_need;
     }
     Status installed =
-        engines_[v]->InstallPlan(std::move((*plans)[idx]), allotted);
+        engines_[v]->InstallPlan(std::move(joint_plans_[idx]), allotted);
     if (!installed.ok()) statuses_[v] = installed;
   }
+  record_latency();
   return Status::Ok();
 }
 
@@ -208,17 +336,6 @@ Status StreamSet::RunUntilElapsed(SimTime elapsed) {
   return Status::Ok();
 }
 
-namespace {
-/// Advances one engine through the remainder of its current plan interval
-/// (or to completion): the boundary it sits on must already be planned.
-Status StepInterval(IngestionEngine* engine) {
-  do {
-    SKY_RETURN_NOT_OK(engine->Step());
-  } while (!engine->Done() && !engine->AtPlanBoundary());
-  return Status::Ok();
-}
-}  // namespace
-
 Status StreamSet::RunToCompletion(dag::ThreadPool* pool) {
   if (options_.planning == MultiStreamPlanning::kIndependent) {
     // Streams are fully independent simulations: one stream per pool slot,
@@ -236,20 +353,80 @@ Status StreamSet::RunToCompletion(dag::ThreadPool* pool) {
     });
     return Status::Ok();
   }
-  // Joint mode: the joint solve at each lockstep boundary is serial (it
-  // couples the streams); between boundaries the streams are independent
-  // again, so each interval fans out one stream per pool slot. The step
-  // sequence per stream is identical to Step()-ing the set segment by
-  // segment — and to a single-stream engine everywhere but the plan.
-  while (!Done()) {
-    SKY_RETURN_NOT_OK(JointPlanBoundaryIfDue());
-    dag::ParallelFor(pool, engines_.size(), [&](size_t v) {
-      if (!Active(v)) return;
-      Status ran = StepInterval(engines_[v].get());
-      if (!ran.ok()) statuses_[v] = ran;
-    });
+
+  // Joint mode: sharded barrier scheduler. Streams are partitioned over a
+  // fixed worker set with stable affinity (stream v belongs to worker
+  // v % workers for the whole run); the calling thread is worker 0 and
+  // workers - 1 pool threads join it. Between boundaries every worker steps
+  // only its own shard through the plan interval — no shared mutable state,
+  // no locks. The lockstep plan boundary is the ONLY synchronization point:
+  // workers park at the barrier, its leader runs JointPlanBoundaryIfDue in
+  // a guaranteed single-threaded window (streams visited in index order,
+  // exactly as the Step() driver would), then everyone resumes. Results are
+  // bitwise-identical for any worker count — and to stepping the set
+  // manually — because engines are independent between boundaries and the
+  // planner sees the identical call sequence either way.
+  size_t workers = 1 + (pool == nullptr ? 0 : pool->num_threads());
+  workers = std::min(workers, engines_.size());
+  if (workers == 0) workers = 1;
+
+  dag::Barrier barrier(workers);
+  std::atomic<bool> stop{false};
+  Status boundary_status;  // leader writes pre-stop; read after the join
+
+  auto coordinate = [&] {
+    if (Done()) {
+      stop.store(true);
+      return;
+    }
+    try {
+      Status st = JointPlanBoundaryIfDue();
+      if (!st.ok()) {
+        boundary_status = st;
+        stop.store(true);
+      }
+    } catch (const std::exception& e) {
+      boundary_status = Status::Internal(e.what());
+      stop.store(true);
+    } catch (...) {
+      boundary_status = Status::Internal("joint plan boundary threw");
+      stop.store(true);
+    }
+  };
+  auto worker = [&](size_t w) {
+    for (;;) {
+      barrier.ArriveAndWait(coordinate);
+      if (stop.load()) return;
+      for (size_t v = w; v < engines_.size(); v += workers) {
+        if (!Active(v)) continue;
+        // Per-stream failures (error Status or a throwing workload) are
+        // recorded on the stream and never abandon the barrier protocol:
+        // the worker must keep arriving for its peers, or the set would
+        // deadlock on one bad stream.
+        try {
+          Status ran = engines_[v]->RunInterval();
+          if (!ran.ok()) statuses_[v] = ran;
+        } catch (const std::exception& e) {
+          statuses_[v] = Status::Internal(e.what());
+        } catch (...) {
+          statuses_[v] = Status::Internal("stream engine threw");
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker(0);
+    return boundary_status;
   }
-  return Status::Ok();
+  std::vector<std::future<void>> joined;
+  joined.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    joined.push_back(pool->SubmitWithFuture([&worker, w] { worker(w); }));
+  }
+  worker(0);
+  for (std::future<void>& f : joined) f.get();
+  return boundary_status;
 }
 
 std::vector<Result<EngineResult>> StreamSet::Results() const {

@@ -40,6 +40,57 @@ Result<std::vector<KnobPlan>> ComputeJointKnobPlan(
 /// floor(cores / num_streams), but at least 1.
 int FairCoreShare(int cores, size_t num_streams);
 
+/// Incremental joint knob planner — the warm plan-boundary path of a
+/// StreamSet. Semantically equivalent to ComputeJointKnobPlan with the
+/// structured backend (same hulls, same canonical edge order; objectives
+/// agree to fp accumulation order), but amortized O(groups + frontier
+/// movement) per boundary instead of a full O(n log n) rebuild:
+///
+///  - Per-(stream, category) concave hulls are cached inside an
+///    lp::IncrementalMckpSolver, keyed on the stream's (categories,
+///    config_costs). The joint program's coefficients for category c are
+///    r_c * (cost(k), qual(c, k)) — a uniform scaling of the cached points —
+///    and hulls are scale-invariant, so a forecast update is an O(1)
+///    ScaleGroup, never a hull rebuild.
+///  - The MCKP solve warm-starts from the previous boundary's optimal
+///    frontier and repairs it with heap exchanges; consecutive boundaries
+///    share almost all structure, so the frontier barely moves.
+///
+/// Hulls rebuild only when a stream's shape actually changes (stream set
+/// grew/shrank, costs changed) — the planner notices by itself. Not
+/// thread-safe; a StreamSet calls it only from boundary barriers.
+class JointPlanner {
+ public:
+  /// Plans all `streams` against the shared `budget`, one KnobPlan per
+  /// stream into `plans`. Same validation and error contract as
+  /// ComputeJointKnobPlan: kInvalidArgument on shape errors,
+  /// kResourceExhausted when even all-cheapest exceeds the budget (cached
+  /// state stays warm — a later feasible boundary still warm-starts).
+  Status Plan(const std::vector<StreamPlanInput>& streams, double budget,
+              std::vector<KnobPlan>* plans);
+
+  /// Instrumentation for benches/tests: how the last Plan() call touched
+  /// the cache — groups whose hull was (re)built vs. merely rescaled.
+  size_t last_groups_rebuilt() const { return last_groups_rebuilt_; }
+  size_t last_groups_rescaled() const { return last_groups_rescaled_; }
+
+ private:
+  struct StreamCache {
+    const ContentCategories* categories = nullptr;  ///< identity key
+    std::vector<double> config_costs;  ///< copy for the dirty check
+    std::vector<double> forecast;      ///< scales currently installed
+    size_t first_group = 0;
+    size_t num_categories = 0;
+  };
+
+  std::vector<StreamCache> cache_;
+  lp::IncrementalMckpSolver solver_;
+  lp::MckpSolution solution_;
+  std::vector<double> group_values_;  ///< SetGroup scratch: one quality row
+  size_t last_groups_rebuilt_ = 0;
+  size_t last_groups_rescaled_ = 0;
+};
+
 /// Everything needed to run one stream's ingestion engine in a multi-stream
 /// deployment: the stream's own workload and offline model (Appendix D),
 /// its core share, and its engine options.
@@ -107,6 +158,21 @@ class StreamSet {
   size_t num_streams() const { return engines_.size(); }
   MultiStreamPlanning planning() const { return options_.planning; }
 
+  /// Replaces the shared joint-planning budget (same semantics as
+  /// StreamSetOptions::shared_budget_core_s_per_video_s, including <= 0 for
+  /// "derive from the streams' own budgets"). Takes effect at the next plan
+  /// boundary — the live-reprovisioning handle.
+  void set_shared_budget(double core_s_per_video_s) {
+    options_.shared_budget_core_s_per_video_s = core_s_per_video_s;
+  }
+
+  /// Wall-clock milliseconds of every joint plan boundary solved so far
+  /// (PrepareBoundary through the last InstallPlan): the scheduler's tail
+  /// latency surface. Empty in independent mode.
+  const std::vector<double>& boundary_latencies_ms() const {
+    return boundary_ms_;
+  }
+
   /// True once no stream remains live (finished or failed).
   bool Done() const;
 
@@ -154,10 +220,14 @@ class StreamSet {
   std::vector<StreamEngineJob> jobs_;
   std::vector<std::unique_ptr<IngestionEngine>> engines_;
   std::vector<Status> statuses_;
-  /// Joint-solve scratch, reused across boundaries.
+  /// Warm incremental planner (kStructured joint boundaries).
+  JointPlanner joint_planner_;
+  std::vector<KnobPlan> joint_plans_;
+  /// Cold-solve scratch (kSimplex oracle boundaries), reused across calls.
   PlanWorkspace joint_ws_;
   std::vector<StreamPlanInput> inputs_;
   std::vector<size_t> planned_;
+  std::vector<double> boundary_ms_;
 };
 
 /// Runs every stream's ingestion engine, fanned out on `pool` (each stream

@@ -124,4 +124,29 @@ KnobPlan ExtractPlan(const PlanWorkspace& ws, size_t first_group,
   return plan;
 }
 
+KnobPlan ExtractPlanFromChoices(const lp::MckpSolution& solution,
+                                size_t first_group,
+                                const ContentCategories& categories,
+                                const std::vector<double>& forecast,
+                                const std::vector<double>& config_costs) {
+  size_t num_c = categories.NumCategories();
+  size_t num_k = categories.NumConfigs();
+  KnobPlan plan;
+  plan.alpha = ml::Matrix(num_c, num_k, 0.0);
+  plan.forecast = forecast;
+  for (size_t c = 0; c < num_c; ++c) {
+    const lp::MckpGroupChoice& choice = solution.choice[first_group + c];
+    double alpha_lo = 1.0 - choice.frac_hi;
+    plan.alpha.At(c, choice.lo) += alpha_lo;
+    plan.alpha.At(c, choice.hi) += choice.frac_hi;
+    plan.expected_quality +=
+        alpha_lo * forecast[c] * categories.CenterQuality(c, choice.lo);
+    plan.expected_quality +=
+        choice.frac_hi * forecast[c] * categories.CenterQuality(c, choice.hi);
+    plan.expected_work += alpha_lo * forecast[c] * config_costs[choice.lo];
+    plan.expected_work += choice.frac_hi * forecast[c] * config_costs[choice.hi];
+  }
+  return plan;
+}
+
 }  // namespace sky::core

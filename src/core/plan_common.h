@@ -63,6 +63,17 @@ KnobPlan ExtractPlan(const PlanWorkspace& ws, size_t first_group,
                      const std::vector<double>& forecast,
                      const std::vector<double>& config_costs);
 
+/// Extracts one stream's plan straight from an MCKP solution whose groups
+/// hold group-LOCAL option indices (the lp::IncrementalMckpSolver
+/// convention): group `first_group + c` is category c, its lo/hi are config
+/// indices. Expected quality/work are recomputed from the same coefficients
+/// ExtractPlan uses, so either extraction path reports comparable numbers.
+KnobPlan ExtractPlanFromChoices(const lp::MckpSolution& solution,
+                                size_t first_group,
+                                const ContentCategories& categories,
+                                const std::vector<double>& forecast,
+                                const std::vector<double>& config_costs);
+
 }  // namespace sky::core
 
 #endif  // SKYSCRAPER_CORE_PLAN_COMMON_H_

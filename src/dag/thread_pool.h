@@ -56,6 +56,45 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+/// Reusable cyclic barrier for a fixed set of participants — the single
+/// synchronization primitive of the StreamSet scheduler's plan boundaries.
+/// All participants block in ArriveAndWait until the last one arrives; that
+/// last arriver (the "leader" of the generation) runs `on_complete` while
+/// every other participant is still parked — a guaranteed single-threaded
+/// window — and then releases them all. The barrier then resets for the
+/// next generation, so one instance serves every boundary of a run.
+///
+/// The barrier's internal mutex orders each generation's completion callback
+/// against the next: writes made inside `on_complete` (or by any participant
+/// before arriving) happen-before every participant's return from
+/// ArriveAndWait, even when a different thread leads the next generation.
+class Barrier {
+ public:
+  /// `num_participants` must be >= 1 and exactly that many threads must call
+  /// ArriveAndWait per generation (a participant set fixed for the barrier's
+  /// lifetime — there is no arrive_and_drop; idle participants must keep
+  /// arriving).
+  explicit Barrier(size_t num_participants);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants have arrived. The last arriver runs
+  /// `on_complete` (when non-null) before anyone is released. If
+  /// `on_complete` throws, the barrier still releases the other
+  /// participants (no deadlock) and the exception propagates to the leader.
+  void ArriveAndWait(const std::function<void()>& on_complete = nullptr);
+
+  size_t num_participants() const { return participants_; }
+
+ private:
+  const size_t participants_;
+  size_t arrived_ = 0;
+  uint64_t generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
 /// Runs fn(i) for every i in [0, n) and blocks until all calls completed.
 /// The calling thread participates in the work, so nested ParallelFor calls
 /// sharing one pool cannot deadlock (an outer task waiting on an inner loop

@@ -81,6 +81,55 @@ TEST(SkyscraperApiTest, ExplicitEngineOptionsWinOverResources) {
   EXPECT_DOUBLE_EQ(without_cloud->cloud_usd, 0.0);
 }
 
+TEST(SkyscraperApiTest, MakeStreamJobPackagesTheFacadeForAFleet) {
+  workloads::EvCountingWorkload cam_a(11);
+  workloads::EvCountingWorkload cam_b(22);
+  Skyscraper sky_a(&cam_a);
+  Skyscraper sky_b(&cam_b);
+
+  // Requires a fitted (or loaded) model, like every serving entry point.
+  auto unfitted = sky_a.MakeStreamJob(Days(4));
+  EXPECT_FALSE(unfitted.ok());
+  EXPECT_EQ(unfitted.status().code(), StatusCode::kFailedPrecondition);
+
+  Resources res;
+  res.cores = 4;
+  res.cloud_budget_usd_per_interval = 1.0;
+  sky_a.SetResources(res);
+  sky_b.SetResources(res);
+  ASSERT_TRUE(sky_a.Fit(FastOffline()).ok());
+  ASSERT_TRUE(sky_b.Fit(FastOffline()).ok());
+
+  core::EngineOptions run;
+  run.duration = Hours(12);
+  run.plan_interval = Hours(4);
+  auto job_a = sky_a.MakeStreamJob(Days(4), run);
+  auto job_b = sky_b.MakeStreamJob(Days(4), run);
+  ASSERT_TRUE(job_a.ok()) << job_a.status().ToString();
+  ASSERT_TRUE(job_b.ok());
+  // Unset provisioning fields resolve from the facade's Resources, exactly
+  // like StartIngest.
+  ASSERT_TRUE(job_a->options.cloud_budget_usd_per_interval.has_value());
+  EXPECT_DOUBLE_EQ(*job_a->options.cloud_budget_usd_per_interval, 1.0);
+  ASSERT_TRUE(job_a->options.buffer_bytes.has_value());
+  EXPECT_EQ(*job_a->options.buffer_bytes, res.buffer_bytes);
+
+  // The jobs drive a StreamSet; independently planned, the fleet must
+  // reproduce each facade's own Ingest() bitwise.
+  auto ingest_a = sky_a.Ingest(Days(4), run);
+  auto ingest_b = sky_b.Ingest(Days(4), run);
+  ASSERT_TRUE(ingest_a.ok() && ingest_b.ok());
+  core::StreamSetOptions sopts;
+  sopts.planning = core::MultiStreamPlanning::kIndependent;
+  auto set = core::StreamSet::Create({*job_a, *job_b}, sopts);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_TRUE(set->RunToCompletion().ok());
+  auto results = set->Results();
+  ASSERT_TRUE(results[0].ok() && results[1].ok());
+  EXPECT_TRUE(core::EngineResultsIdentical(*ingest_a, *results[0]));
+  EXPECT_TRUE(core::EngineResultsIdentical(*ingest_b, *results[1]));
+}
+
 TEST(SkyscraperApiTest, SteppedSessionMatchesBatchIngestBitwise) {
   workloads::EvCountingWorkload job;
   Skyscraper sky(&job);

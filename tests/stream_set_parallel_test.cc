@@ -1,0 +1,199 @@
+// The StreamSet sharded barrier scheduler. Gates:
+//  - joint-mode results are BITWISE identical across worker counts
+//    {1, 2, 8} — and to the single-threaded Step()-driven lockstep path —
+//    including full traces (the determinism invariant of the scheduler);
+//  - a stream whose engine fails mid-run (error Status or a throwing
+//    workload) is recorded per-stream without deadlocking the boundary
+//    barrier: every other stream still completes, bitwise unchanged;
+//  - plan-boundary latency instrumentation records one sample per joint
+//    boundary regardless of the driver.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/multi_stream.h"
+#include "dag/thread_pool.h"
+#include "workloads/ev_counting.h"
+
+namespace sky::core {
+namespace {
+
+/// EvCountingWorkload that throws from MeasuredQuality once armed — the
+/// "user UDF crashed mid-run" stand-in. Same seed => same content process,
+/// so a model fitted on the plain workload stays valid for this one.
+class ThrowingWorkload : public workloads::EvCountingWorkload {
+ public:
+  explicit ThrowingWorkload(uint64_t seed)
+      : workloads::EvCountingWorkload(seed) {}
+
+  /// Throw on the `n`-th MeasuredQuality call from now; < 0 disarms.
+  void ArmAfter(long n) { remaining_ = n; }
+
+  double MeasuredQuality(const KnobConfig& config,
+                         const video::ContentState& content,
+                         Rng* rng) const override {
+    if (remaining_ >= 0 && remaining_-- == 0) {
+      throw std::runtime_error("injected workload failure");
+    }
+    return workloads::EvCountingWorkload::MeasuredQuality(config, content,
+                                                          rng);
+  }
+
+ private:
+  mutable long remaining_ = -1;
+};
+
+class StreamSetParallelTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kStreams = 5;
+
+  static void SetUpTestSuite() {
+    cluster_.cores = 4;
+    cost_model_ = new sim::CostModel(1.8);
+    OfflineOptions opts;
+    opts.segment_seconds = 4.0;
+    opts.train_horizon = Days(3);
+    opts.num_categories = 3;
+    opts.train_forecaster = false;  // keep the fixture fast
+    for (size_t s = 0; s < kStreams; ++s) {
+      workloads_[s] =
+          new workloads::EvCountingWorkload(static_cast<uint64_t>(8400 + s));
+      auto model =
+          RunOfflinePhase(*workloads_[s], cluster_, *cost_model_, opts);
+      ASSERT_TRUE(model.ok()) << model.status().ToString();
+      models_[s] = new OfflineModel(std::move(*model));
+    }
+  }
+  static void TearDownTestSuite() {
+    for (size_t s = 0; s < kStreams; ++s) {
+      delete models_[s];
+      delete workloads_[s];
+    }
+    delete cost_model_;
+  }
+
+  static std::vector<StreamEngineJob> MakeJobs() {
+    std::vector<StreamEngineJob> jobs;
+    for (size_t s = 0; s < kStreams; ++s) {
+      StreamEngineJob job;
+      job.workload = workloads_[s];
+      job.model = models_[s];
+      job.cluster = cluster_;
+      job.cost_model = cost_model_;
+      job.options.duration = Hours(6);
+      job.options.plan_interval = Hours(2);
+      job.options.cloud_budget_usd_per_interval = 1.0;
+      // Traces make the bitwise comparison maximally sensitive: every
+      // sampled point of every stream must match.
+      job.options.record_trace = true;
+      job.options.trace_resolution_s = 300.0;
+      job.start_time = Days(3);
+      jobs.push_back(job);
+    }
+    return jobs;
+  }
+
+  static workloads::EvCountingWorkload* workloads_[kStreams];
+  static OfflineModel* models_[kStreams];
+  static sim::ClusterSpec cluster_;
+  static sim::CostModel* cost_model_;
+};
+
+workloads::EvCountingWorkload* StreamSetParallelTest::workloads_[kStreams] =
+    {};
+OfflineModel* StreamSetParallelTest::models_[kStreams] = {};
+sim::ClusterSpec StreamSetParallelTest::cluster_;
+sim::CostModel* StreamSetParallelTest::cost_model_ = nullptr;
+
+TEST_F(StreamSetParallelTest, JointResultsBitwiseIdenticalAcrossWorkerCounts) {
+  // Reference: the segment-at-a-time Step() driver — the single-threaded
+  // lockstep path the scheduler must reproduce exactly.
+  auto reference = StreamSet::Create(MakeJobs(), StreamSetOptions{});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  while (!reference->Done()) ASSERT_TRUE(reference->Step().ok());
+  auto ref_results = reference->Results();
+  ASSERT_EQ(ref_results.size(), kStreams);
+  size_t boundaries = reference->boundary_latencies_ms().size();
+  EXPECT_EQ(boundaries, 3u);  // 6 h / 2 h intervals
+
+  // Worker counts 1 (no pool), 2 (caller + 1 pool thread), 8 (caller + 7).
+  dag::ThreadPool pool_of_1(1);
+  dag::ThreadPool pool_of_7(7);
+  struct Case {
+    const char* label;
+    dag::ThreadPool* pool;
+  } cases[] = {{"1 worker", nullptr},
+               {"2 workers", &pool_of_1},
+               {"8 workers", &pool_of_7}};
+  for (const Case& c : cases) {
+    auto set = StreamSet::Create(MakeJobs(), StreamSetOptions{});
+    ASSERT_TRUE(set.ok());
+    ASSERT_TRUE(set->RunToCompletion(c.pool).ok()) << c.label;
+    ASSERT_TRUE(set->Done()) << c.label;
+    EXPECT_EQ(set->boundary_latencies_ms().size(), boundaries) << c.label;
+    auto results = set->Results();
+    ASSERT_EQ(results.size(), kStreams);
+    for (size_t v = 0; v < kStreams; ++v) {
+      ASSERT_TRUE(ref_results[v].ok() && results[v].ok());
+      EXPECT_TRUE(EngineResultsIdentical(*ref_results[v], *results[v]))
+          << c.label << ", stream " << v;
+    }
+  }
+}
+
+TEST_F(StreamSetParallelTest, MidRunEngineErrorDoesNotDeadlockTheBarrier) {
+  // Reference for the healthy streams.
+  auto reference = StreamSet::Create(MakeJobs(), StreamSetOptions{});
+  ASSERT_TRUE(reference.ok());
+  while (!reference->Done()) ASSERT_TRUE(reference->Step().ok());
+  auto ref_results = reference->Results();
+
+  // Stream 2's workload starts throwing mid-run (well past Start()'s single
+  // measurement, well before the run ends). The worker that owns it must
+  // record the error and keep arriving at the barrier for its peers.
+  ThrowingWorkload bad(8402);
+  std::vector<StreamEngineJob> jobs = MakeJobs();
+  jobs[2].workload = &bad;
+  auto set = StreamSet::Create(jobs, StreamSetOptions{});
+  ASSERT_TRUE(set.ok());
+  bad.ArmAfter(40);
+  dag::ThreadPool pool(7);
+  ASSERT_TRUE(set->RunToCompletion(&pool).ok());
+  ASSERT_TRUE(set->Done());
+
+  auto results = set->Results();
+  ASSERT_EQ(results.size(), kStreams);
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_EQ(results[2].status().code(), StatusCode::kInternal);
+  for (size_t v = 0; v < kStreams; ++v) {
+    if (v == 2) continue;
+    ASSERT_TRUE(results[v].ok()) << "stream " << v;
+  }
+}
+
+TEST_F(StreamSetParallelTest, FailedStreamLeavesSurvivorsReplannedNotStuck) {
+  // After the poisoned stream dies, the remaining boundaries must still be
+  // solved (over the shrunken stream set) — survivors finish every segment.
+  ThrowingWorkload bad(8400);
+  std::vector<StreamEngineJob> jobs = MakeJobs();
+  jobs[0].workload = &bad;
+  auto set = StreamSet::Create(jobs, StreamSetOptions{});
+  ASSERT_TRUE(set.ok());
+  bad.ArmAfter(10);
+  dag::ThreadPool pool(3);
+  ASSERT_TRUE(set->RunToCompletion(&pool).ok());
+  ASSERT_TRUE(set->Done());
+  size_t expected_segments = static_cast<size_t>(Hours(6) / 4.0);
+  auto results = set->Results();
+  EXPECT_FALSE(results[0].ok());
+  for (size_t v = 1; v < kStreams; ++v) {
+    ASSERT_TRUE(results[v].ok()) << "stream " << v;
+    EXPECT_EQ(results[v]->segments, expected_segments);
+  }
+}
+
+}  // namespace
+}  // namespace sky::core

@@ -274,6 +274,73 @@ TEST_F(StreamSetTest, JointModeMovesPooledCloudCreditsBetweenStreams) {
             pooled_cap + 1e-9);
 }
 
+TEST_F(StreamSetTest, InfeasibleMidRunBoundaryReusesThePreviousPlan) {
+  // The first boundary solves under the default (generous) budget; then the
+  // shared budget collapses below the cheapest feasible point. Later
+  // boundaries must keep the last good plans — not panic down to the
+  // all-cheapest fallback — and the run must still complete.
+  auto set = StreamSet::Create(MakeJobs(), StreamSetOptions{});
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(set->Step().ok());  // installs the first boundary's plans
+  std::vector<std::vector<double>> good_alphas;
+  for (size_t v = 0; v < kStreams; ++v) {
+    ASSERT_NE(set->engine(v)->current_plan(), nullptr);
+    good_alphas.push_back(set->engine(v)->current_plan()->alpha.data());
+  }
+
+  set->set_shared_budget(1e-4);  // infeasible from the next boundary on
+  ASSERT_TRUE(set->RunToCompletion().ok());
+  ASSERT_TRUE(set->Done());
+  for (size_t v = 0; v < kStreams; ++v) {
+    ASSERT_TRUE(set->Results()[v].ok()) << "stream " << v;
+    const KnobPlan* last = set->engine(v)->current_plan();
+    ASSERT_NE(last, nullptr);
+    // The final interval still runs the boundary-1 plan verbatim...
+    EXPECT_EQ(last->alpha.data(), good_alphas[v]) << "stream " << v;
+    // ...which is not the all-cheapest emergency plan.
+    KnobPlan cheapest =
+        set->engine(v)->FallbackPlan(set->engine(v)->boundary_forecast());
+    EXPECT_NE(last->alpha.data(), cheapest.alpha.data()) << "stream " << v;
+  }
+}
+
+TEST_F(StreamSetTest, FirstBoundaryInfeasibleFallsBackToAllCheapest) {
+  // With no previously installed plan to reuse, an infeasible first
+  // boundary degrades to each engine's all-cheapest fallback plan.
+  StreamSetOptions opts;
+  opts.shared_budget_core_s_per_video_s = 1e-4;
+  auto set = StreamSet::Create(MakeJobs(), opts);
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(set->Step().ok());
+  for (size_t v = 0; v < kStreams; ++v) {
+    const KnobPlan* plan = set->engine(v)->current_plan();
+    ASSERT_NE(plan, nullptr);
+    KnobPlan cheapest =
+        set->engine(v)->FallbackPlan(set->engine(v)->boundary_forecast());
+    EXPECT_EQ(plan->alpha.data(), cheapest.alpha.data()) << "stream " << v;
+  }
+  ASSERT_TRUE(set->RunToCompletion().ok());
+  for (const auto& r : set->Results()) ASSERT_TRUE(r.ok());
+}
+
+TEST_F(StreamSetTest, BoundaryLatenciesRecordedPerJointBoundary) {
+  auto set = StreamSet::Create(MakeJobs(), StreamSetOptions{});
+  ASSERT_TRUE(set.ok());
+  EXPECT_TRUE(set->boundary_latencies_ms().empty());
+  ASSERT_TRUE(set->RunToCompletion().ok());
+  // 6 h duration / 2 h intervals = 3 joint boundaries.
+  ASSERT_EQ(set->boundary_latencies_ms().size(), 3u);
+  for (double ms : set->boundary_latencies_ms()) EXPECT_GE(ms, 0.0);
+
+  // Independent mode has no joint boundaries to time.
+  StreamSetOptions iopts;
+  iopts.planning = MultiStreamPlanning::kIndependent;
+  auto indep = StreamSet::Create(MakeJobs(), iopts);
+  ASSERT_TRUE(indep.ok());
+  ASSERT_TRUE(indep->RunToCompletion().ok());
+  EXPECT_TRUE(indep->boundary_latencies_ms().empty());
+}
+
 TEST_F(StreamSetTest, RunUntilElapsedAdvancesTheSharedClock) {
   auto set = StreamSet::Create(MakeJobs(), StreamSetOptions{});
   ASSERT_TRUE(set.ok());
