@@ -25,6 +25,7 @@
 #include "bench_common.h"
 #include "core/forecaster.h"
 #include "dag/thread_pool.h"
+#include "ml/kernels.h"
 #include "ml/nn.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -129,6 +130,8 @@ int main(int argc, char** argv) {
 
   size_t max_threads = BenchThreads(argc, argv);
   BenchJson json("forecast_training");
+  json.Set("kernel_backend",
+           ml::KernelBackendName(ml::ActiveKernelBackend()));
   json.Set("threads", static_cast<double>(max_threads));
   json.Set("samples", static_cast<double>(samples));
   json.Set("features", static_cast<double>(data->inputs.cols()));
@@ -165,6 +168,32 @@ int main(int argc, char** argv) {
   double batched_1t_s = 0.0;
   std::vector<double> batched_1t =
       train_once(ml::TrainBackend::kBatched, nullptr, &batched_1t_s);
+
+  // SIMD vs scalar kernels under the batched backend. The f64 micro-kernels
+  // are bitwise-identical to the scalar oracle by contract, so the trained
+  // weights must match bit for bit — only wall time may differ.
+  ml::KernelBackend active_backend = ml::ActiveKernelBackend();
+  double scalar_kernel_s = batched_1t_s;
+  bool kernels_bitwise = true;
+  bool has_vector_tier = active_backend != ml::KernelBackend::kScalar;
+  if (has_vector_tier) {
+    if (!ml::SetKernelBackend(ml::KernelBackend::kScalar).ok()) {
+      std::printf("FAILED: could not force scalar kernels\n");
+      return 1;
+    }
+    std::vector<double> scalar_weights =
+        train_once(ml::TrainBackend::kBatched, nullptr, &scalar_kernel_s);
+    if (!ml::SetKernelBackend(active_backend).ok()) {
+      std::printf("FAILED: could not restore %s kernels\n",
+                  ml::KernelBackendName(active_backend).c_str());
+      return 1;
+    }
+    kernels_bitwise = scalar_weights == batched_1t;
+  }
+  json.Set("scalar_kernel_net_s", scalar_kernel_s);
+  json.Set("simd_kernel_training_speedup",
+           batched_1t_s > 0 ? scalar_kernel_s / batched_1t_s : 0.0);
+  json.Set("simd_scalar_weights_identical", kernels_bitwise ? "yes" : "no");
 
   // Parity: batched and per-sample follow the same optimization trajectory;
   // only the kernels' summation association differs.
@@ -204,6 +233,17 @@ int main(int argc, char** argv) {
                 TablePrinter::Fmt(per_sample_s, 3) + " s",
                 TablePrinter::Fmt(batched_1t_s, 3) + " s",
                 TablePrinter::Fmt(net_speedup, 1) + "x"});
+  if (has_vector_tier) {
+    table.AddRow({"net training (scalar kernels)",
+                  TablePrinter::Fmt(scalar_kernel_s, 3) + " s",
+                  TablePrinter::Fmt(batched_1t_s, 3) + " s (" +
+                      ml::KernelBackendName(active_backend) + ")",
+                  TablePrinter::Fmt(batched_1t_s > 0
+                                        ? scalar_kernel_s / batched_1t_s
+                                        : 0.0,
+                                    2) +
+                      "x"});
+  }
   table.AddRow({"whole step",
                 TablePrinter::Fmt(step_reference_s, 3) + " s",
                 TablePrinter::Fmt(step_batched_s, 3) + " s",
@@ -248,6 +288,10 @@ int main(int argc, char** argv) {
   }
   if (parity > 1e-6) {
     std::printf("FAILED: batched/per-sample parity drift above 1e-6\n");
+    return 1;
+  }
+  if (!kernels_bitwise) {
+    std::printf("FAILED: SIMD kernels changed the trained weights\n");
     return 1;
   }
   if (step_speedup < 3.0) {

@@ -16,6 +16,7 @@
 #include "core/offline.h"
 #include "dag/thread_pool.h"
 #include "io/model_io.h"
+#include "ml/kernels.h"
 #include "util/table.h"
 #include "workloads/covid.h"
 
@@ -122,6 +123,8 @@ int main(int argc, char** argv) {
               roundtrip_identical ? "bit-identical" : "DIFFERS (bug!)");
 
   BenchJson json("table3_offline_runtime");
+  json.Set("kernel_backend",
+           sky::ml::KernelBackendName(sky::ml::ActiveKernelBackend()));
   json.Set("threads", static_cast<double>(hw_threads));
   json.Set("serial_wall_s", serial_s);
   json.Set("parallel_wall_s", parallel_s);

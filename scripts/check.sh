@@ -8,13 +8,14 @@
 # flow (offline -> save -> load -> ingest as separate processes), the docs
 # link check, and the gating benches so the trajectory
 # (BENCH_planner_scaling.json, BENCH_forecast_training.json,
-# BENCH_appd_multistream.json, BENCH_table3_offline_runtime.json — the
-# latter now also records model save/load wall time and serialized size) is
+# BENCH_appd_multistream.json, BENCH_table3_offline_runtime.json,
+# BENCH_forecast_inference.json — kernel-tier and f32-precision gates) is
 # refreshed on every local check; all exit non-zero when a perf or parity
 # gate fails.
 # `--tsan` instead runs only the concurrency suite (thread pool, StreamSet
-# scheduler, sessions) under ThreadSanitizer in a separate build-tsan tree
-# and skips the benches: it is a race detector pass, not a perf gate.
+# scheduler, sessions, kernel-dispatch first use) under ThreadSanitizer in a
+# separate build-tsan tree and skips the benches: it is a race detector
+# pass, not a perf gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +25,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j
   cd build-tsan
   ctest --output-on-failure -j \
-    -R "thread_pool_test|stream_set_test|stream_set_parallel_test|session_test"
+    -R "thread_pool_test|stream_set_test|stream_set_parallel_test|session_test|kernels_test"
   echo "TSan concurrency suite passed"
   exit 0
 fi
@@ -57,3 +58,4 @@ cd build
 ./bench_forecast_training
 ./bench_appd_multistream
 ./bench_table3_offline_runtime
+./bench_forecast_inference

@@ -69,7 +69,10 @@ struct Resources {
 ///
 /// EngineOptions fields the caller sets explicitly always win; only
 /// provisioning fields left unset (buffer_bytes, cloud budget) are filled
-/// in from the Resources given to SetResources. In particular an explicit
+/// in from the Resources given to SetResources. Notable knobs:
+/// `forecast_precision = ml::Precision::kF32` switches boundary-forecast
+/// inference to the SIMD f32 path (docs/precision.md; everything else,
+/// including training, stays f64). In particular an explicit
 /// `cloud_budget_usd_per_interval = 0.0` disables cloud bursting even when
 /// the provisioned Resources grant credits.
 class Skyscraper {

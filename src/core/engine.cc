@@ -148,7 +148,8 @@ void IngestionEngine::ComputeBoundaryForecastInto(std::vector<double>* out) {
     // allocates at steady state.
     forecaster->FeaturesFromHistoryInto(s.history, model_->segment_seconds,
                                         &scratch_.features);
-    forecaster->ForecastInto(scratch_.features, out);
+    forecaster->ForecastInto(scratch_.features, options_.forecast_precision,
+                             out);
   } else if (!s.history.empty()) {
     CategoryHistogramInto(s.history, 0, s.history.size(), num_c, out);
   } else {

@@ -1,0 +1,171 @@
+// AArch64 NEON micro-kernels — the 2-wide-f64 / 4-wide-f32 twin of
+// kernels_avx2.cc. NEON is baseline on AArch64, so this TU needs no special
+// compile flags; on every other architecture it compiles to a null
+// registration. The f64 kernels keep the scalar oracle's per-element mul/add
+// sequence (vmulq/vaddq are element-wise IEEE ops, and no -ffp-contract
+// concern arises because no source-level a*b+c expressions exist here), so
+// they are bitwise-identical to ScalarKernelOps(); the f32 matvec uses fused
+// vfmaq under the documented tolerance contract.
+
+#include "ml/kernels.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace sky::ml {
+
+namespace {
+
+inline float64x2_t QuadTerm(float64x2_t v0, const double* b0, float64x2_t v1,
+                            const double* b1, float64x2_t v2, const double* b2,
+                            float64x2_t v3, const double* b3) {
+  return vaddq_f64(
+      vaddq_f64(vmulq_f64(v0, vld1q_f64(b0)), vmulq_f64(v1, vld1q_f64(b1))),
+      vaddq_f64(vmulq_f64(v2, vld1q_f64(b2)), vmulq_f64(v3, vld1q_f64(b3))));
+}
+
+void NeonGemmRowF64(const double* a, size_t k0, size_t k1, const double* b,
+                    size_t ldb, double* out, size_t m) {
+  size_t j = 0;
+  // 8-column register tile held across the whole k range.
+  for (; j + 8 <= m; j += 8) {
+    float64x2_t acc0 = vld1q_f64(out + j);
+    float64x2_t acc1 = vld1q_f64(out + j + 2);
+    float64x2_t acc2 = vld1q_f64(out + j + 4);
+    float64x2_t acc3 = vld1q_f64(out + j + 6);
+    size_t k = k0;
+    for (; k + 4 <= k1; k += 4) {
+      float64x2_t v0 = vdupq_n_f64(a[k]);
+      float64x2_t v1 = vdupq_n_f64(a[k + 1]);
+      float64x2_t v2 = vdupq_n_f64(a[k + 2]);
+      float64x2_t v3 = vdupq_n_f64(a[k + 3]);
+      const double* b0 = b + k * ldb + j;
+      const double* b1 = b + (k + 1) * ldb + j;
+      const double* b2 = b + (k + 2) * ldb + j;
+      const double* b3 = b + (k + 3) * ldb + j;
+      acc0 = vaddq_f64(acc0, QuadTerm(v0, b0, v1, b1, v2, b2, v3, b3));
+      acc1 = vaddq_f64(acc1,
+                       QuadTerm(v0, b0 + 2, v1, b1 + 2, v2, b2 + 2, v3,
+                                b3 + 2));
+      acc2 = vaddq_f64(acc2,
+                       QuadTerm(v0, b0 + 4, v1, b1 + 4, v2, b2 + 4, v3,
+                                b3 + 4));
+      acc3 = vaddq_f64(acc3,
+                       QuadTerm(v0, b0 + 6, v1, b1 + 6, v2, b2 + 6, v3,
+                                b3 + 6));
+    }
+    for (; k < k1; ++k) {
+      float64x2_t v = vdupq_n_f64(a[k]);
+      const double* brow = b + k * ldb + j;
+      acc0 = vaddq_f64(acc0, vmulq_f64(v, vld1q_f64(brow)));
+      acc1 = vaddq_f64(acc1, vmulq_f64(v, vld1q_f64(brow + 2)));
+      acc2 = vaddq_f64(acc2, vmulq_f64(v, vld1q_f64(brow + 4)));
+      acc3 = vaddq_f64(acc3, vmulq_f64(v, vld1q_f64(brow + 6)));
+    }
+    vst1q_f64(out + j, acc0);
+    vst1q_f64(out + j + 2, acc1);
+    vst1q_f64(out + j + 4, acc2);
+    vst1q_f64(out + j + 6, acc3);
+  }
+  for (; j + 2 <= m; j += 2) {
+    float64x2_t acc = vld1q_f64(out + j);
+    size_t k = k0;
+    for (; k + 4 <= k1; k += 4) {
+      acc = vaddq_f64(
+          acc, QuadTerm(vdupq_n_f64(a[k]), b + k * ldb + j,
+                        vdupq_n_f64(a[k + 1]), b + (k + 1) * ldb + j,
+                        vdupq_n_f64(a[k + 2]), b + (k + 2) * ldb + j,
+                        vdupq_n_f64(a[k + 3]), b + (k + 3) * ldb + j));
+    }
+    for (; k < k1; ++k) {
+      acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(a[k]),
+                                     vld1q_f64(b + k * ldb + j)));
+    }
+    vst1q_f64(out + j, acc);
+  }
+  if (j < m) {
+    ScalarKernelOps()->gemm_row_f64(a, k0, k1, b + j, ldb, out + j, m - j);
+  }
+}
+
+void NeonAxpy4F64(double d0, const double* v0, double d1, const double* v1,
+                  double d2, const double* v2, double d3, const double* v3,
+                  double* out, size_t m) {
+  float64x2_t w0 = vdupq_n_f64(d0);
+  float64x2_t w1 = vdupq_n_f64(d1);
+  float64x2_t w2 = vdupq_n_f64(d2);
+  float64x2_t w3 = vdupq_n_f64(d3);
+  size_t c = 0;
+  for (; c + 2 <= m; c += 2) {
+    float64x2_t acc = vld1q_f64(out + c);
+    acc = vaddq_f64(acc,
+                    QuadTerm(w0, v0 + c, w1, v1 + c, w2, v2 + c, w3, v3 + c));
+    vst1q_f64(out + c, acc);
+  }
+  if (c < m) {
+    ScalarKernelOps()->axpy4_f64(d0, v0 + c, d1, v1 + c, d2, v2 + c, d3,
+                                 v3 + c, out + c, m - c);
+  }
+}
+
+void NeonAxpy1F64(double d, const double* v, double* out, size_t m) {
+  float64x2_t w = vdupq_n_f64(d);
+  size_t c = 0;
+  for (; c + 2 <= m; c += 2) {
+    float64x2_t acc = vld1q_f64(out + c);
+    acc = vaddq_f64(acc, vmulq_f64(w, vld1q_f64(v + c)));
+    vst1q_f64(out + c, acc);
+  }
+  if (c < m) ScalarKernelOps()->axpy1_f64(d, v + c, out + c, m - c);
+}
+
+void NeonDenseMatVecF32(const float* wt, const float* bias, const float* x,
+                        float* y, size_t rows, size_t cols) {
+  // Column-major accumulation over the transposed weights (see kernels.h):
+  // 4-wide FMAs straight down the output rows, no horizontal reduction.
+  size_t r = 0;
+  for (; r + 8 <= rows; r += 8) {
+    float32x4_t acc0 = vld1q_f32(bias + r);
+    float32x4_t acc1 = vld1q_f32(bias + r + 4);
+    for (size_t c = 0; c < cols; ++c) {
+      float32x4_t xc = vdupq_n_f32(x[c]);
+      const float* wcol = wt + c * rows + r;
+      acc0 = vfmaq_f32(acc0, xc, vld1q_f32(wcol));
+      acc1 = vfmaq_f32(acc1, xc, vld1q_f32(wcol + 4));
+    }
+    vst1q_f32(y + r, acc0);
+    vst1q_f32(y + r + 4, acc1);
+  }
+  for (; r + 4 <= rows; r += 4) {
+    float32x4_t acc = vld1q_f32(bias + r);
+    for (size_t c = 0; c < cols; ++c) {
+      acc = vfmaq_f32(acc, vdupq_n_f32(x[c]), vld1q_f32(wt + c * rows + r));
+    }
+    vst1q_f32(y + r, acc);
+  }
+  for (; r < rows; ++r) {
+    float s = bias[r];
+    for (size_t c = 0; c < cols; ++c) s += x[c] * wt[c * rows + r];
+    y[r] = s;
+  }
+}
+
+constexpr KernelOps kNeonOps = {
+    KernelBackend::kNeon, NeonGemmRowF64,      NeonAxpy4F64,
+    NeonAxpy1F64,         NeonDenseMatVecF32,
+};
+
+}  // namespace
+
+const KernelOps* NeonKernelOps() { return &kNeonOps; }
+
+}  // namespace sky::ml
+
+#else  // !(__aarch64__ && __ARM_NEON)
+
+namespace sky::ml {
+const KernelOps* NeonKernelOps() { return nullptr; }
+}  // namespace sky::ml
+
+#endif

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+
+#include "ml/kernels.h"
 
 namespace sky::ml {
 
@@ -17,6 +20,16 @@ namespace {
 /// bitwise (see the header docs).
 constexpr size_t kBlockRows = 64;
 constexpr size_t kBlockInner = 128;
+
+/// Debug-only check behind the no-aliasing contract the __restrict inner
+/// loops and the dispatched kernels assume (see the matrix.h docs). Compares
+/// through uintptr_t so unrelated allocations are comparable.
+inline bool RangesOverlap(const void* a, size_t a_bytes, const void* b,
+                          size_t b_bytes) {
+  auto lo_a = reinterpret_cast<uintptr_t>(a);
+  auto lo_b = reinterpret_cast<uintptr_t>(b);
+  return lo_a < lo_b + b_bytes && lo_b < lo_a + a_bytes;
+}
 
 }  // namespace
 
@@ -97,23 +110,28 @@ void Matrix::Fill(double v) {
 }
 
 void Matrix::AddOuterProduct(const double* u, const double* v, double alpha) {
-  // restrict lets the row updates vectorize: u/v never alias data_ in any
-  // caller (gradients accumulate activations into a separate matrix).
-  const double* __restrict vv = v;
+  // The no-aliasing contract from the header, enforced in debug builds: the
+  // kernels (and the __restrict the scalar oracle carries) assume u/v never
+  // overlap this matrix's storage.
+  assert(!RangesOverlap(u, rows_ * sizeof(double), data_.data(),
+                        data_.size() * sizeof(double)));
+  assert(!RangesOverlap(v, cols_ * sizeof(double), data_.data(),
+                        data_.size() * sizeof(double)));
+  const KernelOps& kernels = ActiveKernels();
   for (size_t r = 0; r < rows_; ++r) {
     double d = alpha * u[r];
     if (d == 0.0) continue;
-    double* __restrict row = RowPtr(r);
-    for (size_t c = 0; c < cols_; ++c) row[c] += d * vv[c];
+    kernels.axpy1_f64(d, v, RowPtr(r), cols_);
   }
 }
 
 namespace {
 
 /// Shared row-major GEMM: out = a * b (+ bias broadcast over rows). The
-/// inner kernel contracts four b rows per pass over the output row, so one
-/// out-row load/store amortizes four rank-1 contributions — the memory-bound
-/// limiter of the naive i-k-j loop. i/k blocking keeps the active b panel
+/// k-range contraction per output row is a dispatched micro-kernel
+/// (ml::KernelOps::gemm_row_f64): four b rows per pass in a fixed
+/// association, vector-tiled on AVX2/NEON hosts and bitwise-identical to the
+/// scalar oracle either way. i/k blocking keeps the active b panel
 /// cache-resident on large operands; the contraction and block order are a
 /// fixed function of the shapes, so results are fully deterministic.
 void MatMulRowMajorImpl(const Matrix& a, const Matrix& b, const double* bias,
@@ -132,6 +150,7 @@ void MatMulRowMajorImpl(const Matrix& a, const Matrix& b, const double* bias,
     }
     return;
   }
+  const KernelOps& kernels = ActiveKernels();
   for (size_t i0 = 0; i0 < n; i0 += kBlockRows) {
     size_t i1 = std::min(n, i0 + kBlockRows);
     for (size_t k0 = 0; k0 < kdim; k0 += kBlockInner) {
@@ -145,24 +164,7 @@ void MatMulRowMajorImpl(const Matrix& a, const Matrix& b, const double* bias,
             for (size_t j = 0; j < m; ++j) orow[j] = bias[j];
           }
         }
-        const double* __restrict arow = a.RowPtr(i);
-        size_t k = k0;
-        for (; k + 4 <= k1; k += 4) {
-          double v0 = arow[k], v1 = arow[k + 1];
-          double v2 = arow[k + 2], v3 = arow[k + 3];
-          const double* __restrict b0 = b.RowPtr(k);
-          const double* __restrict b1 = b.RowPtr(k + 1);
-          const double* __restrict b2 = b.RowPtr(k + 2);
-          const double* __restrict b3 = b.RowPtr(k + 3);
-          for (size_t j = 0; j < m; ++j) {
-            orow[j] += (v0 * b0[j] + v1 * b1[j]) + (v2 * b2[j] + v3 * b3[j]);
-          }
-        }
-        for (; k < k1; ++k) {
-          double v = arow[k];
-          const double* __restrict brow = b.RowPtr(k);
-          for (size_t j = 0; j < m; ++j) orow[j] += v * brow[j];
-        }
+        kernels.gemm_row_f64(a.RowPtr(i), k0, k1, b.RowPtr(0), m, orow, m);
       }
     }
   }
@@ -188,23 +190,22 @@ void MatMulTransposedAInto(const Matrix& a, const Matrix& b, Matrix* out) {
   out->Fill(0.0);
   // Rank-4 updates in ascending row (= sample) order: out is the small
   // gradient matrix and stays cache-resident while a and b stream by, and
-  // four samples share each pass over an out row.
+  // four samples share each pass over an out row. The quad update is the
+  // dispatched axpy4 kernel — same fixed association on every backend.
+  const KernelOps& kernels = ActiveKernels();
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const double* __restrict u0 = a.RowPtr(i);
     const double* __restrict u1 = a.RowPtr(i + 1);
     const double* __restrict u2 = a.RowPtr(i + 2);
     const double* __restrict u3 = a.RowPtr(i + 3);
-    const double* __restrict v0 = b.RowPtr(i);
-    const double* __restrict v1 = b.RowPtr(i + 1);
-    const double* __restrict v2 = b.RowPtr(i + 2);
-    const double* __restrict v3 = b.RowPtr(i + 3);
+    const double* v0 = b.RowPtr(i);
+    const double* v1 = b.RowPtr(i + 1);
+    const double* v2 = b.RowPtr(i + 2);
+    const double* v3 = b.RowPtr(i + 3);
     for (size_t r = 0; r < mr; ++r) {
-      double d0 = u0[r], d1 = u1[r], d2 = u2[r], d3 = u3[r];
-      double* __restrict orow = out->RowPtr(r);
-      for (size_t c = 0; c < mc; ++c) {
-        orow[c] += (d0 * v0[c] + d1 * v1[c]) + (d2 * v2[c] + d3 * v3[c]);
-      }
+      kernels.axpy4_f64(u0[r], v0, u1[r], v1, u2[r], v2, u3[r], v3,
+                        out->RowPtr(r), mc);
     }
   }
   for (; i < n; ++i) {

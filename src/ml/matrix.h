@@ -52,6 +52,11 @@ class Matrix {
   /// rows() and v of length cols(). Rows whose alpha * u[r] is exactly zero
   /// are skipped — the same shortcut the per-sample backprop loops take, so
   /// batched gradient accumulation stays bitwise-comparable to them.
+  ///
+  /// Contract: u and v must NOT alias this matrix's storage (the dispatched
+  /// kernels and the __restrict inner loops assume it; debug builds assert).
+  /// Every current caller accumulates activations into a separate gradient
+  /// matrix, so the contract is free — it is stated so it stays true.
   void AddOuterProduct(const double* u, const double* v, double alpha = 1.0);
 
   const std::vector<double>& data() const { return data_; }
@@ -69,6 +74,13 @@ class Matrix {
 /// contraction order is a fixed function of the shape, so results are
 /// deterministic — run-to-run and thread-count-proof — though rounded
 /// differently than a strictly sequential sum.
+///
+/// The k-contraction runs on the dispatched vector micro-kernels
+/// (ml/kernels.h: AVX2/NEON when the host has them, scalar oracle
+/// otherwise); every backend is bitwise-identical, so the choice never
+/// changes results, only wall time. `out` must not alias a or b (asserted),
+/// and a/b/out must be distinct allocations — the kernels' pointer
+/// arguments carry a no-aliasing contract.
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Fused affine map: out = a * b + bias, with bias (b.cols() entries)

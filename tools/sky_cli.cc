@@ -69,6 +69,9 @@ ingest flags:
   --plan-interval-days D  knob-planner period (default: the span the
                           model's forecaster was trained for)
   --seed S              engine noise seed                   (default 71)
+  --precision f64|f32   boundary-forecast inference arithmetic (default f64;
+                        f32 uses the SIMD reduced-precision path, see
+                        docs/precision.md)
 
 inspect flags:
   --model PATH          model file to describe              (required)
@@ -93,6 +96,7 @@ struct Flags {
   double duration_days = 1.0;
   double plan_interval_days = -1.0;  ///< -1 = derive from the loaded model
   uint64_t engine_seed = 71;
+  std::string precision = "f64";  ///< boundary-forecast inference precision
 };
 
 /// Parses "--flag value" / "--flag=value" pairs; returns false on an unknown
@@ -126,6 +130,7 @@ bool ParseFlags(int argc, char** argv, Flags* f) {
     else if (arg == "--start-days") f->start_days = std::atof(value.c_str());
     else if (arg == "--duration-days") f->duration_days = std::atof(value.c_str());
     else if (arg == "--plan-interval-days") f->plan_interval_days = std::atof(value.c_str());
+    else if (arg == "--precision") f->precision = value;
     else {
       std::fprintf(stderr, "sky: unknown flag %s\n", arg.c_str());
       return false;
@@ -246,6 +251,13 @@ int RunIngest(const Flags& f) {
   opts.duration = Days(f.duration_days);
   opts.plan_interval = Days(plan_interval_days);
   opts.seed = f.engine_seed;
+  if (f.precision == "f32") {
+    opts.forecast_precision = sky::ml::Precision::kF32;
+  } else if (f.precision != "f64") {
+    std::fprintf(stderr, "sky: --precision must be f64 or f32, got %s\n",
+                 f.precision.c_str());
+    return 2;
+  }
 
   std::printf("sky ingest: %s from %s (day %.1f, %.1f days, plan every "
               "%.1f days, %d cores, $%.2f cloud/interval)\n",
