@@ -9,13 +9,18 @@
 # link check, and the gating benches so the trajectory
 # (BENCH_planner_scaling.json, BENCH_forecast_training.json,
 # BENCH_appd_multistream.json, BENCH_table3_offline_runtime.json,
-# BENCH_forecast_inference.json — kernel-tier and f32-precision gates) is
-# refreshed on every local check; all exit non-zero when a perf or parity
-# gate fails.
+# BENCH_forecast_inference.json — kernel-tier and f32-precision gates —
+# and BENCH_fault_robustness.json — quality-under-faults and recovery
+# parity gates) is refreshed on every local check; all exit non-zero when a
+# perf or parity gate fails.
 # `--tsan` instead runs only the concurrency suite (thread pool, StreamSet
 # scheduler, sessions, kernel-dispatch first use) under ThreadSanitizer in a
 # separate build-tsan tree and skips the benches: it is a race detector
 # pass, not a perf gate.
+# `--asan` runs the FULL test suite under AddressSanitizer in a separate
+# build-asan tree (also bench-free): a memory-error pass over everything,
+# including the new fault-injection and crash-recovery suites, whose
+# restore/replay paths are exactly where lifetime bugs would hide.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,24 +35,60 @@ if [[ "${1:-}" == "--tsan" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--asan" ]]; then
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSKY_SANITIZE=address -DSKY_BUILD_BENCHES=OFF -DSKY_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j
+  cd build-asan
+  ctest --output-on-failure -j
+  echo "ASan full suite passed"
+  exit 0
+fi
+
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j
 cd build && ctest --output-on-failure -j
 
 # sky CLI smoke test: train in one process, serve from the saved file in
-# another — the end-to-end flow of the train-once / serve-many split.
+# another — the end-to-end flow of the train-once / serve-many split — then
+# the error-hygiene contract: each failure class exits with ITS documented
+# code (3 I/O, 4 corrupt, 5 wrong workload) and writes nothing to stdout.
 SKY_SMOKE_MODEL=$(mktemp /tmp/sky_smoke_model.XXXXXX.bin)
-trap 'rm -f "${SKY_SMOKE_MODEL}"' EXIT
+SKY_SMOKE_CORRUPT=$(mktemp /tmp/sky_smoke_corrupt.XXXXXX.bin)
+trap 'rm -f "${SKY_SMOKE_MODEL}" "${SKY_SMOKE_CORRUPT}"' EXIT
 ./sky offline --workload ev --out "${SKY_SMOKE_MODEL}" \
   --train-days 3 --plan-days 1 --categories 3
 ./sky inspect --model "${SKY_SMOKE_MODEL}"
 ./sky ingest --model "${SKY_SMOKE_MODEL}" --workload ev --duration-days 0.25
-# A model trained for another workload must be refused.
-if ./sky ingest --model "${SKY_SMOKE_MODEL}" --workload covid \
-    --duration-days 0.25 >/dev/null 2>&1; then
-  echo "sky ingest accepted a model for the wrong workload" >&2
-  exit 1
-fi
+
+# expect_exit CODE cmd...: the command must fail with exactly CODE and keep
+# stdout empty (failures are one stderr line, never partial output).
+expect_exit() {
+  local want=$1; shift
+  local got=0 out
+  out=$("$@" 2>/dev/null) || got=$?
+  if [[ ${got} -ne ${want} ]]; then
+    echo "expected exit ${want} from: $*  (got ${got})" >&2
+    exit 1
+  fi
+  if [[ -n "${out}" ]]; then
+    echo "expected empty stdout from: $*  (got: ${out})" >&2
+    exit 1
+  fi
+}
+
+# Missing model file -> I/O failure (3).
+expect_exit 3 ./sky ingest --model /nonexistent/model.bin --workload ev \
+  --duration-days 0.25
+# Flipped bytes in the middle of the file -> corrupt model (4).
+cp "${SKY_SMOKE_MODEL}" "${SKY_SMOKE_CORRUPT}"
+printf '\xde\xad\xbe\xef' |
+  dd of="${SKY_SMOKE_CORRUPT}" bs=1 seek=64 conv=notrunc status=none
+expect_exit 4 ./sky ingest --model "${SKY_SMOKE_CORRUPT}" --workload ev \
+  --duration-days 0.25
+# A model trained for another workload must be refused (5).
+expect_exit 5 ./sky ingest --model "${SKY_SMOKE_MODEL}" --workload covid \
+  --duration-days 0.25
 echo "sky CLI smoke test passed"
 
 cd ..
@@ -59,3 +100,4 @@ cd build
 ./bench_appd_multistream
 ./bench_table3_offline_runtime
 ./bench_forecast_inference
+./bench_fault_robustness

@@ -46,7 +46,10 @@ Status Skyscraper::LoadModel(const std::string& path,
   auto loaded = io::LoadOfflineModel(path, &annotation);
   if (!loaded.ok()) return loaded.status();
   if (!expected_annotation.empty() && annotation != expected_annotation) {
-    return Status::InvalidArgument(
+    // Distinct from a corrupt file (kInvalidArgument): the bytes parsed
+    // fine, the model is just for a different job. Callers (the sky CLI's
+    // exit codes among them) key off the difference.
+    return Status::FailedPrecondition(
         "model file was saved for '" + annotation + "', expected '" +
         expected_annotation + "'");
   }

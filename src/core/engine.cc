@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
+#include "sim/faults.h"
 #include "util/stats.h"
 #include "video/stream_source.h"
 
@@ -34,7 +37,15 @@ bool EngineResultsIdentical(const EngineResult& a, const EngineResult& b) {
       a.degraded_count != b.degraded_count ||
       a.misclassified != b.misclassified ||
       a.type_a_errors != b.type_a_errors ||
-      a.type_b_errors != b.type_b_errors || a.trace.size() != b.trace.size()) {
+      a.type_b_errors != b.type_b_errors ||
+      a.cloud_failures != b.cloud_failures ||
+      a.cloud_retries != b.cloud_retries ||
+      a.cloud_giveups != b.cloud_giveups ||
+      !BitsEqual(a.fault_backoff_s, b.fault_backoff_s) ||
+      a.outage_segments != b.outage_segments ||
+      a.outage_intervals != b.outage_intervals ||
+      a.udf_stall_segments != b.udf_stall_segments ||
+      a.trace.size() != b.trace.size()) {
     return false;
   }
   for (size_t i = 0; i < a.trace.size(); ++i) {
@@ -122,10 +133,19 @@ const std::vector<double>& IngestionEngine::config_costs() const {
   return costs;
 }
 
+bool IngestionEngine::CloudOutageNow() const {
+  return options_.fault_injector != nullptr && state_ != nullptr &&
+         options_.fault_injector->CloudOutageAt(CurrentTime());
+}
+
 double IngestionEngine::PlanBudgetCoreSPerVideoS() const {
   double budget = static_cast<double>(cluster_.cores);
   double cloud_budget = *options_.cloud_budget_usd_per_interval;
-  if (options_.enable_cloud && cloud_budget > 0) {
+  // During a sustained outage the coming interval is planned on-prem-only:
+  // the budget sees no cloud term, so the planner picks configurations the
+  // local cores can actually sustain. Bursting resumes at the first boundary
+  // after the outage window closes.
+  if (options_.enable_cloud && cloud_budget > 0 && !CloudOutageNow()) {
     budget +=
         cost_model_->UsdToCoreSeconds(cloud_budget) / options_.plan_interval;
   }
@@ -251,6 +271,12 @@ Status IngestionEngine::InstallPlan(KnobPlan plan,
       options_.enable_cloud
           ? cloud_credits_usd.value_or(*options_.cloud_budget_usd_per_interval)
           : 0.0;
+  if (cloud_budget > 0.0 && CloudOutageNow()) {
+    // Graceful degradation: no credits are granted for an interval that
+    // begins inside an outage window — the whole interval runs on-prem.
+    cloud_budget = 0.0;
+    ++s.result.outage_intervals;
+  }
   s.credits_remaining = cloud_budget;
   s.planned_usd_per_interval = std::min(
       cloud_budget,
@@ -349,6 +375,21 @@ Status IngestionEngine::Step() {
     return Status::FailedPrecondition("ingest run is complete");
   }
 
+  // Injected UDF failure, raised BEFORE any state mutates: a supervisor
+  // that catches this can Restore() the last boundary checkpoint and replay
+  // the interval bitwise (the one-shot event stays consumed, so the replay
+  // gets past it). Raised as an exception — not a Status — because a real
+  // workload UDF fails by throwing.
+  sim::FaultInjector* const faults = options_.fault_injector;
+  if (faults != nullptr) {
+    SimTime now = s.start_time +
+                  static_cast<double>(s.next_index) * model_->segment_seconds;
+    if (faults->ConsumeUdfThrowAt(now)) {
+      throw std::runtime_error("injected UDF failure at t=" +
+                               std::to_string(now));
+    }
+  }
+
   // Plan boundary: self-plan unless StreamSet (or a caller) already
   // installed a jointly computed plan for this boundary.
   if (s.next_index % s.segs_per_interval == 0 && !s.boundary_installed) {
@@ -396,11 +437,60 @@ Status IngestionEngine::Step() {
   ctx.cloud_credits_remaining_usd = s.credits_remaining;
   ctx.allow_cloud = options_.enable_cloud;
   ctx.allow_buffer = options_.enable_buffer;
+  // Fault reality at this instant. Every guard below compares against the
+  // exact neutral value (1.0 multiplier, 0 failures), so a null injector and
+  // an injector with no active window run bitwise-identical arithmetic.
+  bool outage = false;
+  double cloud_lat_mult = 1.0;
+  double stall_mult = 1.0;
+  if (faults != nullptr) {
+    outage = faults->CloudOutageAt(t);
+    cloud_lat_mult = faults->CloudLatencyMultiplierAt(t);
+    stall_mult = faults->UdfStallMultiplierAt(t);
+    if (outage && options_.enable_cloud) {
+      // Reactive degradation inside the interval: the cloud is unreachable,
+      // so this segment decides as if bursting were disabled.
+      ctx.allow_cloud = false;
+      ++s.result.outage_segments;
+    }
+    if (cloud_lat_mult != 1.0) ctx.cloud_runtime_multiplier = cloud_lat_mult;
+    if (stall_mult != 1.0) ++s.result.udf_stall_segments;
+  }
   if (options_.use_ground_truth_categories) {
     ctx.category_override = static_cast<int64_t>(truth.category);
   }
 
   SKY_ASSIGN_OR_RETURN(SwitchDecision decision, s.switcher.Decide(ctx));
+
+  // Transient cloud-upload failures: retry under the capped-exponential
+  // policy (the backoff time lands on this segment's runtime, growing lag
+  // like any other slowdown); a segment whose retry budget runs out is
+  // degraded to an on-premise decision instead — never an error.
+  double fault_runtime_extra_s = 0.0;
+  if (faults != nullptr &&
+      profiles[decision.config_idx]
+              .placements[decision.placement_idx]
+              .placement.NumCloudNodes() > 0) {
+    size_t fails = faults->CloudUploadFailuresAt(t);
+    if (fails > 0) {
+      const sim::RetryPolicy& retry = faults->retry_policy();
+      size_t attempts = std::min(fails, retry.max_attempts);
+      double backoff = faults->BackoffDelaySeconds(attempts);
+      s.result.cloud_failures += fails;
+      s.result.fault_backoff_s += backoff;
+      fault_runtime_extra_s += backoff;
+      if (fails > retry.max_attempts) {
+        ++s.result.cloud_giveups;
+        ctx.allow_cloud = false;
+        // Decide() is a pure function of the context (no draws), so the
+        // re-decision costs nothing in determinism.
+        SKY_ASSIGN_OR_RETURN(decision, s.switcher.Decide(ctx));
+      } else {
+        s.result.cloud_retries += attempts;
+      }
+    }
+  }
+
   s.switcher.RecordUsage(decision.category, decision.config_idx);
   if (decision.degraded) ++s.result.degraded_count;
   if (decision.config_idx != s.current_config) ++s.result.switch_count;
@@ -409,11 +499,21 @@ Status IngestionEngine::Step() {
   const PlacementProfile& placement =
       profile.placements[decision.placement_idx];
 
+  // Runtime as executed: cloud latency slows cloud placements, a stalling
+  // UDF slows everything, retry backoff is additive. Each term applies only
+  // when active so the fault-free value stays the profiled runtime bitwise.
+  double runtime_s = placement.runtime_s;
+  if (cloud_lat_mult != 1.0 && placement.placement.NumCloudNodes() > 0) {
+    runtime_s *= cloud_lat_mult;
+  }
+  if (stall_mult != 1.0) runtime_s *= stall_mult;
+  if (fault_runtime_extra_s > 0.0) runtime_s += fault_runtime_extra_s;
+
   // Advance the backlog: the stream gains one segment while the processor
-  // spends placement.runtime_s on this one. Backlog growth buffers bytes
-  // at the current stream rate; shrinkage releases bytes at the backlog's
+  // spends runtime_s on this one. Backlog growth buffers bytes at the
+  // current stream rate; shrinkage releases bytes at the backlog's
   // historical average rate.
-  double new_lag = std::max(0.0, s.lag_s + placement.runtime_s - seg);
+  double new_lag = std::max(0.0, s.lag_s + runtime_s - seg);
   if (new_lag > s.lag_s) {
     s.buffered_bytes += (new_lag - s.lag_s) * bytes_per_s;
   } else if (s.lag_s > 0.0) {

@@ -17,6 +17,10 @@
 #include "util/rng.h"
 #include "util/sim_time.h"
 
+namespace sky::sim {
+class FaultInjector;
+}  // namespace sky::sim
+
 namespace sky::core {
 
 /// Buffer capacity used when EngineOptions::buffer_bytes is left unset
@@ -73,6 +77,16 @@ struct EngineOptions {
   bool record_trace = false;
   double trace_resolution_s = 300.0;
   uint64_t seed = 71;
+
+  /// Deterministic fault schedule this run executes under (non-owning; must
+  /// outlive the engine). Null — the default — runs fault-free and leaves
+  /// every code path bitwise identical to an engine built before faults
+  /// existed. The injector is external-world state, not run state: it is
+  /// deliberately NOT part of Checkpoint()/Restore(), so a restored run
+  /// replays under whatever fault reality the supervisor currently has
+  /// installed (one-shot events stay consumed across a restore, which is
+  /// what lets a replayed interval get past the fault that killed it).
+  sim::FaultInjector* fault_injector = nullptr;
 };
 
 /// One sample of the Fig. 3-style time series.
@@ -102,6 +116,15 @@ struct EngineResult {
   size_t misclassified = 0;
   size_t type_a_errors = 0;  ///< one-dimensional-classification errors
   size_t type_b_errors = 0;  ///< timing-mismatch errors
+  // Fault accounting (sim::FaultInjector). All zero in a fault-free run;
+  // nothing a fault does is silent.
+  size_t cloud_failures = 0;  ///< failed cloud upload attempts observed
+  size_t cloud_retries = 0;   ///< retried attempts that eventually succeeded
+  size_t cloud_giveups = 0;   ///< segments degraded on-prem: retry budget out
+  double fault_backoff_s = 0.0;   ///< total retry backoff charged to the lag
+  size_t outage_segments = 0;     ///< segments stepped inside an outage window
+  size_t outage_intervals = 0;    ///< plan boundaries forced on-prem-only
+  size_t udf_stall_segments = 0;  ///< segments slowed by a UDF stall window
   std::vector<TracePoint> trace;
 
   double MisclassificationRate() const {
@@ -288,6 +311,18 @@ class IngestionEngine {
   int64_t segments_per_interval() const {
     return state_ == nullptr ? 0 : state_->segs_per_interval;
   }
+
+  /// Run-local index of the next segment to ingest (0 before the first
+  /// Start). Supervisors drive AdvanceStream-style loops off this.
+  int64_t next_segment_index() const {
+    return state_ == nullptr ? 0 : state_->next_index;
+  }
+
+  /// True when a fault injector is installed and reports a cloud outage at
+  /// the engine's current virtual time. Read by the planner budget (no cloud
+  /// term while the cloud is down) and by StreamSet's pooled-credit
+  /// accounting.
+  bool CloudOutageNow() const;
 
   // --- Checkpoint / restore ---
 

@@ -5,7 +5,10 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <utility>
+
+#include "io/checkpoint_io.h"
 
 namespace sky::core {
 
@@ -120,6 +123,8 @@ Result<StreamSet> StreamSet::Create(std::vector<StreamEngineJob> jobs,
   set.jobs_ = std::move(jobs);
   set.engines_.resize(set.jobs_.size());
   set.statuses_.assign(set.jobs_.size(), Status::Ok());
+  set.boundary_ckpts_.resize(set.jobs_.size());
+  set.restarts_used_.assign(set.jobs_.size(), 0);
 
   for (size_t v = 0; v < set.jobs_.size(); ++v) {
     const StreamEngineJob& job = set.jobs_[v];
@@ -156,6 +161,112 @@ Result<StreamSet> StreamSet::Create(std::vector<StreamEngineJob> jobs,
     }
   }
   return set;
+}
+
+Result<StreamSet> StreamSet::RecoverFromCheckpoint(
+    std::vector<StreamEngineJob> jobs, const std::string& path,
+    StreamSetOptions options) {
+  Result<io::FleetCheckpoint> loaded = io::LoadFleetCheckpoint(path);
+  SKY_RETURN_NOT_OK(loaded.status());
+  if (loaded->streams.size() != jobs.size()) {
+    return Status::InvalidArgument(
+        "checkpoint stream count does not match the provided jobs");
+  }
+  Result<StreamSet> set = StreamSet::Create(std::move(jobs), options);
+  SKY_RETURN_NOT_OK(set.status());
+  for (size_t v = 0; v < set->engines_.size(); ++v) {
+    const io::StreamCheckpoint& sc = loaded->streams[v];
+    if (!sc.status.ok()) {
+      // The stream was already quarantined when the checkpoint was taken;
+      // it comes back quarantined with the same error.
+      set->statuses_[v] = sc.status;
+      continue;
+    }
+    if (!sc.has_state) continue;
+    if (set->engines_[v] == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint holds engine state for a job with null pointers");
+    }
+    Result<IngestState> state =
+        io::DeserializeIngestState(sc.state, *set->jobs_[v].model);
+    SKY_RETURN_NOT_OK(state.status());
+    SKY_RETURN_NOT_OK(set->engines_[v]->Restore(*state));
+  }
+  return set;
+}
+
+size_t StreamSet::total_restarts() const {
+  size_t total = 0;
+  for (size_t used : restarts_used_) total += used;
+  return total;
+}
+
+Status StreamSet::SaveCheckpoint(const std::string& path) const {
+  io::FleetCheckpoint ckpt;
+  ckpt.streams.resize(engines_.size());
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    io::StreamCheckpoint& sc = ckpt.streams[v];
+    sc.status = statuses_[v];
+    if (engines_[v] == nullptr || !engines_[v]->started()) continue;
+    Result<IngestState> snap = engines_[v]->Checkpoint();
+    SKY_RETURN_NOT_OK(snap.status());
+    SKY_RETURN_NOT_OK(io::SerializeIngestState(*snap, &sc.state));
+    sc.has_state = true;
+  }
+  return io::SaveFleetCheckpoint(ckpt, path);
+}
+
+void StreamSet::CaptureBoundaryCheckpoint(size_t v) {
+  if (options_.max_stream_restarts == 0) return;
+  Result<IngestState> snap = engines_[v]->Checkpoint();
+  // A failed snapshot is not fatal: the stream simply keeps (or lacks) its
+  // previous restore point, and a later failure quarantines it as if
+  // supervision were off.
+  if (!snap.ok()) return;
+  boundary_ckpts_[v] = std::make_unique<IngestState>(std::move(*snap));
+}
+
+void StreamSet::MaybeAutoCheckpoint() {
+  ++boundaries_planned_;
+  if (options_.checkpoint_path.empty() ||
+      options_.checkpoint_every_boundaries == 0 ||
+      boundaries_planned_ % options_.checkpoint_every_boundaries != 0) {
+    return;
+  }
+  // Auto-checkpointing is best-effort by design: a full disk must not kill
+  // an otherwise healthy fleet. The failure is observable, never fatal.
+  last_checkpoint_status_ = SaveCheckpoint(options_.checkpoint_path);
+}
+
+Status StreamSet::AdvanceStream(size_t v, int64_t target_index) {
+  IngestionEngine& e = *engines_[v];
+  const bool supervise = options_.max_stream_restarts > 0;
+  while (statuses_[v].ok() && !e.Done() &&
+         e.next_segment_index() < target_index) {
+    if (supervise && e.AtPlanBoundary()) CaptureBoundaryCheckpoint(v);
+    Status stepped;
+    try {
+      stepped = e.Step();
+    } catch (const std::exception& ex) {
+      stepped = Status::Internal(ex.what());
+    } catch (...) {
+      stepped = Status::Internal("stream engine threw");
+    }
+    if (stepped.ok()) continue;
+    if (supervise && boundary_ckpts_[v] != nullptr &&
+        restarts_used_[v] < options_.max_stream_restarts) {
+      // Supervised restart: rewind to the last boundary snapshot and replay.
+      // One-shot injected faults stay consumed across Restore, so a replay
+      // can get past the failure; a persistent failure burns through the
+      // budget and quarantines below.
+      ++restarts_used_[v];
+      Status restored = e.Restore(*boundary_ckpts_[v]);
+      if (restored.ok()) continue;
+      stepped = restored;
+    }
+    statuses_[v] = stepped;
+  }
+  return statuses_[v];
 }
 
 bool StreamSet::Done() const {
@@ -238,8 +349,13 @@ Status StreamSet::JointPlanBoundaryIfDue() {
               ? *previous
               : engines_[v]->FallbackPlan(engines_[v]->boundary_forecast());
       Status installed = engines_[v]->InstallPlan(std::move(fallback));
-      if (!installed.ok()) statuses_[v] = installed;
+      if (!installed.ok()) {
+        statuses_[v] = installed;
+      } else {
+        CaptureBoundaryCheckpoint(v);
+      }
     }
+    MaybeAutoCheckpoint();
     record_latency();
     return Status::Ok();
   }
@@ -262,7 +378,10 @@ Status StreamSet::JointPlanBoundaryIfDue() {
   for (size_t idx = 0; idx < planned_.size(); ++idx) {
     size_t v = planned_[idx];
     const EngineOptions& opts = engines_[v]->options();
-    if (opts.enable_cloud) {
+    // A stream inside an injected cloud outage cannot spend credits this
+    // interval, so its share must not enter the pool either — otherwise the
+    // joint planner would lend money the outage makes unspendable.
+    if (opts.enable_cloud && !engines_[v]->CloudOutageNow()) {
       pooled_credits += *opts.cloud_budget_usd_per_interval;
     }
     double burst_core_s =
@@ -283,8 +402,16 @@ Status StreamSet::JointPlanBoundaryIfDue() {
     }
     Status installed =
         engines_[v]->InstallPlan(std::move(joint_plans_[idx]), allotted);
-    if (!installed.ok()) statuses_[v] = installed;
+    if (!installed.ok()) {
+      statuses_[v] = installed;
+    } else {
+      // Snapshot AFTER the install: a supervised restart replays the
+      // interval under the already-installed plan instead of re-entering
+      // the (fleet-wide) joint solve for one stream.
+      CaptureBoundaryCheckpoint(v);
+    }
   }
+  MaybeAutoCheckpoint();
   record_latency();
   return Status::Ok();
 }
@@ -295,8 +422,10 @@ Status StreamSet::Step() {
   }
   for (size_t v = 0; v < engines_.size(); ++v) {
     if (!Active(v)) continue;
-    Status stepped = engines_[v]->Step();
-    if (!stepped.ok()) statuses_[v] = stepped;
+    // Net one segment of forward progress even across a supervised restart
+    // (a restart rewinds to the boundary and replays up to the target), so
+    // joint-mode lockstep survives mid-interval failures.
+    AdvanceStream(v, engines_[v]->next_segment_index() + 1);
   }
   return Status::Ok();
 }
@@ -326,11 +455,9 @@ Status StreamSet::RunUntilElapsed(SimTime elapsed) {
   for (size_t v = 0; v < engines_.size(); ++v) {
     while (Active(v) &&
            engines_[v]->CurrentTime() - jobs_[v].start_time < elapsed) {
-      Status stepped = engines_[v]->Step();
-      if (!stepped.ok()) {
-        statuses_[v] = stepped;
-        break;
-      }
+      Status stepped =
+          AdvanceStream(v, engines_[v]->next_segment_index() + 1);
+      if (!stepped.ok()) break;
     }
   }
   return Status::Ok();
@@ -343,13 +470,7 @@ Status StreamSet::RunToCompletion(dag::ThreadPool* pool) {
     // identical results for any thread count.
     dag::ParallelFor(pool, engines_.size(), [&](size_t v) {
       if (!Active(v)) return;
-      while (!engines_[v]->Done()) {
-        Status stepped = engines_[v]->Step();
-        if (!stepped.ok()) {
-          statuses_[v] = stepped;
-          return;
-        }
-      }
+      AdvanceStream(v, std::numeric_limits<int64_t>::max());
     });
     return Status::Ok();
   }
@@ -400,17 +521,14 @@ Status StreamSet::RunToCompletion(dag::ThreadPool* pool) {
       for (size_t v = w; v < engines_.size(); v += workers) {
         if (!Active(v)) continue;
         // Per-stream failures (error Status or a throwing workload) are
-        // recorded on the stream and never abandon the barrier protocol:
-        // the worker must keep arriving for its peers, or the set would
-        // deadlock on one bad stream.
-        try {
-          Status ran = engines_[v]->RunInterval();
-          if (!ran.ok()) statuses_[v] = ran;
-        } catch (const std::exception& e) {
-          statuses_[v] = Status::Internal(e.what());
-        } catch (...) {
-          statuses_[v] = Status::Internal("stream engine threw");
-        }
+        // recorded on the stream — or absorbed by a supervised restart —
+        // and never abandon the barrier protocol: the worker must keep
+        // arriving for its peers, or the set would deadlock on one bad
+        // stream. AdvanceStream targets the end of the current interval,
+        // the same unit RunInterval covers.
+        int64_t spi = engines_[v]->segments_per_interval();
+        int64_t next = engines_[v]->next_segment_index();
+        AdvanceStream(v, next - (next % spi) + spi);
       }
     }
   };

@@ -127,6 +127,19 @@ struct StreamSetOptions {
   /// Solver for the joint program. Independent mode uses each engine's own
   /// EngineOptions::planner_backend instead.
   PlannerBackend planner_backend = PlannerBackend::kStructured;
+  /// Supervision: how many times a stream that fails mid-interval (error
+  /// Status or a throwing workload UDF) is restarted from its last plan-
+  /// boundary checkpoint before being declared dead. 0 (the default)
+  /// disables supervision entirely — no boundary snapshots are taken and
+  /// failures quarantine the stream on first strike, the exact pre-existing
+  /// behavior.
+  size_t max_stream_restarts = 0;
+  /// When non-empty, the set writes a crash-consistent fleet checkpoint to
+  /// this path (via io::SaveFleetCheckpoint — atomic temp-file + rename)
+  /// every `checkpoint_every_boundaries` lockstep plan boundaries. A failed
+  /// write never fails the run; see last_checkpoint_status().
+  std::string checkpoint_path;
+  size_t checkpoint_every_boundaries = 0;
 };
 
 /// N ingestion sessions multiplexed on one shared virtual clock. Each
@@ -151,6 +164,18 @@ class StreamSet {
   /// same segment length and plan interval, so boundaries hit in lockstep.
   static Result<StreamSet> Create(std::vector<StreamEngineJob> jobs,
                                   StreamSetOptions options = {});
+
+  /// Create, then restore every stream from a fleet checkpoint written by
+  /// SaveCheckpoint. `jobs` must describe the same fleet (same count, same
+  /// models — bitwise, or the resumed runs diverge); options need not match
+  /// the original set's. Streams the checkpoint recorded as failed come back
+  /// failed; streams with a serialized engine state resume from it bitwise,
+  /// so completing the recovered set yields results identical to a run that
+  /// never stopped. kNotFound for a missing file, kInvalidArgument for a
+  /// corrupt one or a stream-count mismatch.
+  static Result<StreamSet> RecoverFromCheckpoint(
+      std::vector<StreamEngineJob> jobs, const std::string& path,
+      StreamSetOptions options = {});
 
   StreamSet(StreamSet&&) = default;
   StreamSet& operator=(StreamSet&&) = default;
@@ -203,6 +228,26 @@ class StreamSet {
   /// The terminal error of stream `v` (Ok while live or finished).
   const Status& stream_status(size_t v) const { return statuses_[v]; }
 
+  /// How many supervised restarts stream `v` has consumed so far.
+  size_t stream_restarts(size_t v) const { return restarts_used_[v]; }
+
+  /// Total supervised restarts across the fleet.
+  size_t total_restarts() const;
+
+  /// Writes a crash-consistent checkpoint of the whole fleet to `path`:
+  /// per-stream quarantine status plus, for every started engine, its full
+  /// serialized session state. Atomic (temp file + rename); meaningful at a
+  /// lockstep boundary, where every live stream sits at the same virtual
+  /// time, but callable anywhere.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Status of the most recent automatic checkpoint write (Ok when none has
+  /// been attempted). Auto-checkpoint failures are recorded here, never
+  /// propagated into the run.
+  const Status& last_checkpoint_status() const {
+    return last_checkpoint_status_;
+  }
+
  private:
   explicit StreamSet(StreamSetOptions options) : options_(options) {}
 
@@ -216,10 +261,33 @@ class StreamSet {
   /// the per-stream plans.
   Status JointPlanBoundaryIfDue();
 
+  /// The one supervised stepping loop every driver funnels through: steps
+  /// stream `v` until it finishes, fails for good, or its next segment index
+  /// reaches `target_index`. A failing step (error Status or a thrown
+  /// exception) consumes a restart — the engine is restored from the last
+  /// boundary checkpoint and the loop continues — until the restart budget
+  /// is spent, at which point the stream quarantines exactly as before.
+  /// Thread-safe across distinct `v` (touches only stream v's state).
+  Status AdvanceStream(size_t v, int64_t target_index);
+
+  /// Snapshots stream `v`'s engine for supervised restarts. No-op unless
+  /// max_stream_restarts > 0.
+  void CaptureBoundaryCheckpoint(size_t v);
+
+  /// Counts a planned boundary and, when configured, writes the periodic
+  /// fleet checkpoint (failures land in last_checkpoint_status_ only).
+  void MaybeAutoCheckpoint();
+
   StreamSetOptions options_;
   std::vector<StreamEngineJob> jobs_;
   std::vector<std::unique_ptr<IngestionEngine>> engines_;
   std::vector<Status> statuses_;
+  /// Supervision state: last boundary snapshot + restarts consumed, per
+  /// stream (snapshots stay null when supervision is off).
+  std::vector<std::unique_ptr<IngestState>> boundary_ckpts_;
+  std::vector<size_t> restarts_used_;
+  size_t boundaries_planned_ = 0;
+  Status last_checkpoint_status_;
   /// Warm incremental planner (kStructured joint boundaries).
   JointPlanner joint_planner_;
   std::vector<KnobPlan> joint_plans_;

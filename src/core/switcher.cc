@@ -44,16 +44,47 @@ void KnobSwitcher::RecordUsage(size_t category, size_t config_idx) {
   usage_totals_[category] += 1.0;
 }
 
+namespace {
+
+// Placement runtime as the current instant will actually experience it:
+// cloud placements are slowed by any injected latency fault. The exact
+// `!= 1.0` guard keeps the fault-free arithmetic bitwise untouched.
+double EffectiveRuntimeS(const PlacementProfile& p, const SwitchContext& ctx) {
+  if (ctx.cloud_runtime_multiplier != 1.0 && p.placement.NumCloudNodes() > 0) {
+    return p.runtime_s * ctx.cloud_runtime_multiplier;
+  }
+  return p.runtime_s;
+}
+
+}  // namespace
+
+Status KnobSwitcher::RestoreUsage(
+    const std::vector<std::vector<double>>& counts,
+    const std::vector<double>& totals) {
+  if (counts.size() != usage_counts_.size() ||
+      totals.size() != usage_totals_.size()) {
+    return Status::InvalidArgument("usage histogram category count mismatch");
+  }
+  for (const auto& row : counts) {
+    if (row.size() != profiles_->size()) {
+      return Status::InvalidArgument("usage histogram config count mismatch");
+    }
+  }
+  usage_counts_ = counts;
+  usage_totals_ = totals;
+  return Status::Ok();
+}
+
 bool KnobSwitcher::PlacementFeasible(const PlacementProfile& p,
                                      const SwitchContext& ctx) const {
   if (!ctx.allow_cloud && p.placement.NumCloudNodes() > 0) return false;
   if (p.cloud_usd > ctx.cloud_credits_remaining_usd + 1e-12) return false;
   // Predicted backlog after processing this segment with placement p. The
-  // stream advances one segment while the processor spends p.runtime_s;
+  // stream advances one segment while the processor spends its runtime;
   // backlog growth is charged at the current stream byte rate, shrinking
   // backlog only releases bytes (never overflows).
-  double new_lag =
-      std::max(0.0, ctx.lag_seconds + p.runtime_s - ctx.segment_seconds);
+  double new_lag = std::max(
+      0.0, ctx.lag_seconds + EffectiveRuntimeS(p, ctx) - ctx.segment_seconds);
   if (!ctx.allow_buffer && new_lag > 1e-9) return false;
   double predicted_bytes = ctx.buffered_bytes;
   if (new_lag > ctx.lag_seconds) {
@@ -149,8 +180,9 @@ Result<SwitchDecision> KnobSwitcher::Decide(const SwitchContext& ctx) const {
           ctx.cloud_credits_remaining_usd + 1e-12) {
         continue;
       }
-      if (profile.placements[p].runtime_s < best_runtime) {
-        best_runtime = profile.placements[p].runtime_s;
+      double runtime = EffectiveRuntimeS(profile.placements[p], ctx);
+      if (runtime < best_runtime) {
+        best_runtime = runtime;
         decision.config_idx = k;
         decision.placement_idx = p;
       }

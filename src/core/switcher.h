@@ -30,6 +30,11 @@ struct SwitchContext {
   double cloud_credits_remaining_usd = 0.0;
   bool allow_cloud = true;
   bool allow_buffer = true;
+  /// Runtime multiplier applied to placements that use cloud nodes —
+  /// elevated network latency injected by sim::FaultInjector. Exactly 1.0
+  /// when no fault is active; the feasibility prediction sees the same
+  /// slowdown the executed segment will.
+  double cloud_runtime_multiplier = 1.0;
   /// When >= 0, bypasses Eq. 5 and uses this category directly (the
   /// ground-truth baselines of §5.6 / Fig. 15).
   int64_t category_override = -1;
@@ -86,6 +91,19 @@ class KnobSwitcher {
   /// Configuration indices ordered from most to least qualitative (mean
   /// category-center quality) — the degradation order of §4.2.
   const std::vector<size_t>& quality_order() const { return quality_order_; }
+
+  /// Eq. 6 usage state, exposed so checkpoints can persist it:
+  /// usage_counts()[c][k] counts segments of category c run with config k.
+  const std::vector<std::vector<double>>& usage_counts() const {
+    return usage_counts_;
+  }
+  const std::vector<double>& usage_totals() const { return usage_totals_; }
+
+  /// Reinstates previously captured usage histograms (checkpoint restore).
+  /// Shapes must match the (categories, profiles) this switcher was built
+  /// with; fails with kInvalidArgument otherwise.
+  Status RestoreUsage(const std::vector<std::vector<double>>& counts,
+                      const std::vector<double>& totals);
 
  private:
   /// True if placement `p` of config `k` keeps the buffer within capacity

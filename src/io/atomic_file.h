@@ -1,0 +1,31 @@
+#ifndef SKYSCRAPER_IO_ATOMIC_FILE_H_
+#define SKYSCRAPER_IO_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace sky::io {
+
+/// Writes `bytes` to `path` crash-consistently: the bytes land in a
+/// temporary file in the same directory (`path` + ".tmp"), are flushed to
+/// disk, and only then renamed over `path` — an atomic operation on POSIX
+/// filesystems. A crash (or injected failure) at ANY point leaves either the
+/// previous contents of `path` or the new ones, never a torn file; a failed
+/// write removes the temporary and leaves `path` untouched.
+///
+/// kNotFound when the temporary cannot be created (missing directory, no
+/// permission), kInternal for write/flush/rename failures.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+/// Test-only failure injection for the write path: when set, the hook runs
+/// after the temporary file is flushed and before the rename. A non-OK
+/// return aborts the save (the temporary is removed, the target untouched) —
+/// exactly the window a mid-save crash lands in. Pass nullptr to clear.
+/// Not thread-safe; tests install and clear it around a single call.
+using AtomicWriteFaultHook = Status (*)(const std::string& tmp_path);
+void SetAtomicWriteFaultHookForTest(AtomicWriteFaultHook hook);
+
+}  // namespace sky::io
+
+#endif  // SKYSCRAPER_IO_ATOMIC_FILE_H_

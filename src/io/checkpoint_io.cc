@@ -1,0 +1,480 @@
+#include "io/checkpoint_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "io/atomic_file.h"
+#include "io/wire.h"
+
+namespace sky::io {
+
+namespace {
+
+using wire::Cursor;
+using wire::Fnv1a64;
+using wire::PutChunk;
+using wire::PutF64;
+using wire::PutF64Rows;
+using wire::PutF64Vec;
+using wire::PutRaw;
+using wire::PutString;
+using wire::PutU32;
+using wire::PutU64;
+using wire::PutU64Vec;
+using wire::PutU8;
+using wire::TagIs;
+
+constexpr char kMagic[8] = {'S', 'K', 'Y', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kEndianMarker = 0x01020304u;
+
+constexpr char kChunkMeta[4] = {'M', 'E', 'T', 'A'};
+constexpr char kChunkStream[4] = {'S', 'T', 'R', 'M'};
+constexpr char kChunkChecksum[4] = {'C', 'S', 'U', 'M'};
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+Status ReadI64(Cursor* c, int64_t* v) {
+  uint64_t u = 0;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::Ok();
+}
+
+Status ReadBool(Cursor* c, bool* v) {
+  uint8_t b = 0;
+  SKY_RETURN_NOT_OK(c->ReadU8(&b));
+  if (b > 1) {
+    return Status::InvalidArgument("invalid boolean flag in checkpoint");
+  }
+  *v = b != 0;
+  return Status::Ok();
+}
+
+void AppendResult(const core::EngineResult& r, std::string* p) {
+  PutF64(p, r.total_quality);
+  PutF64(p, r.mean_quality);
+  PutU64(p, r.segments);
+  PutF64(p, r.work_core_seconds);
+  PutF64(p, r.onprem_core_seconds);
+  PutF64(p, r.cloud_usd);
+  PutU64(p, r.buffer_high_water_bytes);
+  PutU64(p, r.overflow_events);
+  PutU64(p, r.switch_count);
+  PutU64(p, r.degraded_count);
+  PutU64(p, r.misclassified);
+  PutU64(p, r.type_a_errors);
+  PutU64(p, r.type_b_errors);
+  PutU64(p, r.cloud_failures);
+  PutU64(p, r.cloud_retries);
+  PutU64(p, r.cloud_giveups);
+  PutF64(p, r.fault_backoff_s);
+  PutU64(p, r.outage_segments);
+  PutU64(p, r.outage_intervals);
+  PutU64(p, r.udf_stall_segments);
+  PutU64(p, r.trace.size());
+  for (const core::TracePoint& t : r.trace) {
+    PutF64(p, t.t);
+    PutF64(p, t.quality);
+    PutF64(p, t.work_core_s_per_s);
+    PutF64(p, t.buffer_bytes);
+    PutF64(p, t.cloud_usd_cumulative);
+    PutF64(p, t.cloud_usd_planned);
+    PutU64(p, t.config_idx);
+    PutU64(p, t.category);
+  }
+}
+
+Status ParseResult(Cursor* c, core::EngineResult* r) {
+  uint64_t u = 0;
+  SKY_RETURN_NOT_OK(c->ReadF64(&r->total_quality));
+  SKY_RETURN_NOT_OK(c->ReadF64(&r->mean_quality));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->segments = u;
+  SKY_RETURN_NOT_OK(c->ReadF64(&r->work_core_seconds));
+  SKY_RETURN_NOT_OK(c->ReadF64(&r->onprem_core_seconds));
+  SKY_RETURN_NOT_OK(c->ReadF64(&r->cloud_usd));
+  SKY_RETURN_NOT_OK(c->ReadU64(&r->buffer_high_water_bytes));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->overflow_events = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->switch_count = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->degraded_count = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->misclassified = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->type_a_errors = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->type_b_errors = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->cloud_failures = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->cloud_retries = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->cloud_giveups = u;
+  SKY_RETURN_NOT_OK(c->ReadF64(&r->fault_backoff_s));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->outage_segments = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->outage_intervals = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  r->udf_stall_segments = u;
+  uint64_t trace_n = 0;
+  SKY_RETURN_NOT_OK(c->ReadCount(8 * sizeof(double), &trace_n));
+  r->trace.resize(trace_n);
+  for (core::TracePoint& t : r->trace) {
+    SKY_RETURN_NOT_OK(c->ReadF64(&t.t));
+    SKY_RETURN_NOT_OK(c->ReadF64(&t.quality));
+    SKY_RETURN_NOT_OK(c->ReadF64(&t.work_core_s_per_s));
+    SKY_RETURN_NOT_OK(c->ReadF64(&t.buffer_bytes));
+    SKY_RETURN_NOT_OK(c->ReadF64(&t.cloud_usd_cumulative));
+    SKY_RETURN_NOT_OK(c->ReadF64(&t.cloud_usd_planned));
+    SKY_RETURN_NOT_OK(c->ReadU64(&u));
+    t.config_idx = u;
+    SKY_RETURN_NOT_OK(c->ReadU64(&u));
+    t.category = u;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SerializeIngestState(const core::IngestState& state, std::string* out) {
+  out->clear();
+  std::string* p = out;
+  PutU32(p, kCheckpointFormatVersion);
+  // Buffer capacity first: deserialization needs it to construct the state
+  // before any other field can be filled.
+  PutU64(p, state.buffer.capacity_bytes());
+
+  PutF64(p, state.start_time);
+  PutI64(p, state.first_segment);
+  PutI64(p, state.n_segments);
+  PutI64(p, state.segs_per_interval);
+  PutU64(p, state.history_window);
+  PutI64(p, state.next_index);
+  PutU64(p, state.interval_index);
+
+  PutString(p, state.noise.SaveState());
+  wire::AppendForecaster(state.forecaster, p);
+
+  PutU8(p, state.switcher.plan() != nullptr ? 1 : 0);
+  PutU64(p, state.plan.alpha.rows());
+  PutU64(p, state.plan.alpha.cols());
+  if (!state.plan.alpha.data().empty()) {
+    PutRaw(p, state.plan.alpha.data().data(),
+           state.plan.alpha.data().size() * sizeof(double));
+  }
+  PutF64Vec(p, state.plan.forecast);
+  PutF64(p, state.plan.expected_quality);
+  PutF64(p, state.plan.expected_work);
+
+  PutU8(p, state.boundary_prepared ? 1 : 0);
+  PutU8(p, state.boundary_installed ? 1 : 0);
+  PutF64Vec(p, state.boundary_forecast);
+  PutF64Vec(p, state.plan_features);
+  PutF64Vec(p, state.realized);
+  PutU64Vec(p, state.history);
+  PutU64(p, state.current_config);
+  PutF64(p, state.last_measured);
+
+  PutF64(p, state.lag_s);
+  PutF64(p, state.buffered_bytes);
+  PutU64(p, state.buffer.used_bytes());
+  PutU64(p, state.buffer.high_water_bytes());
+  PutF64(p, state.credits_remaining);
+  PutF64(p, state.planned_usd_per_interval);
+
+  AppendResult(state.result, p);
+  PutF64(p, state.next_trace_t);
+
+  // Eq. 6 usage histograms — mid-interval restores must keep alpha-hat.
+  Status rows_ok = PutF64Rows(p, state.switcher.usage_counts());
+  if (!rows_ok.ok()) return rows_ok;
+  PutF64Vec(p, state.switcher.usage_totals());
+  // Trailing FNV-1a over everything above: a restored run must never start
+  // from silently corrupted state, so bit flips are refused at load time.
+  PutU64(p, Fnv1a64(out->data(), out->size()));
+  return Status::Ok();
+}
+
+Result<core::IngestState> DeserializeIngestState(
+    const std::string& bytes, const core::OfflineModel& model) {
+  if (bytes.size() < sizeof(uint32_t) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("checkpoint state is truncated");
+  }
+  // Verify the trailing checksum before trusting any field.
+  const size_t payload_size = bytes.size() - sizeof(uint64_t);
+  uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, bytes.data() + payload_size, sizeof(stored_sum));
+  if (stored_sum != Fnv1a64(bytes.data(), payload_size)) {
+    return Status::InvalidArgument(
+        "checkpoint state checksum mismatch (corrupted)");
+  }
+  Cursor c(bytes.data(), payload_size);
+  uint32_t version = 0;
+  SKY_RETURN_NOT_OK(c.ReadU32(&version));
+  if (version != kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kCheckpointFormatVersion) + ")");
+  }
+  uint64_t buffer_capacity = 0;
+  SKY_RETURN_NOT_OK(c.ReadU64(&buffer_capacity));
+
+  core::IngestState state(&model.categories, &model.profiles, buffer_capacity);
+
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.start_time));
+  SKY_RETURN_NOT_OK(ReadI64(&c, &state.first_segment));
+  SKY_RETURN_NOT_OK(ReadI64(&c, &state.n_segments));
+  SKY_RETURN_NOT_OK(ReadI64(&c, &state.segs_per_interval));
+  if (state.segs_per_interval <= 0) {
+    return Status::InvalidArgument(
+        "checkpoint does not hold a started session");
+  }
+  uint64_t u = 0;
+  SKY_RETURN_NOT_OK(c.ReadU64(&u));
+  state.history_window = u;
+  SKY_RETURN_NOT_OK(ReadI64(&c, &state.next_index));
+  SKY_RETURN_NOT_OK(c.ReadU64(&u));
+  state.interval_index = u;
+
+  std::string rng_state;
+  SKY_RETURN_NOT_OK(c.ReadString(&rng_state));
+  SKY_RETURN_NOT_OK(state.noise.LoadState(rng_state));
+  SKY_RETURN_NOT_OK(wire::ParseForecaster(&c, &state.forecaster));
+
+  bool has_plan = false;
+  SKY_RETURN_NOT_OK(ReadBool(&c, &has_plan));
+  uint64_t rows = 0, cols = 0;
+  SKY_RETURN_NOT_OK(c.ReadU64(&rows));
+  SKY_RETURN_NOT_OK(c.ReadU64(&cols));
+  if (cols > 0 && rows > c.remaining() / (cols * sizeof(double))) {
+    return Status::InvalidArgument("checkpoint declares impossible plan size");
+  }
+  state.plan.alpha = ml::Matrix(rows, cols, 0.0);
+  if (rows * cols > 0) {
+    SKY_RETURN_NOT_OK(
+        c.Read(state.plan.alpha.data().data(), rows * cols * sizeof(double)));
+  }
+  SKY_RETURN_NOT_OK(c.ReadF64Vec(&state.plan.forecast));
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.plan.expected_quality));
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.plan.expected_work));
+  if (has_plan &&
+      (rows != model.categories.NumCategories() ||
+       cols != model.profiles.size())) {
+    return Status::InvalidArgument(
+        "checkpoint plan shape does not match the model");
+  }
+
+  SKY_RETURN_NOT_OK(ReadBool(&c, &state.boundary_prepared));
+  SKY_RETURN_NOT_OK(ReadBool(&c, &state.boundary_installed));
+  SKY_RETURN_NOT_OK(c.ReadF64Vec(&state.boundary_forecast));
+  SKY_RETURN_NOT_OK(c.ReadF64Vec(&state.plan_features));
+  SKY_RETURN_NOT_OK(c.ReadF64Vec(&state.realized));
+  SKY_RETURN_NOT_OK(c.ReadU64Vec(&state.history));
+  SKY_RETURN_NOT_OK(c.ReadU64(&u));
+  if (u >= model.profiles.size()) {
+    return Status::InvalidArgument(
+        "checkpoint config index out of range for the model");
+  }
+  state.current_config = u;
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.last_measured));
+
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.lag_s));
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.buffered_bytes));
+  uint64_t buf_used = 0, buf_high = 0;
+  SKY_RETURN_NOT_OK(c.ReadU64(&buf_used));
+  SKY_RETURN_NOT_OK(c.ReadU64(&buf_high));
+  if (buf_used > buffer_capacity) {
+    return Status::InvalidArgument("checkpoint buffer fill exceeds capacity");
+  }
+  state.buffer.RestoreParts(buf_used, buf_high);
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.credits_remaining));
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.planned_usd_per_interval));
+
+  SKY_RETURN_NOT_OK(ParseResult(&c, &state.result));
+  SKY_RETURN_NOT_OK(c.ReadF64(&state.next_trace_t));
+
+  std::vector<std::vector<double>> usage_counts;
+  std::vector<double> usage_totals;
+  SKY_RETURN_NOT_OK(c.ReadF64Rows(&usage_counts));
+  SKY_RETURN_NOT_OK(c.ReadF64Vec(&usage_totals));
+  // Install the plan pointer before the histograms: SetPlan resets usage.
+  if (has_plan) state.switcher.SetPlan(&state.plan);
+  SKY_RETURN_NOT_OK(state.switcher.RestoreUsage(usage_counts, usage_totals));
+
+  if (c.remaining() != 0) {
+    return Status::InvalidArgument("checkpoint state has trailing bytes");
+  }
+  // The return move runs IngestState's move constructor, which rebinds the
+  // switcher to the moved plan object.
+  return state;
+}
+
+Status SaveFleetCheckpoint(const FleetCheckpoint& ckpt,
+                           const std::string& path) {
+  std::string out;
+  PutRaw(&out, kMagic, sizeof(kMagic));
+  PutU32(&out, kCheckpointFormatVersion);
+  PutU32(&out, kEndianMarker);
+
+  {
+    std::string p;
+    PutU64(&p, ckpt.streams.size());
+    PutChunk(&out, kChunkMeta, p);
+  }
+  for (size_t v = 0; v < ckpt.streams.size(); ++v) {
+    const StreamCheckpoint& sc = ckpt.streams[v];
+    std::string p;
+    PutU64(&p, v);
+    PutU32(&p, static_cast<uint32_t>(sc.status.code()));
+    PutString(&p, sc.status.ok() ? std::string() : sc.status.message());
+    PutU8(&p, sc.has_state ? 1 : 0);
+    PutString(&p, sc.state);
+    PutChunk(&out, kChunkStream, p);
+  }
+
+  std::string checksum;
+  PutU64(&checksum, Fnv1a64(out.data(), out.size()));
+  PutChunk(&out, kChunkChecksum, checksum);
+  return AtomicWriteFile(path, out);
+}
+
+Result<FleetCheckpoint> LoadFleetCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint file " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("error reading checkpoint file " + path);
+  }
+
+  Cursor header(bytes.data(), bytes.size());
+  char magic[8];
+  SKY_RETURN_NOT_OK(header.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "not a Skyscraper checkpoint file (bad magic)");
+  }
+  uint32_t version = 0, endian = 0;
+  SKY_RETURN_NOT_OK(header.ReadU32(&version));
+  if (version != kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version " + std::to_string(version));
+  }
+  SKY_RETURN_NOT_OK(header.ReadU32(&endian));
+  if (endian != kEndianMarker) {
+    return Status::InvalidArgument(
+        "checkpoint file written with different byte order");
+  }
+
+  // Pass 1: verify the checksum trailer before parsing anything.
+  Cursor walk(bytes.data(), bytes.size());
+  SKY_RETURN_NOT_OK(walk.Skip(16));
+  bool checksum_seen = false;
+  while (walk.remaining() > 0) {
+    char tag[4];
+    SKY_RETURN_NOT_OK(walk.Read(tag, 4));
+    uint64_t size = 0;
+    SKY_RETURN_NOT_OK(walk.ReadU64(&size));
+    if (TagIs(tag, kChunkChecksum)) {
+      if (size != sizeof(uint64_t) || walk.remaining() != size) {
+        return Status::InvalidArgument("malformed checkpoint checksum trailer");
+      }
+      size_t covered = walk.pos() - 12;
+      uint64_t stored = 0;
+      SKY_RETURN_NOT_OK(walk.ReadU64(&stored));
+      if (stored != Fnv1a64(bytes.data(), covered)) {
+        return Status::InvalidArgument(
+            "checkpoint file checksum mismatch (corrupted)");
+      }
+      checksum_seen = true;
+      break;
+    }
+    SKY_RETURN_NOT_OK(walk.Skip(size));
+  }
+  if (!checksum_seen) {
+    return Status::InvalidArgument("checkpoint file missing checksum trailer");
+  }
+
+  // Pass 2: parse the stream entries.
+  FleetCheckpoint ckpt;
+  bool seen_meta = false;
+  uint64_t declared_streams = 0;
+  Cursor c(bytes.data(), bytes.size());
+  SKY_RETURN_NOT_OK(c.Skip(16));
+  while (c.remaining() > 0) {
+    char tag[4];
+    SKY_RETURN_NOT_OK(c.Read(tag, 4));
+    uint64_t size = 0;
+    SKY_RETURN_NOT_OK(c.ReadU64(&size));
+    if (size > c.remaining()) {
+      return Status::InvalidArgument("checkpoint file truncated mid-chunk");
+    }
+    Cursor payload(bytes.data() + c.pos(), size);
+    if (TagIs(tag, kChunkChecksum)) break;
+
+    if (TagIs(tag, kChunkMeta)) {
+      if (seen_meta) {
+        return Status::InvalidArgument("duplicate META chunk in checkpoint");
+      }
+      seen_meta = true;
+      SKY_RETURN_NOT_OK(payload.ReadU64(&declared_streams));
+      // Each stream needs its own chunk later in the file; a count the file
+      // could not possibly hold is corruption, not a big fleet.
+      if (declared_streams > bytes.size()) {
+        return Status::InvalidArgument(
+            "checkpoint declares impossible stream count");
+      }
+      ckpt.streams.reserve(declared_streams);
+    } else if (TagIs(tag, kChunkStream)) {
+      if (!seen_meta) {
+        return Status::InvalidArgument(
+            "checkpoint stream chunk before META");
+      }
+      uint64_t index = 0;
+      SKY_RETURN_NOT_OK(payload.ReadU64(&index));
+      if (index != ckpt.streams.size() || index >= declared_streams) {
+        return Status::InvalidArgument(
+            "checkpoint stream chunks out of order");
+      }
+      StreamCheckpoint sc;
+      uint32_t code = 0;
+      SKY_RETURN_NOT_OK(payload.ReadU32(&code));
+      if (code > static_cast<uint32_t>(StatusCode::kInternal)) {
+        return Status::InvalidArgument("invalid status code in checkpoint");
+      }
+      std::string message;
+      SKY_RETURN_NOT_OK(payload.ReadString(&message));
+      sc.status = code == 0 ? Status::Ok()
+                            : Status(static_cast<StatusCode>(code),
+                                     std::move(message));
+      SKY_RETURN_NOT_OK(ReadBool(&payload, &sc.has_state));
+      SKY_RETURN_NOT_OK(payload.ReadString(&sc.state));
+      ckpt.streams.push_back(std::move(sc));
+    } else {
+      return Status::InvalidArgument("unknown chunk tag in checkpoint file");
+    }
+    if (payload.remaining() != 0) {
+      return Status::InvalidArgument("checkpoint chunk has trailing bytes");
+    }
+    SKY_RETURN_NOT_OK(c.Skip(size));
+  }
+  if (!seen_meta) {
+    return Status::InvalidArgument("checkpoint file is missing META chunk");
+  }
+  if (ckpt.streams.size() != declared_streams) {
+    return Status::InvalidArgument(
+        "checkpoint stream count does not match META");
+  }
+  return ckpt;
+}
+
+}  // namespace sky::io

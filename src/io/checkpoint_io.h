@@ -1,0 +1,63 @@
+#ifndef SKYSCRAPER_IO_CHECKPOINT_IO_H_
+#define SKYSCRAPER_IO_CHECKPOINT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/result.h"
+
+namespace sky::io {
+
+/// Version of the on-disk checkpoint format this build writes (and the only
+/// one it reads — same versioning policy as the model format: bump on any
+/// layout change, readers reject unknown versions rather than guessing).
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// Serializes a full engine session snapshot (core::IngestState) to bytes.
+/// Doubles are raw IEEE-754 and the measurement RNG state is exact, so a
+/// deserialize + IngestionEngine::Restore resumes the run bitwise — the
+/// continuation is indistinguishable from never having stopped, including
+/// the trace. The offline model is NOT embedded (checkpoints stay small);
+/// deserialization borrows category/profile tables from the model the
+/// engine already holds.
+Status SerializeIngestState(const core::IngestState& state, std::string* out);
+
+/// Parses bytes written by SerializeIngestState against `model` — which must
+/// be the model of the engine the state will be restored into (bitwise the
+/// same one that took the checkpoint, or the resumed run diverges).
+/// Corrupted or truncated input, or a state inconsistent with the model's
+/// shapes, yields an error — never a partially filled state.
+Result<core::IngestState> DeserializeIngestState(
+    const std::string& bytes, const core::OfflineModel& model);
+
+/// One stream's entry in a fleet checkpoint: its quarantine status and (for
+/// streams that have started) the serialized engine state.
+struct StreamCheckpoint {
+  Status status;
+  bool has_state = false;
+  std::string state;  ///< SerializeIngestState bytes when has_state
+};
+
+/// A crash-consistent snapshot of an entire StreamSet, taken at a lockstep
+/// plan boundary so every stream is at the same virtual time.
+struct FleetCheckpoint {
+  std::vector<StreamCheckpoint> streams;
+};
+
+/// Writes a fleet checkpoint to `path`: the chunked, checksummed wire format
+/// (magic SKYCKPT1, versioned header, one chunk per stream, FNV-1a trailer)
+/// through io::AtomicWriteFile — a crash mid-save never clobbers the last
+/// good checkpoint.
+Status SaveFleetCheckpoint(const FleetCheckpoint& ckpt,
+                           const std::string& path);
+
+/// Reads a checkpoint written by SaveFleetCheckpoint. kNotFound for a
+/// missing file; kInvalidArgument for corrupt, truncated, or wrong-version
+/// contents (the checksum is verified before anything is parsed).
+Result<FleetCheckpoint> LoadFleetCheckpoint(const std::string& path);
+
+}  // namespace sky::io
+
+#endif  // SKYSCRAPER_IO_CHECKPOINT_IO_H_

@@ -38,7 +38,10 @@ Status SerializeOfflineModel(const core::OfflineModel& model,
 Result<core::OfflineModel> DeserializeOfflineModel(
     const std::string& bytes, std::string* annotation = nullptr);
 
-/// SerializeOfflineModel straight to a file (overwritten if present).
+/// SerializeOfflineModel straight to a file (overwritten if present). The
+/// write is crash-consistent: bytes land in a temp file in the target
+/// directory, are flushed, then renamed over `path` — an interrupted save
+/// never clobbers the last good model (see io::AtomicWriteFile).
 Status SaveOfflineModel(const core::OfflineModel& model,
                         const std::string& path,
                         const std::string& annotation = "");

@@ -1,0 +1,263 @@
+#include "io/wire.h"
+
+#include <cstring>
+#include <utility>
+
+#include "ml/nn.h"
+
+namespace sky::io::wire {
+
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void PutRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void PutU8(std::string* out, uint8_t v) { PutRaw(out, &v, 1); }
+void PutU32(std::string* out, uint32_t v) { PutRaw(out, &v, sizeof(v)); }
+void PutU64(std::string* out, uint64_t v) { PutRaw(out, &v, sizeof(v)); }
+void PutF64(std::string* out, double v) { PutRaw(out, &v, sizeof(v)); }
+
+void PutU64Vec(std::string* out, const std::vector<size_t>& v) {
+  PutU64(out, v.size());
+  for (size_t x : v) PutU64(out, x);
+}
+
+void PutF64Vec(std::string* out, const std::vector<double>& v) {
+  PutU64(out, v.size());
+  if (!v.empty()) PutRaw(out, v.data(), v.size() * sizeof(double));
+}
+
+Status PutF64Rows(std::string* out,
+                  const std::vector<std::vector<double>>& rows) {
+  PutU64(out, rows.size());
+  size_t cols = rows.empty() ? 0 : rows[0].size();
+  PutU64(out, cols);
+  for (const std::vector<double>& row : rows) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("ragged rows are not serializable");
+    }
+    if (!row.empty()) PutRaw(out, row.data(), row.size() * sizeof(double));
+  }
+  return Status::Ok();
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  PutRaw(out, s.data(), s.size());
+}
+
+void PutChunk(std::string* out, const char tag[4], const std::string& payload) {
+  PutRaw(out, tag, 4);
+  PutU64(out, payload.size());
+  out->append(payload);
+}
+
+bool TagIs(const char tag[4], const char expected[4]) {
+  return std::memcmp(tag, expected, 4) == 0;
+}
+
+Status Cursor::Read(void* out, size_t n) {
+  if (n > remaining()) {
+    return Status::InvalidArgument("serialized data truncated mid-field");
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status Cursor::Skip(size_t n) {
+  if (n > remaining()) {
+    return Status::InvalidArgument("serialized data truncated mid-chunk");
+  }
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status Cursor::ReadCount(size_t elem_bytes, uint64_t* count) {
+  SKY_RETURN_NOT_OK(ReadU64(count));
+  if (elem_bytes > 0 && *count > remaining() / elem_bytes) {
+    return Status::InvalidArgument("serialized data declares impossible count");
+  }
+  return Status::Ok();
+}
+
+Status Cursor::ReadU64Vec(std::vector<size_t>* v) {
+  uint64_t n = 0;
+  SKY_RETURN_NOT_OK(ReadCount(sizeof(uint64_t), &n));
+  v->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x = 0;
+    SKY_RETURN_NOT_OK(ReadU64(&x));
+    (*v)[i] = x;
+  }
+  return Status::Ok();
+}
+
+Status Cursor::ReadF64Vec(std::vector<double>* v) {
+  uint64_t n = 0;
+  SKY_RETURN_NOT_OK(ReadCount(sizeof(double), &n));
+  v->resize(n);
+  if (n > 0) return Read(v->data(), n * sizeof(double));
+  return Status::Ok();
+}
+
+Status Cursor::ReadF64Rows(std::vector<std::vector<double>>* rows) {
+  uint64_t k = 0, cols = 0;
+  SKY_RETURN_NOT_OK(ReadU64(&k));
+  SKY_RETURN_NOT_OK(ReadU64(&cols));
+  // Guard the multiplication itself, then the row count — and bound k by
+  // the remaining payload even for zero-width rows, so no crafted header
+  // can request an unbounded allocation.
+  if (cols > remaining() / sizeof(double)) {
+    return Status::InvalidArgument("serialized data declares impossible count");
+  }
+  uint64_t row_bytes = cols * sizeof(double);
+  if (row_bytes > 0 ? k > remaining() / row_bytes : k > remaining()) {
+    return Status::InvalidArgument("serialized data declares impossible count");
+  }
+  rows->assign(k, std::vector<double>(cols));
+  for (auto& row : *rows) {
+    if (cols > 0) SKY_RETURN_NOT_OK(Read(row.data(), cols * sizeof(double)));
+  }
+  return Status::Ok();
+}
+
+Status Cursor::ReadString(std::string* s) {
+  uint64_t n = 0;
+  SKY_RETURN_NOT_OK(ReadCount(1, &n));
+  s->resize(n);
+  if (n > 0) return Read(&(*s)[0], n);
+  return Status::Ok();
+}
+
+void AppendForecaster(const std::optional<core::Forecaster>& forecaster,
+                      std::string* out) {
+  std::string* p = out;
+  PutU8(p, forecaster.has_value() ? 1 : 0);
+  if (!forecaster.has_value()) return;
+  const core::Forecaster& f = *forecaster;
+
+  const core::ForecasterOptions& o = f.options();
+  PutF64(p, o.input_span);
+  PutU64(p, o.input_splits);
+  PutF64(p, o.planned_interval);
+  PutF64(p, o.training_stride);
+  PutU64(p, o.seed);
+  const ml::TrainOptions& t = o.train_options;
+  PutU64(p, t.epochs);
+  PutU64(p, t.batch_size);
+  PutF64(p, t.learning_rate);
+  PutF64(p, t.validation_split);
+  PutU32(p, static_cast<uint32_t>(t.loss));
+  PutU64(p, t.shuffle_seed);
+  PutU8(p, t.keep_best_validation_weights ? 1 : 0);
+  PutU32(p, static_cast<uint32_t>(t.backend));
+  PutU64(p, t.grad_chunk_rows);
+
+  PutU64(p, f.num_categories());
+
+  const ml::TrainReport& r = f.train_report();
+  PutF64Vec(p, r.train_loss_per_epoch);
+  PutF64Vec(p, r.val_loss_per_epoch);
+  PutF64(p, r.best_val_loss);
+  PutU64(p, r.best_epoch);
+
+  ml::NetSnapshot net = f.SnapshotNet();
+  PutU64(p, net.input_dim);
+  PutU64Vec(p, net.hidden);
+  PutU64(p, net.output_dim);
+  PutU32(p, static_cast<uint32_t>(net.output_activation));
+  PutU64(p, net.adam_steps);
+  PutF64Vec(p, net.params);
+  PutF64Vec(p, net.adam_m);
+  PutF64Vec(p, net.adam_v);
+}
+
+Status ParseForecaster(Cursor* c, std::optional<core::Forecaster>* out) {
+  uint8_t present = 0;
+  SKY_RETURN_NOT_OK(c->ReadU8(&present));
+  if (present == 0) {
+    out->reset();
+    return Status::Ok();
+  }
+  if (present != 1) {
+    return Status::InvalidArgument("invalid forecaster presence flag");
+  }
+
+  core::ForecasterOptions o;
+  uint64_t u = 0;
+  uint32_t e = 0;
+  uint8_t b = 0;
+  SKY_RETURN_NOT_OK(c->ReadF64(&o.input_span));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  o.input_splits = u;
+  SKY_RETURN_NOT_OK(c->ReadF64(&o.planned_interval));
+  SKY_RETURN_NOT_OK(c->ReadF64(&o.training_stride));
+  SKY_RETURN_NOT_OK(c->ReadU64(&o.seed));
+  ml::TrainOptions& t = o.train_options;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  t.epochs = u;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  t.batch_size = u;
+  SKY_RETURN_NOT_OK(c->ReadF64(&t.learning_rate));
+  SKY_RETURN_NOT_OK(c->ReadF64(&t.validation_split));
+  SKY_RETURN_NOT_OK(c->ReadU32(&e));
+  if (e > static_cast<uint32_t>(ml::Loss::kCrossEntropy)) {
+    return Status::InvalidArgument("invalid loss id in forecaster payload");
+  }
+  t.loss = static_cast<ml::Loss>(e);
+  SKY_RETURN_NOT_OK(c->ReadU64(&t.shuffle_seed));
+  SKY_RETURN_NOT_OK(c->ReadU8(&b));
+  t.keep_best_validation_weights = b != 0;
+  SKY_RETURN_NOT_OK(c->ReadU32(&e));
+  if (e > static_cast<uint32_t>(ml::TrainBackend::kPerSample)) {
+    return Status::InvalidArgument(
+        "invalid train backend id in forecaster payload");
+  }
+  t.backend = static_cast<ml::TrainBackend>(e);
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  t.grad_chunk_rows = u;
+
+  uint64_t num_categories = 0;
+  SKY_RETURN_NOT_OK(c->ReadU64(&num_categories));
+
+  ml::TrainReport report;
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&report.train_loss_per_epoch));
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&report.val_loss_per_epoch));
+  SKY_RETURN_NOT_OK(c->ReadF64(&report.best_val_loss));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  report.best_epoch = u;
+
+  ml::NetSnapshot net;
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  net.input_dim = u;
+  SKY_RETURN_NOT_OK(c->ReadU64Vec(&net.hidden));
+  SKY_RETURN_NOT_OK(c->ReadU64(&u));
+  net.output_dim = u;
+  SKY_RETURN_NOT_OK(c->ReadU32(&e));
+  if (e > static_cast<uint32_t>(ml::Activation::kSoftmax)) {
+    return Status::InvalidArgument(
+        "invalid activation id in forecaster payload");
+  }
+  net.output_activation = static_cast<ml::Activation>(e);
+  SKY_RETURN_NOT_OK(c->ReadU64(&net.adam_steps));
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&net.params));
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&net.adam_m));
+  SKY_RETURN_NOT_OK(c->ReadF64Vec(&net.adam_v));
+
+  SKY_ASSIGN_OR_RETURN(core::Forecaster forecaster,
+                       core::Forecaster::FromParts(net, o, num_categories,
+                                                   std::move(report)));
+  out->emplace(std::move(forecaster));
+  return Status::Ok();
+}
+
+}  // namespace sky::io::wire

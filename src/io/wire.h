@@ -1,0 +1,96 @@
+#ifndef SKYSCRAPER_IO_WIRE_H_
+#define SKYSCRAPER_IO_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sky::io::wire {
+
+/// Shared primitives of every Skyscraper on-disk format (models and fleet
+/// checkpoints): raw little writers, the bounds-checked Cursor reader, the
+/// FNV-1a integrity hash, tagged chunks, and the forecaster payload. The
+/// byte layout conventions live in docs/model_format.md; each file format
+/// keeps its own magic, version, and chunk tags on top of these.
+
+/// FNV-1a 64-bit over a byte range — cheap, dependency-free integrity check
+/// (this guards against truncation and bit rot, not adversaries).
+uint64_t Fnv1a64(const char* data, size_t n);
+
+// --- Little writer ---------------------------------------------------------
+
+void PutRaw(std::string* out, const void* data, size_t n);
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutF64(std::string* out, double v);
+void PutU64Vec(std::string* out, const std::vector<size_t>& v);
+void PutF64Vec(std::string* out, const std::vector<double>& v);
+
+/// k rows of equal width, stored as (rows, cols, row-major payload).
+Status PutF64Rows(std::string* out,
+                  const std::vector<std::vector<double>>& rows);
+
+void PutString(std::string* out, const std::string& s);
+
+/// Appends one tagged chunk: 4-byte tag, u64 payload size, payload.
+void PutChunk(std::string* out, const char tag[4], const std::string& payload);
+
+bool TagIs(const char tag[4], const char expected[4]);
+
+// --- Bounds-checked reader -------------------------------------------------
+
+/// Sequential reader over serialized bytes. Every accessor checks the
+/// remaining length first, so truncated or corrupted input surfaces as an
+/// error Status instead of an out-of-bounds read.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), end_(size) {}
+
+  size_t remaining() const { return end_ - pos_; }
+  size_t pos() const { return pos_; }
+
+  Status Read(void* out, size_t n);
+  Status Skip(size_t n);
+
+  Status ReadU8(uint8_t* v) { return Read(v, 1); }
+  Status ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  Status ReadF64(double* v) { return Read(v, sizeof(*v)); }
+
+  /// Reads a u64 count that the payload must still be able to satisfy at
+  /// `elem_bytes` per element — rejects absurd counts from corrupt input
+  /// before any allocation is attempted.
+  Status ReadCount(size_t elem_bytes, uint64_t* count);
+
+  Status ReadU64Vec(std::vector<size_t>* v);
+  Status ReadF64Vec(std::vector<double>* v);
+  Status ReadF64Rows(std::vector<std::vector<double>>* rows);
+  Status ReadString(std::string* s);
+
+ private:
+  const char* data_;
+  size_t pos_ = 0;
+  size_t end_;
+};
+
+// --- Forecaster payload ----------------------------------------------------
+
+/// Appends a self-contained forecaster payload (presence flag, options,
+/// train report, net snapshot incl. Adam moments). Shared between the model
+/// FCST chunk and engine checkpoints so the two formats cannot drift; round
+/// trips are bitwise (online fine-tuning resumes identically).
+void AppendForecaster(const std::optional<core::Forecaster>& forecaster,
+                      std::string* out);
+
+/// Parses a payload written by AppendForecaster.
+Status ParseForecaster(Cursor* c, std::optional<core::Forecaster>* out);
+
+}  // namespace sky::io::wire
+
+#endif  // SKYSCRAPER_IO_WIRE_H_

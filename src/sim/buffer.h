@@ -33,6 +33,14 @@ class VideoBuffer {
 
   void Reset();
 
+  /// Reinstates a snapshotted fill level and high-water mark (checkpoint
+  /// restore). Values are clamped to capacity by the caller's validation;
+  /// here they are trusted — this is not a Push and runs no overflow check.
+  void RestoreParts(uint64_t used_bytes, uint64_t high_water_bytes) {
+    used_ = used_bytes;
+    high_water_ = high_water_bytes;
+  }
+
  private:
   uint64_t capacity_;
   uint64_t used_ = 0;

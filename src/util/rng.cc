@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace sky {
 
@@ -32,6 +33,23 @@ bool Rng::Bernoulli(double p) {
 double Rng::Exponential(double rate) {
   std::exponential_distribution<double> dist(rate);
   return dist(engine_);
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::istringstream is(state);
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) {
+    return Status::InvalidArgument("malformed rng state");
+  }
+  engine_ = restored;
+  return Status::Ok();
 }
 
 Rng Rng::Fork(std::string_view tag) const {

@@ -4,8 +4,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/status.h"
 
 namespace sky {
 
@@ -44,6 +47,15 @@ class Rng {
   /// per iteration index draws the same values no matter how many threads
   /// execute the iterations or in which order.
   Rng ForkIndex(uint64_t index) const;
+
+  /// Exact textual snapshot of the generator state (the mt19937_64 stream
+  /// representation). Feeding it back through LoadState resumes the draw
+  /// sequence bitwise — the basis of checkpoint/restore determinism.
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState. kInvalidArgument if the text
+  /// does not parse as a valid engine state (generator left unchanged).
+  Status LoadState(const std::string& state);
 
   template <typename T>
   void Shuffle(std::vector<T>* v) {

@@ -22,11 +22,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 
 #include "api/skyscraper.h"
 #include "core/engine.h"
+#include "io/atomic_file.h"
 #include "core/offline.h"
 #include "workloads/ev_counting.h"
 
@@ -56,6 +59,13 @@ const core::OfflineModel& FittedModel() {
     return new core::OfflineModel(std::move(fitted).value());
   }();
   return *model;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 std::string Serialized(const std::string& annotation = "EV-COUNT") {
@@ -256,6 +266,38 @@ TEST(ModelIoTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(ModelIoTest, InjectedWriteFailureLeavesExistingFileIntact) {
+  std::string path = ::testing::TempDir() + "/sky_model_atomic_test.bin";
+  ASSERT_TRUE(SaveOfflineModel(FittedModel(), path, "EV-COUNT").ok());
+  std::string before = ReadWholeFile(path);
+  ASSERT_FALSE(before.empty());
+
+  // Fail the write after the temp file is populated but before the rename:
+  // the publish step must never replace the old file with a partial one.
+  SetAtomicWriteFaultHookForTest(
+      [](const std::string&) { return Status::Internal("injected disk full"); });
+  Status saved = SaveOfflineModel(FittedModel(), path, "OTHER-ANNOTATION");
+  SetAtomicWriteFaultHookForTest(nullptr);
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kInternal);
+
+  // Original bytes untouched, temp file cleaned up, model still loads.
+  EXPECT_EQ(ReadWholeFile(path), before);
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  std::string annotation;
+  auto loaded = LoadOfflineModel(path, &annotation);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(annotation, "EV-COUNT");
+
+  // With the hook cleared the same save goes through.
+  ASSERT_TRUE(SaveOfflineModel(FittedModel(), path, "OTHER-ANNOTATION").ok());
+  annotation.clear();
+  ASSERT_TRUE(LoadOfflineModel(path, &annotation).ok());
+  EXPECT_EQ(annotation, "OTHER-ANNOTATION");
+  std::remove(path.c_str());
+}
+
 // --- Facade paths ----------------------------------------------------------
 
 TEST(ModelIoFacadeTest, SaveModelWithoutModelIsFailedPrecondition) {
@@ -321,11 +363,13 @@ TEST(ModelIoFacadeTest, FailedLoadKeepsPreviousModel) {
   EXPECT_TRUE(sky.fitted());
   EXPECT_TRUE(sky.model().ok());
 
-  // Annotation mismatch is likewise refused without clobbering the model.
+  // Annotation mismatch is likewise refused without clobbering the model —
+  // and distinguishable from corruption: the file parsed, it is just a model
+  // for a different job (kFailedPrecondition, not kInvalidArgument).
   ASSERT_TRUE(sky.SaveModel(path, "EV-COUNT").ok());
   Status mismatch = sky.LoadModel(path, "COVID");
   EXPECT_FALSE(mismatch.ok());
-  EXPECT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mismatch.code(), StatusCode::kFailedPrecondition);
   EXPECT_TRUE(sky.fitted());
   std::remove(path.c_str());
 }

@@ -1,0 +1,441 @@
+// Crash-consistent recovery and self-healing supervision. Gates:
+//  - engine level: a run interrupted by a throwing workload UDF, restored
+//    from its last plan-boundary Checkpoint() and driven to completion, is
+//    BITWISE identical (full trace included) to the run that never faulted;
+//  - checkpoint wire format: serialize -> deserialize -> re-serialize is
+//    byte-stable, a restored fresh engine finishes bitwise identical to the
+//    original, and corrupt/truncated/missing checkpoint files error cleanly;
+//  - fleet level: StreamSet supervision restarts a failed stream from its
+//    boundary snapshot — results bitwise identical to the never-faulted
+//    fleet at worker counts {1, 2, 8} — and a stream that keeps failing
+//    burns its restart budget and quarantines without deadlocking anyone;
+//  - fleet checkpoints: SaveCheckpoint -> RecoverFromCheckpoint -> complete
+//    reproduces the uninterrupted fleet bitwise, and the periodic
+//    auto-checkpoint writes a loadable file during the run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/multi_stream.h"
+#include "core/offline.h"
+#include "dag/thread_pool.h"
+#include "io/checkpoint_io.h"
+#include "sim/faults.h"
+#include "workloads/ev_counting.h"
+
+namespace sky {
+namespace {
+
+using core::EngineOptions;
+using core::EngineResult;
+using core::EngineResultsIdentical;
+using core::IngestionEngine;
+using core::IngestState;
+using core::OfflineModel;
+using core::StreamEngineJob;
+using core::StreamSet;
+using core::StreamSetOptions;
+
+/// EvCountingWorkload that throws from MeasuredQuality once armed, then
+/// disarms — the transient "UDF crashed once" failure a supervised restart
+/// must absorb.
+class ThrowingWorkload : public workloads::EvCountingWorkload {
+ public:
+  explicit ThrowingWorkload(uint64_t seed)
+      : workloads::EvCountingWorkload(seed) {}
+
+  void ArmAfter(long n) { remaining_ = n; }
+
+  double MeasuredQuality(const core::KnobConfig& config,
+                         const video::ContentState& content,
+                         Rng* rng) const override {
+    if (remaining_ >= 0 && remaining_-- == 0) {
+      throw std::runtime_error("injected workload failure");
+    }
+    return workloads::EvCountingWorkload::MeasuredQuality(config, content,
+                                                          rng);
+  }
+
+ private:
+  mutable long remaining_ = -1;
+};
+
+/// Throws on EVERY MeasuredQuality call past the arming point — the
+/// persistent failure that must exhaust the restart budget.
+class PersistentlyThrowingWorkload : public workloads::EvCountingWorkload {
+ public:
+  PersistentlyThrowingWorkload(uint64_t seed, long after)
+      : workloads::EvCountingWorkload(seed), after_(after) {}
+
+  double MeasuredQuality(const core::KnobConfig& config,
+                         const video::ContentState& content,
+                         Rng* rng) const override {
+    if (calls_++ >= after_) {
+      throw std::runtime_error("persistent workload failure");
+    }
+    return workloads::EvCountingWorkload::MeasuredQuality(config, content,
+                                                          rng);
+  }
+
+ private:
+  long after_;
+  mutable long calls_ = 0;
+};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kStreams = 5;
+
+  static void SetUpTestSuite() {
+    cluster_.cores = 4;
+    cost_model_ = new sim::CostModel(1.8);
+    core::OfflineOptions opts;
+    opts.segment_seconds = 4.0;
+    opts.train_horizon = Days(3);
+    opts.num_categories = 3;
+    opts.train_forecaster = false;  // keep the fixture fast
+    for (size_t s = 0; s < kStreams; ++s) {
+      workloads_[s] =
+          new workloads::EvCountingWorkload(static_cast<uint64_t>(8400 + s));
+      auto model =
+          core::RunOfflinePhase(*workloads_[s], cluster_, *cost_model_, opts);
+      ASSERT_TRUE(model.ok()) << model.status().ToString();
+      models_[s] = new OfflineModel(std::move(*model));
+    }
+  }
+  static void TearDownTestSuite() {
+    for (size_t s = 0; s < kStreams; ++s) {
+      delete models_[s];
+      delete workloads_[s];
+    }
+    delete cost_model_;
+  }
+
+  static EngineOptions BaseOptions() {
+    EngineOptions opts;
+    opts.duration = Hours(6);
+    opts.plan_interval = Hours(2);
+    opts.cloud_budget_usd_per_interval = 1.0;
+    // Traces make the bitwise comparisons maximally sensitive.
+    opts.record_trace = true;
+    opts.trace_resolution_s = 300.0;
+    return opts;
+  }
+
+  static std::vector<StreamEngineJob> MakeJobs() {
+    std::vector<StreamEngineJob> jobs;
+    for (size_t s = 0; s < kStreams; ++s) {
+      StreamEngineJob job;
+      job.workload = workloads_[s];
+      job.model = models_[s];
+      job.cluster = cluster_;
+      job.cost_model = cost_model_;
+      job.options = BaseOptions();
+      job.start_time = Days(3);
+      jobs.push_back(job);
+    }
+    return jobs;
+  }
+
+  static std::vector<Result<EngineResult>> ReferenceResults() {
+    auto set = StreamSet::Create(MakeJobs(), StreamSetOptions{});
+    EXPECT_TRUE(set.ok());
+    while (!set->Done()) EXPECT_TRUE(set->Step().ok());
+    return set->Results();
+  }
+
+  static workloads::EvCountingWorkload* workloads_[kStreams];
+  static OfflineModel* models_[kStreams];
+  static sim::ClusterSpec cluster_;
+  static sim::CostModel* cost_model_;
+};
+
+workloads::EvCountingWorkload* RecoveryTest::workloads_[kStreams] = {};
+OfflineModel* RecoveryTest::models_[kStreams] = {};
+sim::ClusterSpec RecoveryTest::cluster_;
+sim::CostModel* RecoveryTest::cost_model_ = nullptr;
+
+TEST_F(RecoveryTest, EngineRestoredFromBoundaryCheckpointMatchesFaultFree) {
+  IngestionEngine clean(workloads_[0], models_[0], cluster_, cost_model_,
+                        BaseOptions());
+  auto fault_free = clean.Run(Days(3));
+  ASSERT_TRUE(fault_free.ok());
+
+  // The same run under an injected UDF throw mid-interval, driven by a
+  // manual supervisor: snapshot every boundary, restore + replay on failure.
+  sim::FaultPlan plan;
+  plan.AddUdfThrow(Days(3) + Hours(3));
+  sim::FaultInjector injector(plan, 11u);
+  EngineOptions opts = BaseOptions();
+  opts.fault_injector = &injector;
+  IngestionEngine engine(workloads_[0], models_[0], cluster_, cost_model_,
+                         opts);
+  ASSERT_TRUE(engine.Start(Days(3)).ok());
+  std::optional<IngestState> boundary_ckpt;
+  size_t restarts = 0;
+  while (!engine.Done()) {
+    if (engine.AtPlanBoundary()) {
+      auto snap = engine.Checkpoint();
+      ASSERT_TRUE(snap.ok());
+      boundary_ckpt.emplace(std::move(*snap));
+    }
+    try {
+      Status stepped = engine.Step();
+      ASSERT_TRUE(stepped.ok()) << stepped.ToString();
+    } catch (const std::runtime_error&) {
+      ASSERT_TRUE(boundary_ckpt.has_value());
+      ASSERT_TRUE(engine.Restore(*boundary_ckpt).ok());
+      ++restarts;
+    }
+  }
+  EXPECT_EQ(restarts, 1u);  // the one-shot fired exactly once
+  EXPECT_TRUE(EngineResultsIdentical(*fault_free, engine.partial_result()));
+}
+
+TEST_F(RecoveryTest, SerializedCheckpointRestoresBitwiseIntoFreshEngine) {
+  IngestionEngine original(workloads_[0], models_[0], cluster_, cost_model_,
+                           BaseOptions());
+  ASSERT_TRUE(original.Start(Days(3)).ok());
+  // Deliberately mid-interval: the snapshot must carry partial-interval
+  // state (lag, histograms, RNG position), not just boundary state.
+  ASSERT_TRUE(original.RunUntil(Days(3) + Hours(3)).ok());
+
+  auto snap = original.Checkpoint();
+  ASSERT_TRUE(snap.ok());
+  std::string bytes;
+  ASSERT_TRUE(io::SerializeIngestState(*snap, &bytes).ok());
+
+  auto parsed = io::DeserializeIngestState(bytes, *models_[0]);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string bytes_again;
+  ASSERT_TRUE(io::SerializeIngestState(*parsed, &bytes_again).ok());
+  EXPECT_EQ(bytes, bytes_again);  // byte-stable round trip
+
+  IngestionEngine resumed(workloads_[0], models_[0], cluster_, cost_model_,
+                          BaseOptions());
+  ASSERT_TRUE(resumed.Restore(*parsed).ok());
+  while (!original.Done()) ASSERT_TRUE(original.Step().ok());
+  while (!resumed.Done()) ASSERT_TRUE(resumed.Step().ok());
+  EXPECT_TRUE(EngineResultsIdentical(original.partial_result(),
+                                     resumed.partial_result()));
+
+  // And both match the uninterrupted batch run.
+  IngestionEngine clean(workloads_[0], models_[0], cluster_, cost_model_,
+                        BaseOptions());
+  auto fault_free = clean.Run(Days(3));
+  ASSERT_TRUE(fault_free.ok());
+  EXPECT_TRUE(
+      EngineResultsIdentical(*fault_free, resumed.partial_result()));
+}
+
+TEST_F(RecoveryTest, CorruptCheckpointBytesAreRefused) {
+  IngestionEngine engine(workloads_[0], models_[0], cluster_, cost_model_,
+                         BaseOptions());
+  ASSERT_TRUE(engine.Start(Days(3)).ok());
+  ASSERT_TRUE(engine.RunUntil(Days(3) + Hours(1)).ok());
+  auto snap = engine.Checkpoint();
+  ASSERT_TRUE(snap.ok());
+  std::string bytes;
+  ASSERT_TRUE(io::SerializeIngestState(*snap, &bytes).ok());
+
+  // Truncation and bit flips at several offsets: always a clean error.
+  for (size_t cut : {size_t{0}, size_t{3}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    auto parsed =
+        io::DeserializeIngestState(bytes.substr(0, cut), *models_[0]);
+    EXPECT_FALSE(parsed.ok()) << "truncated at " << cut;
+  }
+  for (size_t flip : {size_t{0}, bytes.size() / 3, bytes.size() / 2}) {
+    std::string mangled = bytes;
+    mangled[flip] ^= 0x20;
+    auto parsed = io::DeserializeIngestState(mangled, *models_[0]);
+    EXPECT_FALSE(parsed.ok()) << "flipped at " << flip;
+  }
+}
+
+TEST_F(RecoveryTest, FleetSupervisionHealsBitwiseAcrossWorkerCounts) {
+  auto reference = ReferenceResults();
+
+  dag::ThreadPool pool_of_1(1);
+  dag::ThreadPool pool_of_7(7);
+  struct Case {
+    const char* label;
+    dag::ThreadPool* pool;
+  } cases[] = {{"1 worker", nullptr},
+               {"2 workers", &pool_of_1},
+               {"8 workers", &pool_of_7}};
+  for (const Case& c : cases) {
+    // Stream 2's workload throws once mid-run; with a restart budget the
+    // supervisor must absorb it and reproduce the fault-free fleet exactly.
+    ThrowingWorkload bad(8402);
+    std::vector<StreamEngineJob> jobs = MakeJobs();
+    jobs[2].workload = &bad;
+    StreamSetOptions options;
+    options.max_stream_restarts = 2;
+    auto set = StreamSet::Create(jobs, options);
+    ASSERT_TRUE(set.ok());
+    bad.ArmAfter(40);
+    ASSERT_TRUE(set->RunToCompletion(c.pool).ok()) << c.label;
+    ASSERT_TRUE(set->Done()) << c.label;
+    EXPECT_EQ(set->total_restarts(), 1u) << c.label;
+    EXPECT_EQ(set->stream_restarts(2), 1u) << c.label;
+
+    auto results = set->Results();
+    ASSERT_EQ(results.size(), kStreams);
+    for (size_t v = 0; v < kStreams; ++v) {
+      ASSERT_TRUE(reference[v].ok() && results[v].ok())
+          << c.label << ", stream " << v;
+      EXPECT_TRUE(EngineResultsIdentical(*reference[v], *results[v]))
+          << c.label << ", stream " << v;
+    }
+  }
+}
+
+TEST_F(RecoveryTest, PersistentFailureExhaustsRestartBudgetWithoutDeadlock) {
+  dag::ThreadPool pool_of_1(1);
+  dag::ThreadPool pool_of_7(7);
+  struct Case {
+    const char* label;
+    dag::ThreadPool* pool;
+  } cases[] = {{"1 worker", nullptr},
+               {"2 workers", &pool_of_1},
+               {"8 workers", &pool_of_7}};
+  for (const Case& c : cases) {
+    PersistentlyThrowingWorkload bad(8401, 40);
+    std::vector<StreamEngineJob> jobs = MakeJobs();
+    jobs[1].workload = &bad;
+    StreamSetOptions options;
+    options.max_stream_restarts = 2;
+    auto set = StreamSet::Create(jobs, options);
+    ASSERT_TRUE(set.ok());
+    ASSERT_TRUE(set->RunToCompletion(c.pool).ok()) << c.label;
+    ASSERT_TRUE(set->Done()) << c.label;
+
+    // The budget was spent, then the stream was declared dead; everyone
+    // else finished every segment.
+    EXPECT_EQ(set->stream_restarts(1), 2u) << c.label;
+    auto results = set->Results();
+    EXPECT_FALSE(results[1].ok()) << c.label;
+    EXPECT_EQ(results[1].status().code(), StatusCode::kInternal) << c.label;
+    size_t expected_segments = static_cast<size_t>(Hours(6) / 4.0);
+    for (size_t v = 0; v < kStreams; ++v) {
+      if (v == 1) continue;
+      ASSERT_TRUE(results[v].ok()) << c.label << ", stream " << v;
+      EXPECT_EQ(results[v]->segments, expected_segments) << c.label;
+    }
+  }
+}
+
+TEST_F(RecoveryTest, FleetCheckpointRecoversBitwiseMidRun) {
+  auto reference = ReferenceResults();
+  const std::string path = testing::TempDir() + "fleet_mid_run.ckpt";
+
+  // Run half the fleet's horizon, checkpoint, and simulate process death by
+  // dropping the set entirely.
+  {
+    auto set = StreamSet::Create(MakeJobs(), StreamSetOptions{});
+    ASSERT_TRUE(set.ok());
+    ASSERT_TRUE(set->RunUntilElapsed(Hours(3)).ok());
+    ASSERT_TRUE(set->SaveCheckpoint(path).ok());
+  }
+
+  // A fresh process: same jobs, recovered state, driven to completion at
+  // several worker counts — all bitwise equal to the uninterrupted fleet.
+  dag::ThreadPool pool_of_7(7);
+  for (dag::ThreadPool* pool : {static_cast<dag::ThreadPool*>(nullptr),
+                                &pool_of_7}) {
+    auto recovered = StreamSet::RecoverFromCheckpoint(MakeJobs(), path);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ASSERT_TRUE(recovered->RunToCompletion(pool).ok());
+    auto results = recovered->Results();
+    ASSERT_EQ(results.size(), kStreams);
+    for (size_t v = 0; v < kStreams; ++v) {
+      ASSERT_TRUE(reference[v].ok() && results[v].ok()) << "stream " << v;
+      EXPECT_TRUE(EngineResultsIdentical(*reference[v], *results[v]))
+          << "stream " << v;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(RecoveryTest, AutoCheckpointWritesLoadableFleetSnapshots) {
+  auto reference = ReferenceResults();
+  const std::string path = testing::TempDir() + "fleet_auto.ckpt";
+  std::remove(path.c_str());
+
+  StreamSetOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_every_boundaries = 1;
+  auto set = StreamSet::Create(MakeJobs(), options);
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(set->RunToCompletion(nullptr).ok());
+  ASSERT_TRUE(set->last_checkpoint_status().ok())
+      << set->last_checkpoint_status().ToString();
+
+  // The file on disk is the LAST boundary's snapshot; recovering it replays
+  // only the final interval — bitwise equal to the uninterrupted fleet, and
+  // the checkpointing run itself is unperturbed by the side writes.
+  auto own_results = set->Results();
+  auto recovered = StreamSet::RecoverFromCheckpoint(MakeJobs(), path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_TRUE(recovered->RunToCompletion(nullptr).ok());
+  auto results = recovered->Results();
+  for (size_t v = 0; v < kStreams; ++v) {
+    ASSERT_TRUE(reference[v].ok() && results[v].ok()) << "stream " << v;
+    EXPECT_TRUE(EngineResultsIdentical(*reference[v], *results[v]))
+        << "stream " << v;
+    ASSERT_TRUE(own_results[v].ok());
+    EXPECT_TRUE(EngineResultsIdentical(*reference[v], *own_results[v]))
+        << "stream " << v;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(RecoveryTest, FleetCheckpointFileErrorsAreClean) {
+  auto missing = io::LoadFleetCheckpoint(testing::TempDir() +
+                                         "no_such_fleet.ckpt");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  const std::string path = testing::TempDir() + "fleet_corrupt.ckpt";
+  {
+    auto set = StreamSet::Create(MakeJobs(), StreamSetOptions{});
+    ASSERT_TRUE(set.ok());
+    ASSERT_TRUE(set->RunUntilElapsed(Hours(1)).ok());
+    ASSERT_TRUE(set->SaveCheckpoint(path).ok());
+  }
+
+  // Recovering into a fleet of the wrong size is refused (while the file is
+  // still valid).
+  std::vector<StreamEngineJob> too_few = MakeJobs();
+  too_few.pop_back();
+  auto mismatched = StreamSet::RecoverFromCheckpoint(too_few, path);
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+
+  // Flip one byte mid-file: the checksum must catch it before any parsing.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 128, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 128, SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  auto corrupt = io::LoadFleetCheckpoint(path);
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kInvalidArgument);
+  auto recovered = StreamSet::RecoverFromCheckpoint(MakeJobs(), path);
+  EXPECT_FALSE(recovered.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sky

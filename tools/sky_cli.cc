@@ -19,6 +19,16 @@
 // between the two phases: the model's placement profiles describe the
 // cluster they were profiled on (the provisioning is deliberately NOT part
 // of the model file — the same reason you pass the same --workload).
+//
+// Exit codes (scriptable: every failure is one line on stderr, nothing on
+// stdout):
+//   0  success
+//   1  any other runtime failure
+//   2  usage error (unknown flag/subcommand/workload, missing required flag)
+//   3  I/O failure (model file missing or unreadable, save failed)
+//   4  corrupt model file (bad magic/version/checksum/layout)
+//   5  model/workload mismatch (the file is fine, but trained for a
+//      different job than --workload)
 
 #include <cstdio>
 #include <cstdlib>
@@ -161,9 +171,29 @@ sky::api::Resources MakeResources(const Flags& f) {
   return res;
 }
 
+/// Maps a failure Status onto the documented exit codes: the scripting
+/// contract is "the exit code tells you WHAT went wrong, stderr tells you
+/// where". I/O-level failures surface as kNotFound (missing file) or
+/// kInternal (read/write error); a file that exists but does not parse is
+/// kInvalidArgument; a parseable model for the wrong job is
+/// kFailedPrecondition.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case sky::StatusCode::kNotFound:
+    case sky::StatusCode::kInternal:
+      return 3;
+    case sky::StatusCode::kInvalidArgument:
+      return 4;
+    case sky::StatusCode::kFailedPrecondition:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "sky: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeFor(status);
 }
 
 int RunOffline(const Flags& f) {
@@ -259,13 +289,15 @@ int RunIngest(const Flags& f) {
     return 2;
   }
 
+  auto result = sky.Ingest(Days(start_days), opts);
+  if (!result.ok()) return Fail(result.status());
+
+  // All output after the run succeeds: a failing invocation writes exactly
+  // one line to stderr and nothing to stdout (the exit-code contract above).
   std::printf("sky ingest: %s from %s (day %.1f, %.1f days, plan every "
               "%.1f days, %d cores, $%.2f cloud/interval)\n",
               workload->name().c_str(), f.model.c_str(), start_days,
               f.duration_days, plan_interval_days, f.cores, f.cloud_budget);
-  auto result = sky.Ingest(Days(start_days), opts);
-  if (!result.ok()) return Fail(result.status());
-
   std::printf("  segments          %zu\n", result->segments);
   std::printf("  mean quality      %.4f\n", result->mean_quality);
   std::printf("  work              %.1f core-s (%.1f on-prem)\n",
