@@ -1,0 +1,50 @@
+#include "api/workload_registry.h"
+
+#include "workloads/covid.h"
+#include "workloads/ev_counting.h"
+#include "workloads/mosei.h"
+#include "workloads/mot.h"
+
+namespace sky::api {
+
+const std::vector<std::string>& KnownWorkloadNames() {
+  static const std::vector<std::string> kNames = {
+      "ev", "covid", "mot", "mosei-high", "mosei-long"};
+  return kNames;
+}
+
+std::unique_ptr<core::Workload> MakeWorkloadByName(const std::string& name) {
+  return MakeWorkloadByName(name, std::nullopt);
+}
+
+std::unique_ptr<core::Workload> MakeWorkloadByName(
+    const std::string& name, std::optional<uint64_t> content_seed) {
+  using namespace sky::workloads;
+  if (name == "ev") {
+    return content_seed ? std::make_unique<EvCountingWorkload>(*content_seed)
+                        : std::make_unique<EvCountingWorkload>();
+  }
+  if (name == "covid") {
+    return content_seed ? std::make_unique<CovidWorkload>(*content_seed)
+                        : std::make_unique<CovidWorkload>();
+  }
+  if (name == "mot") {
+    return content_seed ? std::make_unique<MotWorkload>(*content_seed)
+                        : std::make_unique<MotWorkload>();
+  }
+  if (name == "mosei-high") {
+    return content_seed ? std::make_unique<MoseiWorkload>(
+                              MoseiWorkload::SpikeKind::kHigh, *content_seed)
+                        : std::make_unique<MoseiWorkload>(
+                              MoseiWorkload::SpikeKind::kHigh);
+  }
+  if (name == "mosei-long") {
+    return content_seed ? std::make_unique<MoseiWorkload>(
+                              MoseiWorkload::SpikeKind::kLong, *content_seed)
+                        : std::make_unique<MoseiWorkload>(
+                              MoseiWorkload::SpikeKind::kLong);
+  }
+  return nullptr;
+}
+
+}  // namespace sky::api

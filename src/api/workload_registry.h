@@ -1,0 +1,35 @@
+#ifndef SKYSCRAPER_API_WORKLOAD_REGISTRY_H_
+#define SKYSCRAPER_API_WORKLOAD_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+
+namespace sky::api {
+
+/// The built-in workloads by registry name — the single place a short
+/// workload name ("ev", "covid", ...) turns into a core::Workload instance.
+/// The `sky` CLI resolves its --workload flag here, and the serve server
+/// uses the same mapping to rebuild a session's workload from the name its
+/// checkpoint recorded, so a recovered session runs the exact simulation
+/// the original did.
+
+/// Registry names, in stable presentation order (usage text, error hints).
+const std::vector<std::string>& KnownWorkloadNames();
+
+/// Builds the named workload with its default content seed; null for an
+/// unknown name.
+std::unique_ptr<core::Workload> MakeWorkloadByName(const std::string& name);
+
+/// Same, with an explicit content seed — distinct seeds give distinct
+/// stream content, which is how a multi-tenant fleet runs N different
+/// cameras of one workload family. Unset uses the workload's default.
+std::unique_ptr<core::Workload> MakeWorkloadByName(
+    const std::string& name, std::optional<uint64_t> content_seed);
+
+}  // namespace sky::api
+
+#endif  // SKYSCRAPER_API_WORKLOAD_REGISTRY_H_

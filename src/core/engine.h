@@ -381,6 +381,18 @@ class IngestionEngine {
   const EngineOptions& options() const { return options_; }
   const OfflineModel& model() const { return *model_; }
 
+  /// Live reconfiguration: both fields below are read only when a plan is
+  /// installed at a boundary (credit refill / budget derivation), so
+  /// changing them mid-interval is safe and takes effect at the NEXT plan
+  /// boundary — never retroactively. This is the per-stream knob surface
+  /// `sky serve` exposes to connected clients.
+  void set_cloud_budget_usd_per_interval(double usd) {
+    options_.cloud_budget_usd_per_interval = usd;
+  }
+  void set_work_budget_override(double core_s_per_video_s) {
+    options_.work_budget_override = core_s_per_video_s;
+  }
+
  private:
   /// Realized category distribution over the plan interval starting at
   /// global segment `first_segment_index`, using ground-truth classification

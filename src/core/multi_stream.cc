@@ -168,14 +168,22 @@ Result<StreamSet> StreamSet::RecoverFromCheckpoint(
     StreamSetOptions options) {
   Result<io::FleetCheckpoint> loaded = io::LoadFleetCheckpoint(path);
   SKY_RETURN_NOT_OK(loaded.status());
-  if (loaded->streams.size() != jobs.size()) {
+  return RecoverFromCheckpoint(std::move(jobs), *loaded, options);
+}
+
+Result<StreamSet> StreamSet::RecoverFromCheckpoint(
+    std::vector<StreamEngineJob> jobs, const io::FleetCheckpoint& ckpt,
+    StreamSetOptions options) {
+  if (jobs.size() < ckpt.streams.size()) {
     return Status::InvalidArgument(
-        "checkpoint stream count does not match the provided jobs");
+        "checkpoint holds more streams than the provided jobs");
   }
   Result<StreamSet> set = StreamSet::Create(std::move(jobs), options);
   SKY_RETURN_NOT_OK(set.status());
-  for (size_t v = 0; v < set->engines_.size(); ++v) {
-    const io::StreamCheckpoint& sc = loaded->streams[v];
+  // Trailing jobs beyond the checkpointed count joined the fleet after the
+  // snapshot (rolling restart); they were started fresh by Create above.
+  for (size_t v = 0; v < ckpt.streams.size(); ++v) {
+    const io::StreamCheckpoint& sc = ckpt.streams[v];
     if (!sc.status.ok()) {
       // The stream was already quarantined when the checkpoint was taken;
       // it comes back quarantined with the same error.
@@ -195,17 +203,114 @@ Result<StreamSet> StreamSet::RecoverFromCheckpoint(
   return set;
 }
 
+bool StreamSet::AtLockstepBoundary() const {
+  if (options_.planning != MultiStreamPlanning::kJoint) return true;
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    if (Active(v) && !engines_[v]->AtPlanBoundary()) return false;
+  }
+  return true;
+}
+
+Result<size_t> StreamSet::AddStream(const StreamEngineJob& job) {
+  if (!AtLockstepBoundary()) {
+    return Status::FailedPrecondition(
+        "streams can only join the fleet at a lockstep plan boundary");
+  }
+  if (job.workload == nullptr || job.model == nullptr ||
+      job.cost_model == nullptr) {
+    return Status::InvalidArgument("null pointer in stream job");
+  }
+  auto engine = std::make_unique<IngestionEngine>(
+      job.workload, job.model, job.cluster, job.cost_model, job.options);
+  SKY_RETURN_NOT_OK(engine->Start(job.start_time));
+  if (options_.planning == MultiStreamPlanning::kJoint) {
+    // Lockstep cadence was validated pairwise at Create and on every prior
+    // admission, so one live reference stream decides for the fleet.
+    for (size_t v = 0; v < engines_.size(); ++v) {
+      if (!Active(v)) continue;
+      if (job.model->segment_seconds != jobs_[v].model->segment_seconds ||
+          engine->segments_per_interval() !=
+              engines_[v]->segments_per_interval()) {
+        return Status::InvalidArgument(
+            "joint planning requires every stream to share one segment "
+            "length and plan interval (lockstep boundaries)");
+      }
+      break;
+    }
+  }
+  // The joint planner sees a changed (stream, category) layout at the next
+  // boundary and re-solves cold for the new membership by itself.
+  jobs_.push_back(job);
+  engines_.push_back(std::move(engine));
+  statuses_.push_back(Status::Ok());
+  boundary_ckpts_.emplace_back();
+  restarts_used_.push_back(0);
+  return engines_.size() - 1;
+}
+
+Status StreamSet::RemoveStream(size_t v) {
+  if (v >= engines_.size()) {
+    return Status::InvalidArgument("stream index out of range");
+  }
+  if (Active(v) && !engines_[v]->AtPlanBoundary()) {
+    return Status::FailedPrecondition(
+        "a live stream can only leave the fleet at a lockstep plan boundary");
+  }
+  engines_[v] = nullptr;
+  boundary_ckpts_[v] = nullptr;
+  // The slot stays occupied so indices (and Results() job order) remain
+  // stable; it reads as a terminal, non-restartable state from here on.
+  statuses_[v] =
+      Status::FailedPrecondition("stream removed from the fleet");
+  return Status::Ok();
+}
+
+Status StreamSet::ReconfigureStream(size_t v, const StreamReconfig& changes) {
+  if (v >= engines_.size() || engines_[v] == nullptr) {
+    return Status::InvalidArgument("no such stream");
+  }
+  if (!statuses_[v].ok()) {
+    return Status::FailedPrecondition(
+        "cannot reconfigure a quarantined stream");
+  }
+  if ((changes.cloud_budget_usd_per_interval.has_value() &&
+       !(*changes.cloud_budget_usd_per_interval >= 0.0)) ||
+      (changes.work_budget_override.has_value() &&
+       !(*changes.work_budget_override >= 0.0))) {
+    return Status::InvalidArgument("budgets must be non-negative");
+  }
+  if (changes.cloud_budget_usd_per_interval.has_value()) {
+    engines_[v]->set_cloud_budget_usd_per_interval(
+        *changes.cloud_budget_usd_per_interval);
+  }
+  if (changes.work_budget_override.has_value()) {
+    engines_[v]->set_work_budget_override(*changes.work_budget_override);
+  }
+  return Status::Ok();
+}
+
+double StreamSet::CheapestFleetCostCoreSPerVideoS() const {
+  double total = 0.0;
+  for (size_t v = 0; v < engines_.size(); ++v) {
+    if (!Active(v)) continue;
+    const std::vector<double>& costs = engines_[v]->config_costs();
+    if (costs.empty()) continue;
+    total += *std::min_element(costs.begin(), costs.end());
+  }
+  return total;
+}
+
 size_t StreamSet::total_restarts() const {
   size_t total = 0;
   for (size_t used : restarts_used_) total += used;
   return total;
 }
 
-Status StreamSet::SaveCheckpoint(const std::string& path) const {
-  io::FleetCheckpoint ckpt;
-  ckpt.streams.resize(engines_.size());
+Status StreamSet::CaptureCheckpoint(io::FleetCheckpoint* out) const {
+  out->streams.clear();
+  out->streams.resize(engines_.size());
   for (size_t v = 0; v < engines_.size(); ++v) {
-    io::StreamCheckpoint& sc = ckpt.streams[v];
+    io::StreamCheckpoint& sc = out->streams[v];
     sc.status = statuses_[v];
     if (engines_[v] == nullptr || !engines_[v]->started()) continue;
     Result<IngestState> snap = engines_[v]->Checkpoint();
@@ -213,6 +318,12 @@ Status StreamSet::SaveCheckpoint(const std::string& path) const {
     SKY_RETURN_NOT_OK(io::SerializeIngestState(*snap, &sc.state));
     sc.has_state = true;
   }
+  return Status::Ok();
+}
+
+Status StreamSet::SaveCheckpoint(const std::string& path) const {
+  io::FleetCheckpoint ckpt;
+  SKY_RETURN_NOT_OK(CaptureCheckpoint(&ckpt));
   return io::SaveFleetCheckpoint(ckpt, path);
 }
 

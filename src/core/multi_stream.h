@@ -2,11 +2,13 @@
 #define SKYSCRAPER_CORE_MULTI_STREAM_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/planner.h"
 #include "dag/thread_pool.h"
+#include "io/checkpoint_io.h"
 #include "util/result.h"
 
 namespace sky::core {
@@ -103,6 +105,16 @@ struct StreamEngineJob {
   SimTime start_time = 0.0;
 };
 
+/// Per-stream knob overrides a running StreamSet accepts at plan boundaries
+/// (the `sky serve` live-reconfiguration surface). Unset fields keep their
+/// current value; both target EngineOptions fields the engine reads only
+/// when installing a plan, so changes land at the NEXT boundary and never
+/// retroactively.
+struct StreamReconfig {
+  std::optional<double> cloud_budget_usd_per_interval;
+  std::optional<double> work_budget_override;
+};
+
 /// How a StreamSet plans its streams at each boundary.
 enum class MultiStreamPlanning {
   /// Every stream runs the single-stream planner on its own budget — the
@@ -166,15 +178,24 @@ class StreamSet {
                                   StreamSetOptions options = {});
 
   /// Create, then restore every stream from a fleet checkpoint written by
-  /// SaveCheckpoint. `jobs` must describe the same fleet (same count, same
-  /// models — bitwise, or the resumed runs diverge); options need not match
-  /// the original set's. Streams the checkpoint recorded as failed come back
-  /// failed; streams with a serialized engine state resume from it bitwise,
-  /// so completing the recovered set yields results identical to a run that
-  /// never stopped. kNotFound for a missing file, kInvalidArgument for a
-  /// corrupt one or a stream-count mismatch.
+  /// SaveCheckpoint. The first ckpt.streams.size() jobs must describe the
+  /// checkpointed fleet (same models — bitwise, or the resumed runs
+  /// diverge); options need not match the original set's. Streams the
+  /// checkpoint recorded as failed come back failed; streams with a
+  /// serialized engine state resume from it bitwise, so completing the
+  /// recovered set yields results identical to a run that never stopped.
+  /// Extra trailing jobs start FRESH at their own start_time — the rolling-
+  /// restart path for fleets that admitted new members after the snapshot.
+  /// kNotFound for a missing file, kInvalidArgument for a corrupt one or
+  /// fewer jobs than checkpointed streams.
   static Result<StreamSet> RecoverFromCheckpoint(
       std::vector<StreamEngineJob> jobs, const std::string& path,
+      StreamSetOptions options = {});
+
+  /// Same, from an already-parsed checkpoint (the serve server embeds fleet
+  /// bytes inside its own checkpoint file and parses them itself).
+  static Result<StreamSet> RecoverFromCheckpoint(
+      std::vector<StreamEngineJob> jobs, const io::FleetCheckpoint& ckpt,
       StreamSetOptions options = {});
 
   StreamSet(StreamSet&&) = default;
@@ -200,6 +221,51 @@ class StreamSet {
 
   /// True once no stream remains live (finished or failed).
   bool Done() const;
+
+  // --- Dynamic fleet membership (plan-boundary operations) -----------------
+  //
+  // Streams may join and leave a RUNNING fleet, but only at the lockstep
+  // plan boundary — the single-threaded window where every live stream sits
+  // at the same virtual time and no plan is installed yet. The joint
+  // planner notices the layout change by itself and re-solves cold for the
+  // new membership (cold == warm bitwise), so from that boundary onward the
+  // fleet is indistinguishable from one created with the final membership.
+  // This is the admission surface `sky serve` builds on.
+
+  /// True when membership operations are legal right now: every live stream
+  /// sits at its plan boundary (always true when no stream is live).
+  /// Independent mode has no lockstep requirement and is always true.
+  bool AtLockstepBoundary() const;
+
+  /// Admits a new stream into the running fleet and returns its index
+  /// (indices are stable for the set's lifetime — slots are never reused).
+  /// The stream starts at job.start_time, which for bitwise equivalence
+  /// with a fresh fleet must equal the joining boundary's virtual time.
+  /// kFailedPrecondition when not at a lockstep boundary; kInvalidArgument
+  /// for null job pointers, a failed engine start, or (joint mode) a
+  /// boundary cadence differing from the fleet's.
+  Result<size_t> AddStream(const StreamEngineJob& job);
+
+  /// Retires stream `v`: frees its engine and marks the slot
+  /// kFailedPrecondition("stream removed..."). Live streams can only leave
+  /// at a lockstep boundary; finished, failed, or invalid slots can be
+  /// cleared any time. The slot index stays occupied (Results() keeps job
+  /// order) — capture Results()[v] first if the stream finished.
+  Status RemoveStream(size_t v);
+
+  /// Applies per-stream knob overrides; effective at the next plan
+  /// boundary. kInvalidArgument for an out-of-range or engine-less slot,
+  /// kFailedPrecondition for a quarantined one, or a negative budget.
+  Status ReconfigureStream(size_t v, const StreamReconfig& changes);
+
+  /// The fleet's all-cheapest joint cost: Σ over live streams of
+  /// min_k cost(k), core-seconds per video-second — the exact feasibility
+  /// threshold of the joint program (forecasts sum to 1 per stream and
+  /// cost(k) is category-independent, so the cheapest joint plan costs
+  /// this regardless of content). A fleet is admissible under a shared
+  /// budget iff this does not exceed it; `sky serve` admission control is
+  /// this comparison at the joining boundary.
+  double CheapestFleetCostCoreSPerVideoS() const;
 
   /// Advances every live stream by one segment on the shared clock; in
   /// joint mode, runs the joint planner first when the streams sit at a
@@ -234,11 +300,13 @@ class StreamSet {
   /// Total supervised restarts across the fleet.
   size_t total_restarts() const;
 
-  /// Writes a crash-consistent checkpoint of the whole fleet to `path`:
-  /// per-stream quarantine status plus, for every started engine, its full
-  /// serialized session state. Atomic (temp file + rename); meaningful at a
-  /// lockstep boundary, where every live stream sits at the same virtual
-  /// time, but callable anywhere.
+  /// Snapshots the whole fleet into an in-memory checkpoint: per-stream
+  /// quarantine status plus, for every started engine, its full serialized
+  /// session state. Meaningful at a lockstep boundary, where every live
+  /// stream sits at the same virtual time, but callable anywhere.
+  Status CaptureCheckpoint(io::FleetCheckpoint* out) const;
+
+  /// CaptureCheckpoint written to `path`, atomically (temp file + rename).
   Status SaveCheckpoint(const std::string& path) const;
 
   /// Status of the most recent automatic checkpoint write (Ok when none has

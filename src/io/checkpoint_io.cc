@@ -17,6 +17,7 @@ using wire::PutChunk;
 using wire::PutF64;
 using wire::PutF64Rows;
 using wire::PutF64Vec;
+using wire::PutI64;
 using wire::PutRaw;
 using wire::PutString;
 using wire::PutU32;
@@ -32,28 +33,9 @@ constexpr char kChunkMeta[4] = {'M', 'E', 'T', 'A'};
 constexpr char kChunkStream[4] = {'S', 'T', 'R', 'M'};
 constexpr char kChunkChecksum[4] = {'C', 'S', 'U', 'M'};
 
-void PutI64(std::string* out, int64_t v) {
-  PutU64(out, static_cast<uint64_t>(v));
-}
+}  // namespace
 
-Status ReadI64(Cursor* c, int64_t* v) {
-  uint64_t u = 0;
-  SKY_RETURN_NOT_OK(c->ReadU64(&u));
-  *v = static_cast<int64_t>(u);
-  return Status::Ok();
-}
-
-Status ReadBool(Cursor* c, bool* v) {
-  uint8_t b = 0;
-  SKY_RETURN_NOT_OK(c->ReadU8(&b));
-  if (b > 1) {
-    return Status::InvalidArgument("invalid boolean flag in checkpoint");
-  }
-  *v = b != 0;
-  return Status::Ok();
-}
-
-void AppendResult(const core::EngineResult& r, std::string* p) {
+void AppendEngineResult(const core::EngineResult& r, std::string* p) {
   PutF64(p, r.total_quality);
   PutF64(p, r.mean_quality);
   PutU64(p, r.segments);
@@ -87,7 +69,7 @@ void AppendResult(const core::EngineResult& r, std::string* p) {
   }
 }
 
-Status ParseResult(Cursor* c, core::EngineResult* r) {
+Status ParseEngineResult(Cursor* c, core::EngineResult* r) {
   uint64_t u = 0;
   SKY_RETURN_NOT_OK(c->ReadF64(&r->total_quality));
   SKY_RETURN_NOT_OK(c->ReadF64(&r->mean_quality));
@@ -140,8 +122,6 @@ Status ParseResult(Cursor* c, core::EngineResult* r) {
   return Status::Ok();
 }
 
-}  // namespace
-
 Status SerializeIngestState(const core::IngestState& state, std::string* out) {
   out->clear();
   std::string* p = out;
@@ -188,7 +168,7 @@ Status SerializeIngestState(const core::IngestState& state, std::string* out) {
   PutF64(p, state.credits_remaining);
   PutF64(p, state.planned_usd_per_interval);
 
-  AppendResult(state.result, p);
+  AppendEngineResult(state.result, p);
   PutF64(p, state.next_trace_t);
 
   // Eq. 6 usage histograms — mid-interval restores must keep alpha-hat.
@@ -229,9 +209,9 @@ Result<core::IngestState> DeserializeIngestState(
   core::IngestState state(&model.categories, &model.profiles, buffer_capacity);
 
   SKY_RETURN_NOT_OK(c.ReadF64(&state.start_time));
-  SKY_RETURN_NOT_OK(ReadI64(&c, &state.first_segment));
-  SKY_RETURN_NOT_OK(ReadI64(&c, &state.n_segments));
-  SKY_RETURN_NOT_OK(ReadI64(&c, &state.segs_per_interval));
+  SKY_RETURN_NOT_OK(c.ReadI64(&state.first_segment));
+  SKY_RETURN_NOT_OK(c.ReadI64(&state.n_segments));
+  SKY_RETURN_NOT_OK(c.ReadI64(&state.segs_per_interval));
   if (state.segs_per_interval <= 0) {
     return Status::InvalidArgument(
         "checkpoint does not hold a started session");
@@ -239,7 +219,7 @@ Result<core::IngestState> DeserializeIngestState(
   uint64_t u = 0;
   SKY_RETURN_NOT_OK(c.ReadU64(&u));
   state.history_window = u;
-  SKY_RETURN_NOT_OK(ReadI64(&c, &state.next_index));
+  SKY_RETURN_NOT_OK(c.ReadI64(&state.next_index));
   SKY_RETURN_NOT_OK(c.ReadU64(&u));
   state.interval_index = u;
 
@@ -249,7 +229,7 @@ Result<core::IngestState> DeserializeIngestState(
   SKY_RETURN_NOT_OK(wire::ParseForecaster(&c, &state.forecaster));
 
   bool has_plan = false;
-  SKY_RETURN_NOT_OK(ReadBool(&c, &has_plan));
+  SKY_RETURN_NOT_OK(c.ReadBool(&has_plan));
   uint64_t rows = 0, cols = 0;
   SKY_RETURN_NOT_OK(c.ReadU64(&rows));
   SKY_RETURN_NOT_OK(c.ReadU64(&cols));
@@ -271,8 +251,8 @@ Result<core::IngestState> DeserializeIngestState(
         "checkpoint plan shape does not match the model");
   }
 
-  SKY_RETURN_NOT_OK(ReadBool(&c, &state.boundary_prepared));
-  SKY_RETURN_NOT_OK(ReadBool(&c, &state.boundary_installed));
+  SKY_RETURN_NOT_OK(c.ReadBool(&state.boundary_prepared));
+  SKY_RETURN_NOT_OK(c.ReadBool(&state.boundary_installed));
   SKY_RETURN_NOT_OK(c.ReadF64Vec(&state.boundary_forecast));
   SKY_RETURN_NOT_OK(c.ReadF64Vec(&state.plan_features));
   SKY_RETURN_NOT_OK(c.ReadF64Vec(&state.realized));
@@ -297,7 +277,7 @@ Result<core::IngestState> DeserializeIngestState(
   SKY_RETURN_NOT_OK(c.ReadF64(&state.credits_remaining));
   SKY_RETURN_NOT_OK(c.ReadF64(&state.planned_usd_per_interval));
 
-  SKY_RETURN_NOT_OK(ParseResult(&c, &state.result));
+  SKY_RETURN_NOT_OK(ParseEngineResult(&c, &state.result));
   SKY_RETURN_NOT_OK(c.ReadF64(&state.next_trace_t));
 
   std::vector<std::vector<double>> usage_counts;
@@ -316,9 +296,10 @@ Result<core::IngestState> DeserializeIngestState(
   return state;
 }
 
-Status SaveFleetCheckpoint(const FleetCheckpoint& ckpt,
-                           const std::string& path) {
-  std::string out;
+Status SerializeFleetCheckpoint(const FleetCheckpoint& ckpt,
+                                std::string* out_bytes) {
+  std::string& out = *out_bytes;
+  out.clear();
   PutRaw(&out, kMagic, sizeof(kMagic));
   PutU32(&out, kCheckpointFormatVersion);
   PutU32(&out, kEndianMarker);
@@ -342,20 +323,10 @@ Status SaveFleetCheckpoint(const FleetCheckpoint& ckpt,
   std::string checksum;
   PutU64(&checksum, Fnv1a64(out.data(), out.size()));
   PutChunk(&out, kChunkChecksum, checksum);
-  return AtomicWriteFile(path, out);
+  return Status::Ok();
 }
 
-Result<FleetCheckpoint> LoadFleetCheckpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot open checkpoint file " + path);
-  }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) {
-    return Status::Internal("error reading checkpoint file " + path);
-  }
-
+Result<FleetCheckpoint> ParseFleetCheckpoint(const std::string& bytes) {
   Cursor header(bytes.data(), bytes.size());
   char magic[8];
   SKY_RETURN_NOT_OK(header.Read(magic, sizeof(magic)));
@@ -456,7 +427,7 @@ Result<FleetCheckpoint> LoadFleetCheckpoint(const std::string& path) {
       sc.status = code == 0 ? Status::Ok()
                             : Status(static_cast<StatusCode>(code),
                                      std::move(message));
-      SKY_RETURN_NOT_OK(ReadBool(&payload, &sc.has_state));
+      SKY_RETURN_NOT_OK(payload.ReadBool(&sc.has_state));
       SKY_RETURN_NOT_OK(payload.ReadString(&sc.state));
       ckpt.streams.push_back(std::move(sc));
     } else {
@@ -475,6 +446,26 @@ Result<FleetCheckpoint> LoadFleetCheckpoint(const std::string& path) {
         "checkpoint stream count does not match META");
   }
   return ckpt;
+}
+
+Status SaveFleetCheckpoint(const FleetCheckpoint& ckpt,
+                           const std::string& path) {
+  std::string out;
+  SKY_RETURN_NOT_OK(SerializeFleetCheckpoint(ckpt, &out));
+  return AtomicWriteFile(path, out);
+}
+
+Result<FleetCheckpoint> LoadFleetCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint file " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("error reading checkpoint file " + path);
+  }
+  return ParseFleetCheckpoint(bytes);
 }
 
 }  // namespace sky::io

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "io/wire.h"
 #include "util/result.h"
 
 namespace sky::io {
@@ -32,6 +33,15 @@ Status SerializeIngestState(const core::IngestState& state, std::string* out);
 Result<core::IngestState> DeserializeIngestState(
     const std::string& bytes, const core::OfflineModel& model);
 
+/// Appends one EngineResult — every counter, every fault field, the full
+/// trace, doubles as raw IEEE-754 — so round trips are bitwise. Shared by
+/// engine checkpoints and the serve protocol's result frames (one layout,
+/// two transports; they must never drift).
+void AppendEngineResult(const core::EngineResult& r, std::string* out);
+
+/// Parses a payload written by AppendEngineResult.
+Status ParseEngineResult(wire::Cursor* c, core::EngineResult* r);
+
 /// One stream's entry in a fleet checkpoint: its quarantine status and (for
 /// streams that have started) the serialized engine state.
 struct StreamCheckpoint {
@@ -46,16 +56,27 @@ struct FleetCheckpoint {
   std::vector<StreamCheckpoint> streams;
 };
 
-/// Writes a fleet checkpoint to `path`: the chunked, checksummed wire format
-/// (magic SKYCKPT1, versioned header, one chunk per stream, FNV-1a trailer)
-/// through io::AtomicWriteFile — a crash mid-save never clobbers the last
-/// good checkpoint.
+/// Renders a fleet checkpoint to bytes: the chunked, checksummed wire
+/// format (magic SKYCKPT1, versioned header, one chunk per stream, FNV-1a
+/// trailer). The serve-server checkpoint embeds these bytes verbatim inside
+/// its own file, so the fleet layout has exactly one definition.
+Status SerializeFleetCheckpoint(const FleetCheckpoint& ckpt,
+                                std::string* out);
+
+/// Parses bytes produced by SerializeFleetCheckpoint. kInvalidArgument for
+/// corrupt, truncated, or wrong-version contents (the checksum is verified
+/// before anything is parsed).
+Result<FleetCheckpoint> ParseFleetCheckpoint(const std::string& bytes);
+
+/// Writes a fleet checkpoint to `path` (SerializeFleetCheckpoint through
+/// io::AtomicWriteFile) — a crash mid-save never clobbers the last good
+/// checkpoint.
 Status SaveFleetCheckpoint(const FleetCheckpoint& ckpt,
                            const std::string& path);
 
 /// Reads a checkpoint written by SaveFleetCheckpoint. kNotFound for a
 /// missing file; kInvalidArgument for corrupt, truncated, or wrong-version
-/// contents (the checksum is verified before anything is parsed).
+/// contents.
 Result<FleetCheckpoint> LoadFleetCheckpoint(const std::string& path);
 
 }  // namespace sky::io

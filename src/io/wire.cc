@@ -23,7 +23,11 @@ void PutRaw(std::string* out, const void* data, size_t n) {
 void PutU8(std::string* out, uint8_t v) { PutRaw(out, &v, 1); }
 void PutU32(std::string* out, uint32_t v) { PutRaw(out, &v, sizeof(v)); }
 void PutU64(std::string* out, uint64_t v) { PutRaw(out, &v, sizeof(v)); }
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
 void PutF64(std::string* out, double v) { PutRaw(out, &v, sizeof(v)); }
+void PutBool(std::string* out, bool v) { PutU8(out, v ? 1 : 0); }
 
 void PutU64Vec(std::string* out, const std::vector<size_t>& v) {
   PutU64(out, v.size());
@@ -78,6 +82,23 @@ Status Cursor::Skip(size_t n) {
     return Status::InvalidArgument("serialized data truncated mid-chunk");
   }
   pos_ += n;
+  return Status::Ok();
+}
+
+Status Cursor::ReadI64(int64_t* v) {
+  uint64_t u = 0;
+  SKY_RETURN_NOT_OK(ReadU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::Ok();
+}
+
+Status Cursor::ReadBool(bool* v) {
+  uint8_t b = 0;
+  SKY_RETURN_NOT_OK(ReadU8(&b));
+  if (b > 1) {
+    return Status::InvalidArgument("invalid boolean flag in serialized data");
+  }
+  *v = b != 0;
   return Status::Ok();
 }
 

@@ -28,7 +28,9 @@ void PutRaw(std::string* out, const void* data, size_t n);
 void PutU8(std::string* out, uint8_t v);
 void PutU32(std::string* out, uint32_t v);
 void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
 void PutF64(std::string* out, double v);
+void PutBool(std::string* out, bool v);
 void PutU64Vec(std::string* out, const std::vector<size_t>& v);
 void PutF64Vec(std::string* out, const std::vector<double>& v);
 
@@ -61,7 +63,11 @@ class Cursor {
   Status ReadU8(uint8_t* v) { return Read(v, 1); }
   Status ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
   Status ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  Status ReadI64(int64_t* v);
   Status ReadF64(double* v) { return Read(v, sizeof(*v)); }
+
+  /// Reads a PutBool byte; anything but 0/1 is corruption, not a flag.
+  Status ReadBool(bool* v);
 
   /// Reads a u64 count that the payload must still be able to satisfy at
   /// `elem_bytes` per element — rejects absurd counts from corrupt input

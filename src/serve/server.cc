@@ -1,0 +1,685 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "api/workload_registry.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+
+namespace sky::serve {
+
+namespace {
+
+constexpr int kAcceptPollMs = 200;
+constexpr auto kQueueWaitMs = std::chrono::milliseconds(50);
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  shared_budget_ = options_.shared_budget_core_s_per_video_s;
+}
+
+Server::~Server() {
+  stop_.store(true);
+  queue_cv_.notify_all();
+  registry_.BeginDrain();
+  Wait();
+}
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  // make_unique needs a public ctor; the factory keeps construction staged
+  // (bind + recover before any thread exists) so Init failures are clean.
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  SKY_RETURN_NOT_OK(server->Init());
+  server->started_at_ = std::chrono::steady_clock::now();
+  server->fleet_thread_ = std::thread([s = server.get()] { s->FleetLoop(); });
+  server->listen_thread_ = std::thread([s = server.get()] { s->ListenLoop(); });
+  return server;
+}
+
+Status Server::Init() {
+  base_workload_ = api::MakeWorkloadByName(options_.workload);
+  if (base_workload_ == nullptr) {
+    return Status::InvalidArgument("unknown workload '" + options_.workload +
+                                   "'");
+  }
+  base_facade_ = std::make_unique<api::Skyscraper>(base_workload_.get());
+  base_facade_->SetResources(options_.resources);
+  SKY_RETURN_NOT_OK(
+      base_facade_->LoadModel(options_.model_path, base_workload_->name()));
+
+  if (!options_.recover_path.empty()) {
+    SKY_RETURN_NOT_OK(RecoverFromServeCheckpoint());
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+
+Result<core::StreamEngineJob> Server::BuildJob(const SessionSpec& spec,
+                                               StreamTenant* tenant) const {
+  if (spec.workload != options_.workload) {
+    return Status::NotFound("this server serves workload '" +
+                            options_.workload + "', not '" + spec.workload +
+                            "'");
+  }
+  if (spec.duration_days <= 0.0) {
+    return Status::InvalidArgument("session duration must be positive");
+  }
+  tenant->workload =
+      api::MakeWorkloadByName(spec.workload, spec.content_seed);
+  if (tenant->workload == nullptr) {
+    return Status::InvalidArgument("unknown workload '" + spec.workload +
+                                   "'");
+  }
+  tenant->facade = std::make_unique<api::Skyscraper>(tenant->workload.get());
+  tenant->facade->SetResources(options_.resources);
+  SKY_RETURN_NOT_OK(tenant->facade->LoadModel(options_.model_path,
+                                              tenant->workload->name()));
+  auto model = tenant->facade->model();
+  if (!model.ok()) return model.status();
+
+  // Spec defaults resolve exactly like the matching `sky ingest` flags.
+  double start_days = spec.start_days >= 0.0
+                          ? spec.start_days
+                          : (*model)->train_horizon / 86400.0;
+  double plan_days = spec.plan_interval_days;
+  if (plan_days <= 0.0) {
+    plan_days = (*model)->forecaster.has_value()
+                    ? (*model)->forecaster->options().planned_interval /
+                          86400.0
+                    : 2.0;
+  }
+
+  core::EngineOptions opts;
+  opts.duration = Days(spec.duration_days);
+  opts.plan_interval = Days(plan_days);
+  opts.seed = spec.engine_seed;
+  opts.record_trace = spec.record_trace;
+  opts.trace_resolution_s = spec.trace_resolution_s;
+  if (spec.f32_forecast) opts.forecast_precision = ml::Precision::kF32;
+  if (spec.cloud_budget_usd_per_interval.has_value()) {
+    opts.cloud_budget_usd_per_interval = *spec.cloud_budget_usd_per_interval;
+  }
+  opts.work_budget_override = spec.work_budget_override;
+  return tenant->facade->MakeStreamJob(Days(start_days), opts);
+}
+
+double Server::NewcomerCheapestCost() const {
+  auto model = base_facade_->model();
+  if (!model.ok()) return 0.0;
+  double cheapest = 0.0;
+  bool first = true;
+  for (const auto& p : (*model)->profiles) {
+    if (first || p.work_core_s_per_video_s < cheapest) {
+      cheapest = p.work_core_s_per_video_s;
+      first = false;
+    }
+  }
+  return cheapest;
+}
+
+Status Server::RecoverFromServeCheckpoint() {
+  auto loaded = LoadServeCheckpoint(options_.recover_path);
+  if (!loaded.ok()) return loaded.status();
+  ServeCheckpoint& ckpt = *loaded;
+
+  auto fleet_ckpt = io::ParseFleetCheckpoint(ckpt.fleet_bytes);
+  if (!fleet_ckpt.ok()) return fleet_ckpt.status();
+
+  // Rebuild jobs slot-parallel to the checkpointed fleet: running sessions
+  // get their exact original simulation back (spec-recorded workload, seeds,
+  // knobs); every other slot — finished, failed, removed, or rejected — gets
+  // a null job, whose Create-time error status is overwritten by the
+  // checkpoint's recorded per-slot status.
+  std::vector<core::StreamEngineJob> jobs(fleet_ckpt->streams.size());
+  tenants_.clear();
+  tenants_.resize(fleet_ckpt->streams.size());
+  for (SessionRecord& rec : ckpt.sessions) {
+    if (rec.state == SessionState::kRunning) {
+      if (rec.stream_index >= jobs.size()) {
+        return Status::InvalidArgument(
+            "serve checkpoint: session stream index out of fleet range");
+      }
+      StreamTenant tenant;
+      auto job = BuildJob(rec.spec, &tenant);
+      if (!job.ok()) return job.status();
+      jobs[rec.stream_index] = *job;
+      tenants_[rec.stream_index] = std::move(tenant);
+    }
+    registry_.Restore(rec);
+  }
+
+  sessions_accepted_ = ckpt.sessions_accepted;
+  sessions_rejected_ = ckpt.sessions_rejected;
+  shared_budget_ = ckpt.shared_budget_core_s_per_video_s;
+
+  core::StreamSetOptions set_opts;
+  set_opts.planning = core::MultiStreamPlanning::kJoint;
+  set_opts.shared_budget_core_s_per_video_s = shared_budget_;
+  set_opts.max_stream_restarts = options_.max_stream_restarts;
+  auto fleet = core::StreamSet::RecoverFromCheckpoint(std::move(jobs),
+                                                      *fleet_ckpt, set_opts);
+  if (!fleet.ok()) return fleet.status();
+  fleet_ = std::make_unique<core::StreamSet>(std::move(*fleet));
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Fleet thread.
+
+void Server::FleetLoop() {
+  Status terminal;
+  for (;;) {
+    if (stop_.load()) break;
+
+    // Harvest BEFORE the idle check: the step that finishes the last stream
+    // flips fleet Done, and without this the loop would park without ever
+    // publishing that stream's result to its waiting client.
+    HarvestFinished();
+
+    std::vector<std::unique_ptr<Command>> cmds;
+    bool drain_now = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      bool holding = sessions_accepted_ < options_.start_after_sessions;
+      bool can_step =
+          fleet_ != nullptr && !fleet_->Done() && !holding;
+      if (queue_.empty() && !drain_requested_ && !can_step) {
+        queue_cv_.wait_for(lock, kQueueWaitMs);
+        continue;
+      }
+      while (!queue_.empty()) {
+        cmds.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      drain_now = drain_requested_;
+    }
+
+    // Membership / knob commands and drain land only in the lockstep
+    // boundary window; metrics are answered wherever the clock stands.
+    bool at_boundary = fleet_ == nullptr || fleet_->AtLockstepBoundary();
+    std::vector<std::unique_ptr<Command>> deferred;
+    for (auto& cmd : cmds) {
+      if (cmd->kind == Command::Kind::kMetrics) {
+        cmd->reply.set_value(CollectMetricsJson());
+      } else if (at_boundary) {
+        ServiceBoundaryCommand(cmd.get());
+      } else {
+        deferred.push_back(std::move(cmd));
+      }
+    }
+    if (!deferred.empty()) {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      // Put deferred commands back in arrival order ahead of newcomers.
+      for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+        queue_.push_front(std::move(*it));
+      }
+    }
+
+    if (drain_now && at_boundary) {
+      if (!options_.checkpoint_path.empty()) {
+        terminal = WriteServeCheckpoint();
+      }
+      break;
+    }
+
+    bool holding = sessions_accepted_ < options_.start_after_sessions;
+    if (holding || fleet_ == nullptr || fleet_->Done()) continue;
+
+    // The serve checkpoint is taken at the boundary BEFORE its plan is
+    // installed (Step plans then advances), so a recovered server replays
+    // the boundary deterministically.
+    if (at_boundary && options_.checkpoint_every_boundaries > 0 &&
+        !options_.checkpoint_path.empty()) {
+      ++boundaries_seen_;
+      if (boundaries_seen_ % options_.checkpoint_every_boundaries == 0) {
+        // Periodic checkpoint failures never fail the run (same contract as
+        // StreamSet auto-checkpoints); the final drain checkpoint does.
+        last_checkpoint_status_ = WriteServeCheckpoint();
+      }
+    }
+
+    Status step = fleet_->Step();
+    if (!step.ok()) {
+      terminal = step;
+      break;
+    }
+  }
+
+  HarvestFinished();
+  registry_.BeginDrain();
+  {
+    // Close the queue and fail any commands still in it — their connections
+    // would hang forever otherwise.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+    for (auto& cmd : queue_) {
+      cmd->reply.set_value(
+          Status::FailedPrecondition("server is shutting down"));
+    }
+    queue_.clear();
+  }
+  fleet_status_ = terminal;
+  finished_.store(true);
+}
+
+Result<std::string> Server::Dispatch(std::unique_ptr<Command> cmd) {
+  auto reply = cmd->reply.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    // queue_closed_ flips under this mutex in the fleet loop's epilogue, so
+    // a command either lands before the final queue sweep or is refused
+    // here — it can never be enqueued past it and hang its connection.
+    if (queue_closed_) {
+      return Status::FailedPrecondition("server is shutting down");
+    }
+    // Setting the drain flag under the same lock as the push guarantees the
+    // fleet loop observes the command and the flag together, so the kDrain
+    // ack is always delivered before the loop exits.
+    if (cmd->kind == Command::Kind::kDrain) drain_requested_ = true;
+    queue_.push_back(std::move(cmd));
+  }
+  queue_cv_.notify_all();
+  return reply.get();
+}
+
+void Server::HarvestFinished() {
+  if (fleet_ == nullptr) return;
+  for (const SessionRecord& rec : registry_.Snapshot()) {
+    if (rec.state != SessionState::kRunning) continue;
+    size_t v = static_cast<size_t>(rec.stream_index);
+    if (v >= fleet_->num_streams()) continue;
+    const core::IngestionEngine* engine = fleet_->engine(v);
+    const Status& status = fleet_->stream_status(v);
+    if (engine != nullptr && status.ok() && engine->Done()) {
+      core::EngineResult result = engine->partial_result();
+      // Done/failed slots are removable at any clock position by contract.
+      Status removed = fleet_->RemoveStream(v);
+      (void)removed;
+      tenants_[v] = StreamTenant{};
+      registry_.MarkDone(rec.id, std::move(result));
+    } else if (!status.ok()) {
+      Status error = status;
+      Status removed = fleet_->RemoveStream(v);
+      (void)removed;
+      tenants_[v] = StreamTenant{};
+      registry_.MarkFailed(rec.id, error);
+    }
+  }
+}
+
+Result<std::string> Server::Admit(const SessionSpec& spec) {
+  if (options_.max_sessions > 0 &&
+      registry_.active_count() >= options_.max_sessions) {
+    ++sessions_rejected_;
+    return Status::ResourceExhausted("session cap reached");
+  }
+  // The joint planner's feasibility threshold, checked before the stream
+  // ever joins: all-cheapest fleet cost plus the newcomer's cheapest config
+  // must fit the pooled budget, or the next boundary would be infeasible.
+  if (shared_budget_ > 0.0 && fleet_ != nullptr) {
+    double projected =
+        fleet_->CheapestFleetCostCoreSPerVideoS() + NewcomerCheapestCost();
+    if (projected > shared_budget_) {
+      ++sessions_rejected_;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "admission rejected: all-cheapest fleet cost %.6f "
+                    "core-s/video-s would exceed the shared budget %.6f",
+                    projected, shared_budget_);
+      return Status::ResourceExhausted(buf);
+    }
+  }
+
+  StreamTenant tenant;
+  auto job = BuildJob(spec, &tenant);
+  if (!job.ok()) {
+    ++sessions_rejected_;
+    return job.status();
+  }
+
+  if (fleet_ == nullptr) {
+    core::StreamSetOptions set_opts;
+    set_opts.planning = core::MultiStreamPlanning::kJoint;
+    set_opts.shared_budget_core_s_per_video_s = shared_budget_;
+    set_opts.max_stream_restarts = options_.max_stream_restarts;
+    auto fleet = core::StreamSet::Create({}, set_opts);
+    if (!fleet.ok()) {
+      ++sessions_rejected_;
+      return fleet.status();
+    }
+    fleet_ = std::make_unique<core::StreamSet>(std::move(*fleet));
+  }
+
+  auto slot = fleet_->AddStream(*job);
+  if (!slot.ok()) {
+    ++sessions_rejected_;
+    return slot.status();
+  }
+  tenants_.resize(std::max(tenants_.size(), *slot + 1));
+  tenants_[*slot] = std::move(tenant);
+  uint64_t id = registry_.Add(spec, *slot);
+  ++sessions_accepted_;
+  queue_cv_.notify_all();  // may release a start_after_sessions hold
+
+  std::string payload;
+  io::wire::PutU64(&payload, id);
+  io::wire::PutU64(&payload, *slot);
+  return payload;
+}
+
+void Server::ServiceBoundaryCommand(Command* cmd) {
+  switch (cmd->kind) {
+    case Command::Kind::kOpen:
+      cmd->reply.set_value(Admit(cmd->spec));
+      return;
+    case Command::Kind::kClose: {
+      auto slot = registry_.StreamIndexOf(cmd->session_id);
+      if (!slot.ok()) {
+        cmd->reply.set_value(slot.status());
+        return;
+      }
+      Status removed = fleet_->RemoveStream(*slot);
+      if (!removed.ok()) {
+        cmd->reply.set_value(removed);
+        return;
+      }
+      tenants_[*slot] = StreamTenant{};
+      registry_.MarkFailed(
+          cmd->session_id,
+          Status::FailedPrecondition("session closed by client request"));
+      cmd->reply.set_value(std::string());
+      return;
+    }
+    case Command::Kind::kReconfig: {
+      auto slot = registry_.StreamIndexOf(cmd->session_id);
+      if (!slot.ok()) {
+        cmd->reply.set_value(slot.status());
+        return;
+      }
+      Status applied = fleet_->ReconfigureStream(*slot, cmd->reconfig);
+      if (!applied.ok()) {
+        cmd->reply.set_value(applied);
+        return;
+      }
+      cmd->reply.set_value(std::string());
+      return;
+    }
+    case Command::Kind::kSetBudget:
+      shared_budget_ = cmd->budget;
+      if (fleet_ != nullptr) fleet_->set_shared_budget(cmd->budget);
+      cmd->reply.set_value(std::string());
+      return;
+    case Command::Kind::kDrain:
+      // The flag was already set when the command was enqueued; the reply
+      // acknowledges that the drain boundary has been reached. The final
+      // checkpoint is written right after this command is serviced, before
+      // the fleet loop exits — a client that wants a durable handoff should
+      // still wait for the process to exit (the CLI does).
+      cmd->reply.set_value(std::string());
+      return;
+    case Command::Kind::kMetrics:
+      cmd->reply.set_value(CollectMetricsJson());
+      return;
+  }
+}
+
+std::string Server::CollectMetricsJson() {
+  ServerMetrics m;
+  m.uptime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             started_at_)
+                   .count();
+  m.sessions_accepted = sessions_accepted_;
+  m.sessions_rejected = sessions_rejected_;
+  m.sessions = registry_.Snapshot();
+  for (const SessionRecord& rec : m.sessions) {
+    switch (rec.state) {
+      case SessionState::kRunning: ++m.sessions_running; break;
+      case SessionState::kDone: ++m.sessions_done; break;
+      case SessionState::kFailed: ++m.sessions_failed; break;
+    }
+  }
+  m.shared_budget_core_s_per_video_s = shared_budget_;
+  if (fleet_ != nullptr) {
+    const std::vector<double>& ms = fleet_->boundary_latencies_ms();
+    m.boundaries_planned = ms.size();
+    m.boundary_p50_ms = Percentile(ms, 50.0);
+    m.boundary_p99_ms = Percentile(ms, 99.0);
+    m.cheapest_fleet_cost_core_s_per_video_s =
+        fleet_->CheapestFleetCostCoreSPerVideoS();
+    m.fleet_restarts = fleet_->total_restarts();
+  }
+  return RenderMetricsJson(m);
+}
+
+Status Server::WriteServeCheckpoint() {
+  ServeCheckpoint ckpt;
+  ckpt.sessions = registry_.Snapshot();
+  for (const SessionRecord& rec : ckpt.sessions) {
+    ckpt.next_session_id = std::max(ckpt.next_session_id, rec.id + 1);
+  }
+  ckpt.sessions_accepted = sessions_accepted_;
+  ckpt.sessions_rejected = sessions_rejected_;
+  ckpt.shared_budget_core_s_per_video_s = shared_budget_;
+  if (fleet_ != nullptr) {
+    io::FleetCheckpoint fleet_ckpt;
+    SKY_RETURN_NOT_OK(fleet_->CaptureCheckpoint(&fleet_ckpt));
+    SKY_RETURN_NOT_OK(
+        io::SerializeFleetCheckpoint(fleet_ckpt, &ckpt.fleet_bytes));
+  } else {
+    // An empty fleet still checkpoints (counters + terminal sessions):
+    // serialize a zero-stream fleet so recovery has valid bytes to parse.
+    SKY_RETURN_NOT_OK(
+        io::SerializeFleetCheckpoint(io::FleetCheckpoint{}, &ckpt.fleet_bytes));
+  }
+  return SaveServeCheckpoint(ckpt, options_.checkpoint_path);
+}
+
+// ---------------------------------------------------------------------------
+// Network threads.
+
+void Server::ListenLoop() {
+  for (;;) {
+    if (stop_.load() || finished_.load()) break;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stop_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { Connection(fd); });
+  }
+}
+
+void Server::Connection(int fd) {
+  for (;;) {
+    Frame request;
+    Status read = ReadFrame(fd, &request);
+    if (!read.ok()) break;  // hangup or corruption: drop the connection
+    auto [type, payload] = HandleRequest(request);
+    if (!WriteFrame(fd, type, payload).ok()) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  // The fd itself is closed in Wait(), which owns conn_fds_.
+}
+
+std::pair<FrameType, std::string> Server::HandleRequest(
+    const Frame& request) {
+  auto error = [](const Status& s) {
+    std::string payload;
+    AppendError(s, &payload);
+    return std::make_pair(FrameType::kError, std::move(payload));
+  };
+
+  switch (request.type) {
+    case FrameType::kHello: {
+      io::wire::Cursor c(request.payload.data(), request.payload.size());
+      uint32_t version = 0;
+      Status s = c.ReadU32(&version);
+      if (!s.ok()) return error(s);
+      if (version != kProtocolVersion) {
+        return error(Status::InvalidArgument(
+            "protocol version mismatch: server speaks version " +
+            std::to_string(kProtocolVersion)));
+      }
+      std::string payload;
+      io::wire::PutU32(&payload, kProtocolVersion);
+      return {FrameType::kHelloOk, std::move(payload)};
+    }
+
+    case FrameType::kOpenSession: {
+      auto cmd = std::make_unique<Command>();
+      cmd->kind = Command::Kind::kOpen;
+      io::wire::Cursor c(request.payload.data(), request.payload.size());
+      Status s = ParseSessionSpec(&c, &cmd->spec);
+      if (!s.ok()) return error(s);
+      Result<std::string> admitted = Dispatch(std::move(cmd));
+      if (!admitted.ok()) return error(admitted.status());
+      return {FrameType::kSessionOpened, std::move(*admitted)};
+    }
+
+    case FrameType::kFetchResult: {
+      io::wire::Cursor c(request.payload.data(), request.payload.size());
+      uint64_t id = 0;
+      Status s = c.ReadU64(&id);
+      if (!s.ok()) return error(s);
+      Result<core::EngineResult> result = registry_.AwaitResult(id);
+      if (!result.ok()) return error(result.status());
+      std::string payload;
+      io::wire::PutU64(&payload, id);
+      io::AppendEngineResult(*result, &payload);
+      return {FrameType::kResult, std::move(payload)};
+    }
+
+    case FrameType::kReconfigure: {
+      auto cmd = std::make_unique<Command>();
+      cmd->kind = Command::Kind::kReconfig;
+      io::wire::Cursor c(request.payload.data(), request.payload.size());
+      Status s = ParseReconfigure(&c, &cmd->session_id, &cmd->reconfig);
+      if (!s.ok()) return error(s);
+      Result<std::string> applied = Dispatch(std::move(cmd));
+      if (!applied.ok()) return error(applied.status());
+      return {FrameType::kOk, std::string()};
+    }
+
+    case FrameType::kSetBudget: {
+      auto cmd = std::make_unique<Command>();
+      cmd->kind = Command::Kind::kSetBudget;
+      io::wire::Cursor c(request.payload.data(), request.payload.size());
+      Status s = c.ReadF64(&cmd->budget);
+      if (!s.ok()) return error(s);
+      Result<std::string> applied = Dispatch(std::move(cmd));
+      if (!applied.ok()) return error(applied.status());
+      return {FrameType::kOk, std::string()};
+    }
+
+    case FrameType::kMetrics: {
+      auto cmd = std::make_unique<Command>();
+      cmd->kind = Command::Kind::kMetrics;
+      Result<std::string> json = Dispatch(std::move(cmd));
+      if (!json.ok()) return error(json.status());
+      std::string payload;
+      io::wire::PutString(&payload, *json);
+      return {FrameType::kMetricsReport, std::move(payload)};
+    }
+
+    case FrameType::kCloseSession: {
+      auto cmd = std::make_unique<Command>();
+      cmd->kind = Command::Kind::kClose;
+      io::wire::Cursor c(request.payload.data(), request.payload.size());
+      Status s = c.ReadU64(&cmd->session_id);
+      if (!s.ok()) return error(s);
+      Result<std::string> closed = Dispatch(std::move(cmd));
+      if (!closed.ok()) return error(closed.status());
+      return {FrameType::kOk, std::string()};
+    }
+
+    case FrameType::kDrain: {
+      auto cmd = std::make_unique<Command>();
+      cmd->kind = Command::Kind::kDrain;
+      Result<std::string> drained = Dispatch(std::move(cmd));
+      if (!drained.ok()) return error(drained.status());
+      return {FrameType::kOk, std::string()};
+    }
+
+    default:
+      return error(Status::InvalidArgument("unexpected frame type"));
+  }
+}
+
+void Server::RequestDrain() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    drain_requested_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+Status Server::Wait() {
+  if (fleet_thread_.joinable()) fleet_thread_.join();
+  // The fleet is down; tear the network down so connection threads unblock
+  // out of ReadFrame and exit.
+  stop_.store(true);
+  if (listen_thread_.joinable()) listen_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+  if (!joined_ && listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  joined_ = true;
+  return fleet_status_;
+}
+
+}  // namespace sky::serve

@@ -1,0 +1,217 @@
+#ifndef SKYSCRAPER_SERVE_SERVER_H_
+#define SKYSCRAPER_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/skyscraper.h"
+#include "core/multi_stream.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "util/result.h"
+
+namespace sky::serve {
+
+/// Configuration of one `sky serve` process: the model it serves, the
+/// per-stream provisioning every admitted session runs under, the pooled
+/// budget that gates admission, and the checkpoint cadence.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back via
+  /// Server::port()). The server is deliberately loopback-only: it is a
+  /// single-machine multi-tenant ingestion daemon, not an internet service.
+  int port = 0;
+  /// Model file (io::SaveOfflineModel format) every session serves from —
+  /// train-once / serve-many, now with N concurrent tenants.
+  std::string model_path;
+  /// Registry name (api::MakeWorkloadByName) the model was trained for.
+  /// Sessions must name the same workload; their content_seed makes them
+  /// distinct cameras of that family.
+  std::string workload = "ev";
+  /// Per-stream provisioning (cores, buffer, default cloud budget).
+  api::Resources resources;
+  /// Pooled joint-planning budget, core-seconds per video-second. > 0 also
+  /// arms admission control: a session whose all-cheapest cost would push
+  /// the fleet past this budget is rejected with kResourceExhausted — the
+  /// joint planner's own feasibility threshold, checked at admission time
+  /// instead of discovered as an infeasible boundary later. <= 0 derives
+  /// the budget from the streams' own resources each boundary (admission
+  /// then only enforces max_sessions).
+  double shared_budget_core_s_per_video_s = 0.0;
+  /// Hard cap on concurrently running sessions; 0 = uncapped.
+  size_t max_sessions = 0;
+  /// Hold the virtual clock until this many sessions have been admitted,
+  /// so all of them join at boundary 0 of one lockstep fleet. This is what
+  /// makes N concurrent clients bitwise-comparable to one in-process
+  /// StreamSet created with all N streams. 0 = start stepping immediately.
+  size_t start_after_sessions = 0;
+  /// When non-empty, write a serve checkpoint (session table + fleet
+  /// snapshot) here every `checkpoint_every_boundaries` lockstep plan
+  /// boundaries, and a final one on drain.
+  std::string checkpoint_path;
+  size_t checkpoint_every_boundaries = 0;
+  /// StreamSet supervision budget per stream (see StreamSetOptions).
+  size_t max_stream_restarts = 0;
+  /// When non-empty, resume from this serve checkpoint instead of starting
+  /// empty: every in-flight session continues bitwise (traces included),
+  /// finished sessions keep their fetchable results, and the admission
+  /// counters carry over. The checkpoint's shared budget wins over the
+  /// shared_budget option.
+  std::string recover_path;
+};
+
+/// The `sky serve` daemon: accepts stream sessions over a local TCP socket
+/// (serve/protocol.h frames), multiplexes them onto ONE core::StreamSet
+/// with joint planning under the pooled budget, and services admission,
+/// live reconfiguration, metrics, and graceful drain.
+///
+/// Threading model — three kinds of threads, strict ownership:
+///  - ONE fleet thread owns the StreamSet, the per-session simulation
+///    objects, and every counter; it alone steps engines. Membership and
+///    knob commands queue up and are applied only at lockstep plan
+///    boundaries (the single-threaded window where they are deterministic);
+///    metrics and drain requests are picked up every loop iteration.
+///  - One listener thread accepts connections.
+///  - One thread per connection parses request frames, enqueues commands,
+///    and blocks on the reply future (or the session registry, for
+///    kFetchResult). The registry is the only state connection threads
+///    share with the fleet thread directly, and it carries its own lock.
+///
+/// The fleet steps engines serially (StreamSet::Step), which keeps served
+/// results bitwise-identical to the Step()-driven in-process reference;
+/// fanning intervals out on a pool inside serve mode is a ROADMAP item.
+class Server {
+ public:
+  /// Binds, (optionally) recovers, and starts all threads. On success the
+  /// server is accepting connections on 127.0.0.1:port().
+  static Result<std::unique_ptr<Server>> Start(ServerOptions options);
+
+  /// Hard stop: abandons in-flight work WITHOUT a final checkpoint, closes
+  /// the socket, joins every thread. Use RequestDrain() + Wait() for the
+  /// graceful path.
+  ~Server();
+
+  int port() const { return port_; }
+
+  /// Asks the fleet thread to drain: finish the current interval, write the
+  /// final checkpoint (when checkpointing is configured), fail still-
+  /// running waiters with a "recover to finish" error, and exit. Safe from
+  /// any thread; idempotent. (The CLI calls this when SIGINT/SIGTERM is
+  /// flagged; a kDrain frame triggers the same path.)
+  void RequestDrain();
+
+  /// True once the fleet thread has exited (drained or failed).
+  bool finished() const { return finished_.load(); }
+
+  /// Joins the fleet thread and shuts the network down; returns the fleet
+  /// loop's terminal status. Call after RequestDrain() (or a client-sent
+  /// kDrain) for a graceful exit.
+  Status Wait();
+
+ private:
+  struct StreamTenant {
+    std::unique_ptr<core::Workload> workload;
+    std::unique_ptr<api::Skyscraper> facade;
+  };
+
+  struct Command {
+    enum class Kind : uint8_t {
+      kOpen,       // boundary: admit spec -> payload u64 id, u64 slot
+      kClose,      // boundary: retire session_id
+      kReconfig,   // boundary: apply reconfig to session_id
+      kSetBudget,  // boundary: replace the shared budget
+      kMetrics,    // anytime: payload = metrics JSON
+      kDrain,      // boundary: checkpoint + exit
+    };
+    Kind kind = Kind::kMetrics;
+    SessionSpec spec;
+    uint64_t session_id = 0;
+    core::StreamReconfig reconfig;
+    double budget = 0.0;
+    /// Fulfilled by the fleet thread with the encoded success-reply payload
+    /// (or the rejection Status).
+    std::promise<Result<std::string>> reply;
+  };
+
+  explicit Server(ServerOptions options);
+
+  /// Loads the base model, binds the socket, optionally recovers.
+  Status Init();
+  Status RecoverFromServeCheckpoint();
+
+  /// Builds one admitted session's simulation: workload instance, facade
+  /// with the served model loaded, and the resolved StreamEngineJob.
+  Result<core::StreamEngineJob> BuildJob(const SessionSpec& spec,
+                                         StreamTenant* tenant) const;
+
+  /// min_k cost(k) of one more session of the served model — the marginal
+  /// all-cheapest cost admission control charges a newcomer.
+  double NewcomerCheapestCost() const;
+
+  void FleetLoop();
+  void HarvestFinished();
+  Result<std::string> Admit(const SessionSpec& spec);
+  void ServiceBoundaryCommand(Command* cmd);
+  std::string CollectMetricsJson();
+  Status WriteServeCheckpoint();
+
+  /// Enqueues a command for the fleet thread and blocks on its reply.
+  /// Refuses (instead of hanging) once the fleet loop has closed the queue.
+  Result<std::string> Dispatch(std::unique_ptr<Command> cmd);
+
+  void ListenLoop();
+  void Connection(int fd);
+  /// Handles one request frame; returns the reply (type, payload).
+  std::pair<FrameType, std::string> HandleRequest(const Frame& request);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::chrono::steady_clock::time_point started_at_;
+
+  /// The served model, loaded once: resolves spec defaults and prices
+  /// admission. Sessions load their own facade-owned copies.
+  std::unique_ptr<core::Workload> base_workload_;
+  std::unique_ptr<api::Skyscraper> base_facade_;
+
+  // --- Fleet-thread-owned state (no lock; see threading model) ---
+  std::unique_ptr<core::StreamSet> fleet_;
+  std::vector<StreamTenant> tenants_;  ///< slot-parallel to the fleet
+  uint64_t sessions_accepted_ = 0;
+  uint64_t sessions_rejected_ = 0;
+  uint64_t boundaries_seen_ = 0;
+  double shared_budget_ = 0.0;
+  Status fleet_status_;
+  Status last_checkpoint_status_;
+
+  SessionRegistry registry_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Command>> queue_;
+  bool drain_requested_ = false;
+  bool queue_closed_ = false;
+
+  std::atomic<bool> stop_{false};      ///< hard stop (destructor)
+  std::atomic<bool> finished_{false};  ///< fleet thread exited
+
+  std::thread fleet_thread_;
+  std::thread listen_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+  bool joined_ = false;
+};
+
+}  // namespace sky::serve
+
+#endif  // SKYSCRAPER_SERVE_SERVER_H_

@@ -1,0 +1,596 @@
+// The `sky serve` subsystem. Gates (ISSUE):
+//  - e2e bitwise parity: N sessions opened by concurrent clients against a
+//    live server finish with EngineResults (traces included) identical to
+//    ONE in-process joint-planning StreamSet built from the same specs;
+//  - admission control: with a pooled budget armed, the session that would
+//    push the fleet past the budget is rejected with a clean
+//    kResourceExhausted protocol error and the connection stays usable;
+//  - live reconfiguration at a plan boundary is bitwise-equivalent to the
+//    in-process ReconfigureStream call;
+//  - drain + --recover: a drained server's checkpoint resumes every
+//    in-flight session bitwise on a second server;
+//  - metrics: the BENCH-style JSON document carries the counters;
+//  - wire protocol and serve-checkpoint formats round-trip exactly and
+//    refuse corruption.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/skyscraper.h"
+#include "api/workload_registry.h"
+#include "core/engine.h"
+#include "core/multi_stream.h"
+#include "io/checkpoint_io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace sky {
+namespace {
+
+using core::EngineResult;
+using core::EngineResultsIdentical;
+using serve::Client;
+using serve::Frame;
+using serve::FrameType;
+using serve::Server;
+using serve::ServerOptions;
+using serve::SessionSpec;
+
+constexpr char kModelPath[] = "/tmp/sky_serve_test_model.bin";
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto workload = api::MakeWorkloadByName("ev");
+    ASSERT_NE(workload, nullptr);
+    api::Skyscraper sky(workload.get());
+    sky.SetResources(TestResources());
+    core::OfflineOptions opts;
+    opts.segment_seconds = 4.0;
+    opts.train_horizon = Days(3);
+    opts.num_categories = 3;
+    opts.train_forecaster = false;  // keep the fixture fast
+    ASSERT_TRUE(sky.Fit(opts).ok());
+    ASSERT_TRUE(sky.SaveModel(kModelPath, workload->name()).ok());
+  }
+  static void TearDownTestSuite() { std::remove(kModelPath); }
+
+  static api::Resources TestResources() {
+    api::Resources r;
+    r.cores = 4;
+    r.cloud_budget_usd_per_interval = 1.0;
+    return r;
+  }
+
+  static ServerOptions BaseServerOptions() {
+    ServerOptions opts;
+    opts.model_path = kModelPath;
+    opts.workload = "ev";
+    opts.resources = TestResources();
+    return opts;
+  }
+
+  /// The spec every e2e session uses: everything explicit, so the server's
+  /// default resolution plays no part and the in-process mirror is exact.
+  static SessionSpec SpecForSeed(uint64_t content_seed) {
+    SessionSpec spec;
+    spec.workload = "ev";
+    spec.content_seed = content_seed;
+    spec.start_days = 3.0;
+    spec.duration_days = 0.25;        // 6 h
+    spec.plan_interval_days = 0.125;  // 3 h -> 2 lockstep boundaries
+    spec.engine_seed = 71;
+    // Traces make the bitwise comparisons maximally sensitive.
+    spec.record_trace = true;
+    spec.trace_resolution_s = 300.0;
+    return spec;
+  }
+
+  /// The exact job Server::BuildJob derives from `spec` — the in-process
+  /// half of every bitwise gate. The tenant keeps workload/facade alive
+  /// for the job's lifetime, like the server's StreamTenant does.
+  struct Tenant {
+    std::unique_ptr<core::Workload> workload;
+    std::unique_ptr<api::Skyscraper> facade;
+  };
+  static core::StreamEngineJob MirrorJob(const SessionSpec& spec,
+                                         Tenant* tenant) {
+    tenant->workload =
+        api::MakeWorkloadByName(spec.workload, spec.content_seed);
+    EXPECT_NE(tenant->workload, nullptr);
+    tenant->facade =
+        std::make_unique<api::Skyscraper>(tenant->workload.get());
+    tenant->facade->SetResources(TestResources());
+    EXPECT_TRUE(
+        tenant->facade->LoadModel(kModelPath, tenant->workload->name())
+            .ok());
+    core::EngineOptions opts;
+    opts.duration = Days(spec.duration_days);
+    opts.plan_interval = Days(spec.plan_interval_days);
+    opts.seed = spec.engine_seed;
+    opts.record_trace = spec.record_trace;
+    opts.trace_resolution_s = spec.trace_resolution_s;
+    if (spec.cloud_budget_usd_per_interval.has_value()) {
+      opts.cloud_budget_usd_per_interval =
+          *spec.cloud_budget_usd_per_interval;
+    }
+    opts.work_budget_override = spec.work_budget_override;
+    auto job = tenant->facade->MakeStreamJob(Days(spec.start_days), opts);
+    EXPECT_TRUE(job.ok()) << job.status().ToString();
+    return *job;
+  }
+
+  /// min_k work cost of one served session — the price admission control
+  /// charges a newcomer (mirrors Server::NewcomerCheapestCost).
+  static double CheapestSessionCost() {
+    Tenant tenant;
+    MirrorJob(SpecForSeed(1), &tenant);
+    auto model = tenant.facade->model();
+    EXPECT_TRUE(model.ok());
+    double cheapest = 0.0;
+    bool first = true;
+    for (const auto& p : (*model)->profiles) {
+      if (first || p.work_core_s_per_video_s < cheapest) {
+        cheapest = p.work_core_s_per_video_s;
+        first = false;
+      }
+    }
+    return cheapest;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Wire protocol units.
+
+TEST_F(ServeTest, SessionSpecPayloadRoundTrips) {
+  SessionSpec spec = SpecForSeed(12345);
+  spec.f32_forecast = true;
+  spec.cloud_budget_usd_per_interval = 0.375;
+  spec.work_budget_override = 2.5;
+  std::string payload;
+  AppendSessionSpec(spec, &payload);
+  io::wire::Cursor c(payload.data(), payload.size());
+  SessionSpec back;
+  ASSERT_TRUE(ParseSessionSpec(&c, &back).ok());
+  EXPECT_EQ(back.workload, spec.workload);
+  ASSERT_TRUE(back.content_seed.has_value());
+  EXPECT_EQ(*back.content_seed, 12345u);
+  EXPECT_EQ(back.start_days, spec.start_days);
+  EXPECT_EQ(back.duration_days, spec.duration_days);
+  EXPECT_EQ(back.plan_interval_days, spec.plan_interval_days);
+  EXPECT_EQ(back.engine_seed, spec.engine_seed);
+  EXPECT_EQ(back.f32_forecast, true);
+  EXPECT_EQ(back.record_trace, spec.record_trace);
+  EXPECT_EQ(back.trace_resolution_s, spec.trace_resolution_s);
+  ASSERT_TRUE(back.cloud_budget_usd_per_interval.has_value());
+  EXPECT_EQ(*back.cloud_budget_usd_per_interval, 0.375);
+  EXPECT_EQ(back.work_budget_override, 2.5);
+
+  // Unset optionals stay unset through the wire.
+  SessionSpec bare;
+  std::string bare_payload;
+  AppendSessionSpec(bare, &bare_payload);
+  io::wire::Cursor c2(bare_payload.data(), bare_payload.size());
+  SessionSpec bare_back;
+  ASSERT_TRUE(ParseSessionSpec(&c2, &bare_back).ok());
+  EXPECT_FALSE(bare_back.content_seed.has_value());
+  EXPECT_FALSE(bare_back.cloud_budget_usd_per_interval.has_value());
+}
+
+TEST_F(ServeTest, ErrorPayloadCarriesTheStatus) {
+  std::string payload;
+  serve::AppendError(Status::ResourceExhausted("fleet is full"), &payload);
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.payload = payload;
+  Status decoded = serve::ParseError(frame);
+  EXPECT_EQ(decoded.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(decoded.ToString().find("fleet is full"), std::string::npos);
+}
+
+TEST_F(ServeTest, FramesRoundTripOverASocketAndRefuseCorruption) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  std::string payload = "hello frames";
+  ASSERT_TRUE(serve::WriteFrame(fds[0], FrameType::kMetrics, payload).ok());
+  Frame frame;
+  ASSERT_TRUE(serve::ReadFrame(fds[1], &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kMetrics);
+  EXPECT_EQ(frame.payload, payload);
+
+  // A flipped payload byte must fail the FNV-1a trailer check.
+  std::string encoded;
+  serve::EncodeFrame(FrameType::kMetrics, payload, &encoded);
+  encoded[4 + 1 + 8] ^= 0x01;  // first payload byte, after magic+type+len
+  ASSERT_EQ(::write(fds[0], encoded.data(), encoded.size()),
+            static_cast<ssize_t>(encoded.size()));
+  Frame corrupt;
+  EXPECT_EQ(serve::ReadFrame(fds[1], &corrupt).code(),
+            StatusCode::kInvalidArgument);
+
+  // Clean EOF before any frame byte is "peer hung up", not corruption.
+  ASSERT_EQ(::shutdown(fds[0], SHUT_WR), 0);
+  Frame eof;
+  EXPECT_EQ(serve::ReadFrame(fds[1], &eof).code(), StatusCode::kNotFound);
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(ServeTest, ServeCheckpointRoundTripsByteStable) {
+  serve::ServeCheckpoint ckpt;
+  ckpt.next_session_id = 7;
+  ckpt.sessions_accepted = 6;
+  ckpt.sessions_rejected = 2;
+  ckpt.shared_budget_core_s_per_video_s = 3.5;
+  serve::SessionRecord running;
+  running.id = 5;
+  running.spec = SpecForSeed(42);
+  running.state = serve::SessionState::kRunning;
+  running.stream_index = 1;
+  ckpt.sessions.push_back(running);
+  serve::SessionRecord failed;
+  failed.id = 6;
+  failed.spec = SpecForSeed(43);
+  failed.state = serve::SessionState::kFailed;
+  failed.stream_index = 2;
+  failed.error = Status::Internal("stream quarantined");
+  ckpt.sessions.push_back(failed);
+  ckpt.fleet_bytes = "opaque fleet payload";
+
+  std::string bytes;
+  ASSERT_TRUE(SerializeServeCheckpoint(ckpt, &bytes).ok());
+  auto parsed = serve::ParseServeCheckpoint(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string bytes_again;
+  ASSERT_TRUE(SerializeServeCheckpoint(*parsed, &bytes_again).ok());
+  EXPECT_EQ(bytes, bytes_again);  // byte-stable round trip
+  EXPECT_EQ(parsed->next_session_id, 7u);
+  EXPECT_EQ(parsed->sessions.size(), 2u);
+  EXPECT_EQ(parsed->sessions[1].error.code(), StatusCode::kInternal);
+  EXPECT_EQ(parsed->fleet_bytes, "opaque fleet payload");
+
+  // Corruption is refused.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  EXPECT_FALSE(serve::ParseServeCheckpoint(corrupt).ok());
+  EXPECT_FALSE(serve::ParseServeCheckpoint(bytes.substr(0, 10)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end gates against a live server.
+
+TEST_F(ServeTest, ConcurrentSessionsBitwiseMatchInProcessJointFleet) {
+  constexpr size_t kSessions = 3;
+  ServerOptions opts = BaseServerOptions();
+  // Hold the virtual clock until all sessions joined, so every stream is a
+  // member from boundary 0 — the precondition for comparing against one
+  // fleet born with all of them.
+  opts.start_after_sessions = kSessions;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // N genuinely concurrent clients; admission order (and so slot order) is
+  // whatever the race produces, so remember which spec landed in which
+  // fleet slot and mirror that order in-process.
+  struct Opened {
+    uint64_t session_id = 0;
+    uint64_t slot = 0;
+    size_t spec_index = 0;
+    EngineResult result;
+    Status status;
+  };
+  std::vector<Opened> opened(kSessions);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < kSessions; ++i) {
+    clients.emplace_back([&, i] {
+      auto client = Client::Connect((*server)->port());
+      if (!client.ok()) {
+        opened[i].status = client.status();
+        return;
+      }
+      auto admitted = client->OpenSession(SpecForSeed(100 + i));
+      if (!admitted.ok()) {
+        opened[i].status = admitted.status();
+        return;
+      }
+      opened[i].session_id = admitted->first;
+      opened[i].slot = admitted->second;
+      opened[i].spec_index = i;
+      auto result = client->FetchResult(admitted->first);
+      if (!result.ok()) {
+        opened[i].status = result.status();
+        return;
+      }
+      opened[i].result = std::move(*result);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (size_t i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(opened[i].status.ok())
+        << "client " << i << ": " << opened[i].status.ToString();
+  }
+
+  // In-process reference: ONE joint fleet whose job order is the server's
+  // slot order.
+  std::vector<size_t> spec_at_slot(kSessions);
+  for (const Opened& o : opened) {
+    ASSERT_LT(o.slot, kSessions);
+    spec_at_slot[o.slot] = o.spec_index;
+  }
+  std::vector<Tenant> tenants(kSessions);
+  std::vector<core::StreamEngineJob> jobs;
+  for (size_t slot = 0; slot < kSessions; ++slot) {
+    jobs.push_back(
+        MirrorJob(SpecForSeed(100 + spec_at_slot[slot]), &tenants[slot]));
+  }
+  core::StreamSetOptions set_opts;
+  set_opts.planning = core::MultiStreamPlanning::kJoint;
+  auto reference = core::StreamSet::Create(std::move(jobs), set_opts);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  while (!reference->Done()) ASSERT_TRUE(reference->Step().ok());
+  auto ref_results = reference->Results();
+
+  for (const Opened& o : opened) {
+    ASSERT_TRUE(ref_results[o.slot].ok());
+    EXPECT_TRUE(EngineResultsIdentical(*ref_results[o.slot], o.result))
+        << "session " << o.session_id << " (slot " << o.slot << ")";
+  }
+
+  ASSERT_TRUE(Client::Connect((*server)->port())->Drain().ok());
+  EXPECT_TRUE((*server)->Wait().ok());
+}
+
+TEST_F(ServeTest, OverBudgetSessionRejectedWithCleanProtocolError) {
+  // Price the budget so exactly two sessions fit: the third's all-cheapest
+  // marginal cost would exceed it.
+  double session_cost = CheapestSessionCost();
+  ASSERT_GT(session_cost, 0.0);
+  ServerOptions opts = BaseServerOptions();
+  opts.shared_budget_core_s_per_video_s = 2.5 * session_cost;
+  opts.start_after_sessions = 4;  // hold the clock for the whole test
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = Client::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->OpenSession(SpecForSeed(200)).ok());
+  ASSERT_TRUE(client->OpenSession(SpecForSeed(201)).ok());
+
+  auto rejected = client->OpenSession(SpecForSeed(202));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  // The rejection is a clean protocol reply: the same connection keeps
+  // working, and the rejection is counted.
+  auto metrics = client->Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->find("\"sessions_accepted\": 2"), std::string::npos)
+      << *metrics;
+  EXPECT_NE(metrics->find("\"sessions_rejected\": 1"), std::string::npos)
+      << *metrics;
+
+  // Raising the budget at the next boundary makes the same spec admissible
+  // — admission is the planner's feasibility check, not a static cap.
+  ASSERT_TRUE(client->SetSharedBudget(4.0 * session_cost).ok());
+  EXPECT_TRUE(client->OpenSession(SpecForSeed(202)).ok());
+
+  ASSERT_TRUE(client->Drain().ok());
+  EXPECT_TRUE((*server)->Wait().ok());
+}
+
+TEST_F(ServeTest, MaxSessionsCapRejectsTheOverflowSession) {
+  ServerOptions opts = BaseServerOptions();
+  opts.max_sessions = 1;
+  opts.start_after_sessions = 2;  // hold the clock
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->OpenSession(SpecForSeed(300)).ok());
+  auto rejected = client->OpenSession(SpecForSeed(301));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(client->Drain().ok());
+  EXPECT_TRUE((*server)->Wait().ok());
+}
+
+TEST_F(ServeTest, WrongWorkloadAndUnknownSessionAreCleanErrors) {
+  ServerOptions opts = BaseServerOptions();
+  opts.start_after_sessions = 1;  // hold the clock
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  SessionSpec wrong = SpecForSeed(1);
+  wrong.workload = "covid";
+  EXPECT_EQ(client->OpenSession(wrong).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client->FetchResult(999).status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(client->Drain().ok());
+  EXPECT_TRUE((*server)->Wait().ok());
+}
+
+TEST_F(ServeTest, LiveReconfigureMatchesInProcessReconfigureStream) {
+  // Two-stream fleet; stream 0's cloud budget is cut to zero by a live
+  // kReconfigure BEFORE the clock starts (the server is holding for two
+  // sessions, so the reconfigure lands at boundary 0 deterministically).
+  ServerOptions opts = BaseServerOptions();
+  opts.start_after_sessions = 2;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok());
+
+  auto client = Client::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+  auto first = client->OpenSession(SpecForSeed(400));
+  ASSERT_TRUE(first.ok());
+  core::StreamReconfig change;
+  change.cloud_budget_usd_per_interval = 0.0;
+  ASSERT_TRUE(client->Reconfigure(first->first, change).ok());
+  auto second = client->OpenSession(SpecForSeed(401));  // releases the hold
+  ASSERT_TRUE(second.ok());
+
+  auto first_result = client->FetchResult(first->first);
+  ASSERT_TRUE(first_result.ok()) << first_result.status().ToString();
+  auto second_result = client->FetchResult(second->first);
+  ASSERT_TRUE(second_result.ok());
+
+  // In-process mirror: same jobs, same ReconfigureStream before stepping.
+  std::vector<Tenant> tenants(2);
+  std::vector<core::StreamEngineJob> jobs;
+  jobs.push_back(MirrorJob(SpecForSeed(400), &tenants[0]));
+  jobs.push_back(MirrorJob(SpecForSeed(401), &tenants[1]));
+  core::StreamSetOptions set_opts;
+  set_opts.planning = core::MultiStreamPlanning::kJoint;
+  auto reference = core::StreamSet::Create(std::move(jobs), set_opts);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(reference->ReconfigureStream(0, change).ok());
+  while (!reference->Done()) ASSERT_TRUE(reference->Step().ok());
+  auto ref_results = reference->Results();
+  ASSERT_TRUE(ref_results[0].ok() && ref_results[1].ok());
+  EXPECT_TRUE(EngineResultsIdentical(*ref_results[0], *first_result));
+  EXPECT_TRUE(EngineResultsIdentical(*ref_results[1], *second_result));
+
+  ASSERT_TRUE(client->Drain().ok());
+  EXPECT_TRUE((*server)->Wait().ok());
+}
+
+TEST_F(ServeTest, DrainCheckpointRecoverFinishesEverySessionBitwise) {
+  const std::string ckpt_path = "/tmp/sky_serve_test_drain_ckpt.bin";
+  std::remove(ckpt_path.c_str());
+  constexpr size_t kSessions = 2;
+
+  // Long enough (4 simulated days, 32 plan boundaries) that the drain below
+  // lands while the sessions are still mid-run.
+  auto long_spec = [](uint64_t seed) {
+    SessionSpec spec = SpecForSeed(seed);
+    spec.duration_days = 4.0;
+    return spec;
+  };
+
+  uint64_t ids[kSessions];
+  {
+    ServerOptions opts = BaseServerOptions();
+    opts.start_after_sessions = kSessions;
+    opts.checkpoint_path = ckpt_path;
+    opts.checkpoint_every_boundaries = 1;
+    auto server = Server::Start(opts);
+    ASSERT_TRUE(server.ok());
+    auto client = Client::Connect((*server)->port());
+    ASSERT_TRUE(client.ok());
+    for (size_t i = 0; i < kSessions; ++i) {
+      auto admitted = client->OpenSession(long_spec(500 + i));
+      ASSERT_TRUE(admitted.ok());
+      ids[i] = admitted->first;
+    }
+    // A waiter blocked in FetchResult when the drain lands is told to
+    // finish the session via --recover instead of hanging.
+    std::thread waiter([&] {
+      auto c = Client::Connect((*server)->port());
+      ASSERT_TRUE(c.ok());
+      auto r = c->FetchResult(ids[0]);
+      EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+    });
+    // Drain only once the fleet has demonstrably planned a couple of
+    // boundaries, so the drain checkpoint carries genuine mid-run state.
+    for (;;) {
+      auto metrics = client->Metrics();
+      ASSERT_TRUE(metrics.ok());
+      size_t pos = metrics->find("\"boundaries_planned\": ");
+      ASSERT_NE(pos, std::string::npos);
+      long planned =
+          std::strtol(metrics->c_str() + pos + 22, nullptr, 10);
+      ASSERT_NE(metrics->find("\"sessions_running\": 2"),
+                std::string::npos)
+          << "sessions finished before the drain could land:\n"
+          << *metrics;
+      if (planned >= 2) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(client->Drain().ok());
+    EXPECT_TRUE((*server)->Wait().ok());
+    waiter.join();
+  }
+
+  // Second server resumes every in-flight session from the drain
+  // checkpoint; the sessions keep their original ids.
+  EngineResult recovered[kSessions];
+  {
+    ServerOptions opts = BaseServerOptions();
+    opts.recover_path = ckpt_path;
+    auto server = Server::Start(opts);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client = Client::Connect((*server)->port());
+    ASSERT_TRUE(client.ok());
+    for (size_t i = 0; i < kSessions; ++i) {
+      auto result = client->FetchResult(ids[i]);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      recovered[i] = std::move(*result);
+    }
+    ASSERT_TRUE(client->Drain().ok());
+    EXPECT_TRUE((*server)->Wait().ok());
+  }
+
+  // Reference: the fleet that never stopped.
+  std::vector<Tenant> tenants(kSessions);
+  std::vector<core::StreamEngineJob> jobs;
+  for (size_t i = 0; i < kSessions; ++i) {
+    jobs.push_back(MirrorJob(long_spec(500 + i), &tenants[i]));
+  }
+  core::StreamSetOptions set_opts;
+  set_opts.planning = core::MultiStreamPlanning::kJoint;
+  auto reference = core::StreamSet::Create(std::move(jobs), set_opts);
+  ASSERT_TRUE(reference.ok());
+  while (!reference->Done()) ASSERT_TRUE(reference->Step().ok());
+  auto ref_results = reference->Results();
+  for (size_t i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(ref_results[i].ok());
+    EXPECT_TRUE(EngineResultsIdentical(*ref_results[i], recovered[i]))
+        << "session " << ids[i];
+  }
+  std::remove(ckpt_path.c_str());
+}
+
+TEST_F(ServeTest, MetricsDocumentCarriesTheCounters) {
+  ServerOptions opts = BaseServerOptions();
+  opts.shared_budget_core_s_per_video_s = 100.0;
+  opts.start_after_sessions = 2;  // hold the clock
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->OpenSession(SpecForSeed(600)).ok());
+
+  auto metrics = client->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  for (const char* key :
+       {"\"uptime_s\"", "\"sessions_accepted\": 1",
+        "\"sessions_rejected\": 0", "\"sessions_running\": 1",
+        "\"boundaries_planned\"", "\"boundary_p50_ms\"",
+        "\"boundary_p99_ms\"",
+        "\"shared_budget_core_s_per_video_s\": 100", "\"fleet_restarts\"",
+        "\"sessions\"", "\"workload\": \"ev\"", "\"state\": \"running\"",
+        "\"stream_index\": 0"}) {
+    EXPECT_NE(metrics->find(key), std::string::npos)
+        << "missing " << key << " in:\n" << *metrics;
+  }
+
+  ASSERT_TRUE(client->Drain().ok());
+  EXPECT_TRUE((*server)->Wait().ok());
+}
+
+}  // namespace
+}  // namespace sky

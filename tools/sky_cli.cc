@@ -1,7 +1,8 @@
 // sky — the Skyscraper command-line deployment tool.
 //
-// Splits the paper's two phases into two processes, so the expensive offline
-// fit (§3, Table 3) is paid once and every serving process starts warm:
+// Splits the paper's two phases into separate processes, so the expensive
+// offline fit (§3, Table 3) is paid once and every serving process starts
+// warm:
 //
 //   # Terminal 1: train once, persist the model.
 //   sky offline --workload covid --out model.bin
@@ -9,45 +10,60 @@
 //   # Terminal 2 (later, or on another machine): serve from the saved model.
 //   sky ingest --model model.bin --workload covid --duration-days 2
 //
+//   # Or run a long-lived multi-tenant server and feed it sessions:
+//   sky serve --model model.bin --workload covid --shared-budget 6 &
+//   sky client open --port $PORT --duration-days 1 --wait
+//
 // The saved file is the versioned chunked binary of docs/model_format.md;
 // `sky ingest` from a loaded model is bitwise-identical to ingesting right
-// after Fit() in one process (gated by tests/model_io_test.cc). A third
-// subcommand, `sky inspect`, prints a saved model's summary without running
-// anything.
+// after Fit() in one process (gated by tests/model_io_test.cc), and a served
+// session is bitwise-identical to the same job on an in-process StreamSet
+// (gated by tests/serve_test.cc). `sky inspect` prints a saved model's
+// summary without running anything.
 //
 // Hardware provisioning (--cores, --cloud-budget, --buffer-gb) must match
-// between the two phases: the model's placement profiles describe the
-// cluster they were profiled on (the provisioning is deliberately NOT part
-// of the model file — the same reason you pass the same --workload).
+// between the phases: the model's placement profiles describe the cluster
+// they were profiled on (the provisioning is deliberately NOT part of the
+// model file — the same reason you pass the same --workload).
 //
 // Exit codes (scriptable: every failure is one line on stderr, nothing on
 // stdout):
 //   0  success
-//   1  any other runtime failure
+//   1  any other runtime failure (includes an admission rejection)
 //   2  usage error (unknown flag/subcommand/workload, missing required flag)
 //   3  I/O failure (model file missing or unreadable, save failed)
 //   4  corrupt model file (bad magic/version/checksum/layout)
 //   5  model/workload mismatch (the file is fine, but trained for a
 //      different job than --workload)
+//
+// Every subcommand also answers `--help` on stdout with exit code 0.
 
+#include <csignal>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "api/skyscraper.h"
+#include "api/workload_registry.h"
 #include "io/model_io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "util/sim_time.h"
-#include "workloads/covid.h"
-#include "workloads/ev_counting.h"
-#include "workloads/mosei.h"
-#include "workloads/mot.h"
 
 namespace {
 
 using sky::Days;
 using sky::Status;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
 
 int Usage() {
   std::fprintf(stderr, R"(usage: sky <subcommand> [flags]
@@ -56,43 +72,127 @@ subcommands:
   offline   run the offline phase and save the trained model (train once)
   ingest    load a saved model and ingest a stream (serve many)
   inspect   print a saved model's summary
+  serve     long-running multi-tenant ingestion server (docs/serving.md)
+  client    talk to a running `sky serve` (open/metrics/reconfigure/...)
 
-common flags:
-  --workload NAME   ev | covid | mot | mosei-high | mosei-long  (default ev)
-  --cores N         on-premise cluster cores                    (default 8)
-  --cloud-budget D  cloud credits (USD) per plan interval       (default 0)
-  --buffer-gb G     video buffer capacity, GiB                  (default 4)
+run `sky <subcommand> --help` for that subcommand's flags.
+)");
+  return 2;
+}
 
-offline flags:
+// Per-subcommand usage texts. --help prints these on STDOUT and exits 0;
+// usage ERRORS print them on stderr and exit 2.
+constexpr const char kOfflineHelp[] =
+    R"(usage: sky offline --out PATH [flags]
+
   --out PATH            where to write the model            (required)
+  --workload NAME       ev | covid | mot | mosei-high | mosei-long (default ev)
+  --cores N             on-premise cluster cores            (default 8)
+  --cloud-budget D      cloud credits (USD) per plan interval (default 0)
+  --buffer-gb G         video buffer capacity, GiB          (default 4)
   --segment-seconds S   knob-switcher period                (default 4)
   --train-days D        unlabeled training horizon          (default 16)
   --plan-days D         forecast span / planned interval    (default 2)
   --categories C        content categories                  (default 4)
   --threads N           offline worker threads, 0 = all     (default 0)
   --seed S              offline RNG seed                    (default 81)
+)";
 
-ingest flags:
-  --model PATH          model saved by `sky offline`        (required)
-  --start-days D        ingest start (default: the model's train horizon)
-  --duration-days D     how much stream to ingest           (default 1)
-  --plan-interval-days D  knob-planner period (default: the span the
-                          model's forecaster was trained for)
-  --seed S              engine noise seed                   (default 71)
-  --precision f64|f32   boundary-forecast inference arithmetic (default f64;
-                        f32 uses the SIMD reduced-precision path, see
-                        docs/precision.md)
+constexpr const char kIngestHelp[] =
+    R"(usage: sky ingest --model PATH [flags]
 
-inspect flags:
+  --model PATH            model saved by `sky offline`      (required)
+  --workload NAME         must match the model's annotation (default ev)
+  --cores N / --cloud-budget D / --buffer-gb G   provisioning (as trained)
+  --start-days D          ingest start (default: the model's train horizon)
+  --duration-days D       how much stream to ingest         (default 1)
+  --plan-interval-days D  knob-planner period (default: the span the model's
+                          forecaster was trained for)
+  --seed S                engine noise seed                 (default 71)
+  --precision f64|f32     boundary-forecast inference arithmetic (default
+                          f64; f32 is the SIMD path, see docs/precision.md)
+)";
+
+constexpr const char kInspectHelp[] =
+    R"(usage: sky inspect --model PATH
+
   --model PATH          model file to describe              (required)
-)");
-  return 2;
-}
+)";
+
+constexpr const char kServeHelp[] =
+    R"(usage: sky serve --model PATH [flags]
+
+Runs the multi-tenant ingestion server on 127.0.0.1 (docs/serving.md): N
+client sessions multiplex onto one jointly planned StreamSet under a pooled
+budget. SIGINT/SIGTERM drain gracefully: the fleet stops at its next plan
+boundary, writes a final checkpoint, and every session resumes bitwise
+under --recover.
+
+  --model PATH          model saved by `sky offline`        (required)
+  --workload NAME       the workload the model serves       (default ev)
+  --cores N / --cloud-budget D / --buffer-gb G   per-stream provisioning
+  --port N              TCP port; 0 picks an ephemeral port (default 0)
+  --port-file PATH      write the bound port here (scripting ephemeral ports)
+  --shared-budget B     pooled planning budget, core-s per video-s; > 0 also
+                        arms admission control               (default 0: derive)
+  --max-sessions N      hard cap on live sessions, 0 = none (default 0)
+  --start-after N       hold the virtual clock until N sessions joined
+  --checkpoint PATH     serve checkpoint file (periodic + final)
+  --checkpoint-every K  checkpoint every K plan boundaries  (default 1)
+  --max-restarts R      supervised restarts per stream      (default 0)
+  --recover PATH        resume every session from this serve checkpoint
+)";
+
+constexpr const char kClientHelp[] =
+    R"(usage: sky client <verb> --port N [flags]
+
+verbs:
+  open         open a stream session (admitted at the next plan boundary)
+  fetch        block for a session's final result and print it
+  metrics      print the server's JSON metrics document
+  reconfigure  change one session's knobs at the next plan boundary
+  set-budget   change the fleet-wide pooled budget at the next plan boundary
+  close        retire a running session at the next plan boundary
+  drain        checkpoint at the next boundary and shut the server down
+
+common flags:
+  --port N              the server's port                   (required)
+
+open flags:
+  --workload NAME         must match the served workload    (default ev)
+  --content-seed S        camera identity (distinct seeds = distinct streams)
+  --start-days D          session start (default: model train horizon)
+  --duration-days D       session length                    (default 1)
+  --plan-interval-days D  plan cadence (default: the model's forecast span)
+  --seed S                engine noise seed                 (default 71)
+  --precision f64|f32     boundary-forecast arithmetic      (default f64)
+  --record-trace          record the Fig. 3 time series
+  --trace-resolution-s S  trace sample spacing              (default 300)
+  --cloud-budget D        per-interval cloud credits override
+  --work-budget B         pure work budget override, core-s per video-s
+  --wait                  block for the final result and print it
+
+fetch flags:
+  --session ID            session to fetch (works across --recover: ids are
+                          stable in the serve checkpoint)   (required)
+
+reconfigure flags:
+  --session ID            session to reconfigure            (required)
+  --cloud-budget D        new per-interval cloud credits
+  --work-budget B         new pure work budget (0 returns to cores+cloud)
+
+set-budget flags:
+  --budget B              new pooled budget; <= 0 derives from streams
+
+close flags:
+  --session ID            session to retire                 (required)
+)";
 
 struct Flags {
   std::string workload = "ev";
   int cores = 8;
   double cloud_budget = 0.0;
+  bool cloud_budget_set = false;
   double buffer_gb = 4.0;
   std::string out;
   std::string model;
@@ -107,13 +207,41 @@ struct Flags {
   double plan_interval_days = -1.0;  ///< -1 = derive from the loaded model
   uint64_t engine_seed = 71;
   std::string precision = "f64";  ///< boundary-forecast inference precision
+  bool help = false;
+
+  // serve flags
+  int port = 0;
+  std::string port_file;
+  double shared_budget = 0.0;
+  size_t max_sessions = 0;
+  size_t start_after = 0;
+  std::string checkpoint;
+  size_t checkpoint_every = 1;
+  size_t max_restarts = 0;
+  std::string recover;
+
+  // client flags
+  std::optional<uint64_t> content_seed;
+  bool record_trace = false;
+  double trace_resolution_s = 300.0;
+  bool wait = false;
+  uint64_t session = 0;
+  bool session_set = false;
+  double budget = 0.0;
+  double work_budget = 0.0;
+  bool work_budget_set = false;
 };
 
-/// Parses "--flag value" / "--flag=value" pairs; returns false on an unknown
-/// flag or a missing value.
+/// Parses "--flag value" / "--flag=value" pairs (boolean flags take no
+/// value); returns false on an unknown flag or a missing value.
 bool ParseFlags(int argc, char** argv, Flags* f) {
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
+    // Boolean flags first: they never consume the next argument.
+    if (arg == "--help" || arg == "-h") { f->help = true; continue; }
+    if (arg == "--record-trace") { f->record_trace = true; continue; }
+    if (arg == "--wait") { f->wait = true; continue; }
+
     std::string value;
     size_t eq = arg.find('=');
     if (eq != std::string::npos) {
@@ -127,7 +255,7 @@ bool ParseFlags(int argc, char** argv, Flags* f) {
     }
     if (arg == "--workload") f->workload = value;
     else if (arg == "--cores") f->cores = std::atoi(value.c_str());
-    else if (arg == "--cloud-budget") f->cloud_budget = std::atof(value.c_str());
+    else if (arg == "--cloud-budget") { f->cloud_budget = std::atof(value.c_str()); f->cloud_budget_set = true; }
     else if (arg == "--buffer-gb") f->buffer_gb = std::atof(value.c_str());
     else if (arg == "--out") f->out = value;
     else if (arg == "--model") f->model = value;
@@ -141,26 +269,26 @@ bool ParseFlags(int argc, char** argv, Flags* f) {
     else if (arg == "--duration-days") f->duration_days = std::atof(value.c_str());
     else if (arg == "--plan-interval-days") f->plan_interval_days = std::atof(value.c_str());
     else if (arg == "--precision") f->precision = value;
+    else if (arg == "--port") f->port = std::atoi(value.c_str());
+    else if (arg == "--port-file") f->port_file = value;
+    else if (arg == "--shared-budget") f->shared_budget = std::atof(value.c_str());
+    else if (arg == "--max-sessions") f->max_sessions = std::strtoull(value.c_str(), nullptr, 10);
+    else if (arg == "--start-after") f->start_after = std::strtoull(value.c_str(), nullptr, 10);
+    else if (arg == "--checkpoint") f->checkpoint = value;
+    else if (arg == "--checkpoint-every") f->checkpoint_every = std::strtoull(value.c_str(), nullptr, 10);
+    else if (arg == "--max-restarts") f->max_restarts = std::strtoull(value.c_str(), nullptr, 10);
+    else if (arg == "--recover") f->recover = value;
+    else if (arg == "--content-seed") f->content_seed = std::strtoull(value.c_str(), nullptr, 10);
+    else if (arg == "--trace-resolution-s") f->trace_resolution_s = std::atof(value.c_str());
+    else if (arg == "--session") { f->session = std::strtoull(value.c_str(), nullptr, 10); f->session_set = true; }
+    else if (arg == "--budget") f->budget = std::atof(value.c_str());
+    else if (arg == "--work-budget") { f->work_budget = std::atof(value.c_str()); f->work_budget_set = true; }
     else {
       std::fprintf(stderr, "sky: unknown flag %s\n", arg.c_str());
       return false;
     }
   }
   return true;
-}
-
-std::unique_ptr<sky::core::Workload> MakeWorkload(const std::string& name) {
-  using namespace sky::workloads;
-  if (name == "ev") return std::make_unique<EvCountingWorkload>();
-  if (name == "covid") return std::make_unique<CovidWorkload>();
-  if (name == "mot") return std::make_unique<MotWorkload>();
-  if (name == "mosei-high") {
-    return std::make_unique<MoseiWorkload>(MoseiWorkload::SpikeKind::kHigh);
-  }
-  if (name == "mosei-long") {
-    return std::make_unique<MoseiWorkload>(MoseiWorkload::SpikeKind::kLong);
-  }
-  return nullptr;
 }
 
 sky::api::Resources MakeResources(const Flags& f) {
@@ -196,12 +324,18 @@ int Fail(const Status& status) {
   return ExitCodeFor(status);
 }
 
+int HelpOut(const char* text) {
+  std::printf("%s", text);
+  return 0;
+}
+
 int RunOffline(const Flags& f) {
+  if (f.help) return HelpOut(kOfflineHelp);
   if (f.out.empty()) {
     std::fprintf(stderr, "sky offline: --out is required\n");
     return 2;
   }
-  auto workload = MakeWorkload(f.workload);
+  auto workload = sky::api::MakeWorkloadByName(f.workload);
   if (workload == nullptr) {
     std::fprintf(stderr, "sky: unknown workload '%s'\n", f.workload.c_str());
     return 2;
@@ -245,11 +379,12 @@ int RunOffline(const Flags& f) {
 }
 
 int RunIngest(const Flags& f) {
+  if (f.help) return HelpOut(kIngestHelp);
   if (f.model.empty()) {
     std::fprintf(stderr, "sky ingest: --model is required\n");
     return 2;
   }
-  auto workload = MakeWorkload(f.workload);
+  auto workload = sky::api::MakeWorkloadByName(f.workload);
   if (workload == nullptr) {
     std::fprintf(stderr, "sky: unknown workload '%s'\n", f.workload.c_str());
     return 2;
@@ -316,6 +451,7 @@ int RunIngest(const Flags& f) {
 }
 
 int RunInspect(const Flags& f) {
+  if (f.help) return HelpOut(kInspectHelp);
   if (f.model.empty()) {
     std::fprintf(stderr, "sky inspect: --model is required\n");
     return 2;
@@ -354,15 +490,222 @@ int RunInspect(const Flags& f) {
   return 0;
 }
 
+int RunServe(const Flags& f) {
+  if (f.help) return HelpOut(kServeHelp);
+  if (f.model.empty()) {
+    std::fprintf(stderr, "sky serve: --model is required\n");
+    return 2;
+  }
+
+  sky::serve::ServerOptions opts;
+  opts.port = f.port;
+  opts.model_path = f.model;
+  opts.workload = f.workload;
+  opts.resources = MakeResources(f);
+  opts.shared_budget_core_s_per_video_s = f.shared_budget;
+  opts.max_sessions = f.max_sessions;
+  opts.start_after_sessions = f.start_after;
+  opts.checkpoint_path = f.checkpoint;
+  opts.checkpoint_every_boundaries = f.checkpoint_every;
+  opts.max_stream_restarts = f.max_restarts;
+  opts.recover_path = f.recover;
+
+  auto server = sky::serve::Server::Start(std::move(opts));
+  if (!server.ok()) return Fail(server.status());
+
+  if (!f.port_file.empty()) {
+    std::FILE* pf = std::fopen(f.port_file.c_str(), "w");
+    if (pf == nullptr) {
+      return Fail(Status::Internal("cannot write port file " + f.port_file));
+    }
+    std::fprintf(pf, "%d\n", (*server)->port());
+    std::fclose(pf);
+  }
+  std::printf("sky serve: listening on 127.0.0.1:%d\n", (*server)->port());
+  std::fflush(stdout);
+
+  // SIGINT/SIGTERM -> graceful drain: the handler only flips a flag (a
+  // condvar notify is not async-signal-safe); this loop turns it into a
+  // drain request, and the fleet thread checkpoints at its next boundary.
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!(*server)->finished()) {
+    if (g_signal) {
+      g_signal = 0;
+      (*server)->RequestDrain();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  Status st = (*server)->Wait();
+  if (!st.ok()) return Fail(st);
+  std::printf("sky serve: drained\n");
+  return 0;
+}
+
+void PrintResult(uint64_t id, const sky::core::EngineResult& r) {
+  std::printf("sky client: session %llu finished\n",
+              static_cast<unsigned long long>(id));
+  std::printf("  segments          %zu\n", r.segments);
+  std::printf("  mean quality      %.4f\n", r.mean_quality);
+  std::printf("  work              %.1f core-s (%.1f on-prem)\n",
+              r.work_core_seconds, r.onprem_core_seconds);
+  std::printf("  cloud spend       $%.3f\n", r.cloud_usd);
+  std::printf("  result fnv1a      %016llx\n",
+              static_cast<unsigned long long>(
+                  sky::serve::ResultFingerprint(r)));
+}
+
+int RunClient(const std::string& verb, const Flags& f) {
+  if (f.help) return HelpOut(kClientHelp);
+  // Usage errors (unknown verb, missing port) are decided before touching
+  // the network, so they exit 2 even with no server around.
+  static const char* kVerbs[] = {"open",       "fetch", "metrics",
+                                 "reconfigure", "set-budget", "close",
+                                 "drain"};
+  bool known = false;
+  for (const char* v : kVerbs) known = known || verb == v;
+  if (!known) {
+    std::fprintf(stderr, "sky client: unknown verb '%s'\n%s", verb.c_str(),
+                 kClientHelp);
+    return 2;
+  }
+  if (f.port <= 0) {
+    std::fprintf(stderr, "sky client: --port is required\n");
+    return 2;
+  }
+  auto client = sky::serve::Client::Connect(f.port);
+  if (!client.ok()) return Fail(client.status());
+
+  if (verb == "open") {
+    sky::serve::SessionSpec spec;
+    spec.workload = f.workload;
+    spec.content_seed = f.content_seed;
+    spec.start_days = f.start_days;
+    spec.duration_days = f.duration_days;
+    spec.plan_interval_days = f.plan_interval_days;
+    spec.engine_seed = f.engine_seed;
+    spec.record_trace = f.record_trace;
+    spec.trace_resolution_s = f.trace_resolution_s;
+    if (f.precision == "f32") {
+      spec.f32_forecast = true;
+    } else if (f.precision != "f64") {
+      std::fprintf(stderr, "sky: --precision must be f64 or f32, got %s\n",
+                   f.precision.c_str());
+      return 2;
+    }
+    if (f.cloud_budget_set) {
+      spec.cloud_budget_usd_per_interval = f.cloud_budget;
+    }
+    if (f.work_budget_set) spec.work_budget_override = f.work_budget;
+
+    auto opened = client->OpenSession(spec);
+    if (!opened.ok()) return Fail(opened.status());
+    std::printf("sky client: session %llu opened (stream %llu)\n",
+                static_cast<unsigned long long>(opened->first),
+                static_cast<unsigned long long>(opened->second));
+    if (!f.wait) return 0;
+    std::fflush(stdout);
+    auto result = client->FetchResult(opened->first);
+    if (!result.ok()) return Fail(result.status());
+    PrintResult(opened->first, *result);
+    return 0;
+  }
+
+  if (verb == "fetch") {
+    if (!f.session_set) {
+      std::fprintf(stderr, "sky client fetch: --session is required\n");
+      return 2;
+    }
+    auto result = client->FetchResult(f.session);
+    if (!result.ok()) return Fail(result.status());
+    PrintResult(f.session, *result);
+    return 0;
+  }
+
+  if (verb == "metrics") {
+    auto json = client->Metrics();
+    if (!json.ok()) return Fail(json.status());
+    std::printf("%s", json->c_str());
+    return 0;
+  }
+
+  if (verb == "reconfigure") {
+    if (!f.session_set) {
+      std::fprintf(stderr, "sky client reconfigure: --session is required\n");
+      return 2;
+    }
+    sky::core::StreamReconfig changes;
+    if (f.cloud_budget_set) {
+      changes.cloud_budget_usd_per_interval = f.cloud_budget;
+    }
+    if (f.work_budget_set) changes.work_budget_override = f.work_budget;
+    Status s = client->Reconfigure(f.session, changes);
+    if (!s.ok()) return Fail(s);
+    std::printf("sky client: session %llu reconfigured (next boundary)\n",
+                static_cast<unsigned long long>(f.session));
+    return 0;
+  }
+
+  if (verb == "set-budget") {
+    Status s = client->SetSharedBudget(f.budget);
+    if (!s.ok()) return Fail(s);
+    std::printf("sky client: shared budget set to %.6f (next boundary)\n",
+                f.budget);
+    return 0;
+  }
+
+  if (verb == "close") {
+    if (!f.session_set) {
+      std::fprintf(stderr, "sky client close: --session is required\n");
+      return 2;
+    }
+    Status s = client->CloseSession(f.session);
+    if (!s.ok()) return Fail(s);
+    std::printf("sky client: session %llu closed\n",
+                static_cast<unsigned long long>(f.session));
+    return 0;
+  }
+
+  if (verb == "drain") {
+    Status s = client->Drain();
+    if (!s.ok()) return Fail(s);
+    std::printf("sky client: server draining\n");
+    return 0;
+  }
+
+  std::fprintf(stderr, "sky client: unknown verb '%s'\n%s", verb.c_str(),
+               kClientHelp);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   Flags flags;
+
+  if (cmd == "client") {
+    // `sky client --help` (no verb) must still answer.
+    if (argc >= 3 && argv[2][0] != '-') {
+      std::string verb = argv[2];
+      if (!ParseFlags(argc - 3, argv + 3, &flags)) return 2;
+      return RunClient(verb, flags);
+    }
+    if (!ParseFlags(argc - 2, argv + 2, &flags)) return 2;
+    if (flags.help) return HelpOut(kClientHelp);
+    std::fprintf(stderr, "sky client: a verb is required\n%s", kClientHelp);
+    return 2;
+  }
+
   if (!ParseFlags(argc - 2, argv + 2, &flags)) return 2;
   if (cmd == "offline") return RunOffline(flags);
   if (cmd == "ingest") return RunIngest(flags);
   if (cmd == "inspect") return RunInspect(flags);
+  if (cmd == "serve") return RunServe(flags);
+  if (cmd == "--help" || cmd == "-h") {
+    Usage();
+    return 0;
+  }
   return Usage();
 }
