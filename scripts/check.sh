@@ -20,6 +20,11 @@
 # scheduler, sessions, kernel-dispatch first use) under ThreadSanitizer in a
 # separate build-tsan tree and skips the benches: it is a race detector
 # pass, not a perf gate.
+# `--props` runs only the randomized property suites (property_test,
+# placement_search_test, scenario_test) with a fresh SKY_PROP_SEED — a
+# different slice of the instance space each run. The chosen seed is logged,
+# written to build/PROPS_SEED.txt for artifact upload, and a one-line
+# reproduce command is printed if the suite fails. `--props SEED` pins it.
 # `--asan` runs the FULL test suite under AddressSanitizer in a separate
 # build-asan tree (also bench-free): a memory-error pass over everything,
 # including the new fault-injection and crash-recovery suites, whose
@@ -32,9 +37,30 @@ if [[ "${1:-}" == "--tsan" ]]; then
     -DSKY_SANITIZE=thread -DSKY_BUILD_BENCHES=OFF -DSKY_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
   cd build-tsan
-  ctest --output-on-failure -j \
-    -R "thread_pool_test|stream_set_test|stream_set_parallel_test|stream_set_membership_test|session_test|kernels_test|serve_test"
+  ctest --output-on-failure \
+    -R "thread_pool_test|stream_set_test|stream_set_parallel_test|stream_set_membership_test|session_test|kernels_test|serve_test" \
+    -j
   echo "TSan concurrency suite passed"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--props" ]]; then
+  # Seed precedence: explicit argument > SKY_PROP_SEED already in the
+  # environment > a fresh draw. Logged up front and persisted so a CI
+  # failure is reproducible from the artifact alone.
+  SEED="${2:-${SKY_PROP_SEED:-$(( (RANDOM << 15) ^ RANDOM ^ $$ ))}}"
+  echo "property suites: SKY_PROP_SEED=${SEED}"
+  echo "reproduce: SKY_PROP_SEED=${SEED} scripts/check.sh --props ${SEED}"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j
+  echo "${SEED}" > build/PROPS_SEED.txt
+  cd build
+  SKY_PROP_SEED="${SEED}" ctest --output-on-failure \
+    -R "property_test|placement_search_test|scenario_test" -j ||
+    { echo "property suites FAILED; reproduce with:" >&2
+      echo "  SKY_PROP_SEED=${SEED} scripts/check.sh --props ${SEED}" >&2
+      exit 1; }
+  echo "property suites passed (SKY_PROP_SEED=${SEED})"
   exit 0
 fi
 

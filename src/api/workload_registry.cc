@@ -4,12 +4,14 @@
 #include "workloads/ev_counting.h"
 #include "workloads/mosei.h"
 #include "workloads/mot.h"
+#include "workloads/scenarios.h"
 
 namespace sky::api {
 
 const std::vector<std::string>& KnownWorkloadNames() {
   static const std::vector<std::string> kNames = {
-      "ev", "covid", "mot", "mosei-high", "mosei-long"};
+      "ev",          "covid", "mot",  "mosei-high", "mosei-long",
+      "flash-crowd", "drift", "fleet"};
   return kNames;
 }
 
@@ -43,6 +45,21 @@ std::unique_ptr<core::Workload> MakeWorkloadByName(
                               MoseiWorkload::SpikeKind::kLong, *content_seed)
                         : std::make_unique<MoseiWorkload>(
                               MoseiWorkload::SpikeKind::kLong);
+  }
+  // Adversarial scenario streams over the base pipelines (sim/scenarios.h):
+  // same knob spaces and quality responses, stress content. For "fleet" the
+  // content seed is the camera identity within the one shared fleet.
+  if (name == "flash-crowd") {
+    return content_seed ? std::make_unique<FlashCrowdWorkload>(*content_seed)
+                        : std::make_unique<FlashCrowdWorkload>();
+  }
+  if (name == "drift") {
+    return content_seed ? std::make_unique<DriftWorkload>(*content_seed)
+                        : std::make_unique<DriftWorkload>();
+  }
+  if (name == "fleet") {
+    return content_seed ? std::make_unique<FleetCameraWorkload>(*content_seed)
+                        : std::make_unique<FleetCameraWorkload>();
   }
   return nullptr;
 }

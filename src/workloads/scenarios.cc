@@ -1,0 +1,50 @@
+#include "workloads/scenarios.h"
+
+namespace sky::workloads {
+
+namespace {
+
+// The scenario streams reuse the base workloads' content geometry (profile,
+// horizon), so the offline train/test split and every engine default carry
+// over unchanged.
+
+sim::FlashCrowdOptions FlashCrowdContentOptions(uint64_t seed) {
+  sim::FlashCrowdOptions opts;
+  opts.base.profile = video::DiurnalContentProcess::Profile::kShoppingStreet;
+  opts.base.horizon = Days(26);
+  opts.base.seed = seed;
+  return opts;
+}
+
+sim::ContentDriftOptions DriftContentOptions(uint64_t seed) {
+  sim::ContentDriftOptions opts;
+  opts.base.profile =
+      video::DiurnalContentProcess::Profile::kTrafficIntersection;
+  opts.base.horizon = Days(26);
+  opts.base.seed = seed;
+  return opts;
+}
+
+sim::FleetOptions FleetContentOptions() {
+  sim::FleetOptions opts;
+  opts.base.profile =
+      video::DiurnalContentProcess::Profile::kTrafficIntersection;
+  opts.base.horizon = Days(20);
+  // fleet_seed stays at its default: every FleetCameraWorkload instance is
+  // a camera of the *same* fleet, whatever its camera seed.
+  return opts;
+}
+
+}  // namespace
+
+FlashCrowdWorkload::FlashCrowdWorkload(uint64_t seed)
+    : CovidWorkload(seed), scenario_(FlashCrowdContentOptions(seed)) {}
+
+DriftWorkload::DriftWorkload(uint64_t seed)
+    : MotWorkload(seed), scenario_(DriftContentOptions(seed)) {}
+
+FleetCameraWorkload::FleetCameraWorkload(uint64_t camera_seed)
+    : EvCountingWorkload(camera_seed),
+      scenario_(FleetContentOptions(), camera_seed) {}
+
+}  // namespace sky::workloads

@@ -1,0 +1,68 @@
+#ifndef SKYSCRAPER_WORKLOADS_SCENARIOS_H_
+#define SKYSCRAPER_WORKLOADS_SCENARIOS_H_
+
+#include "sim/scenarios.h"
+#include "workloads/covid.h"
+#include "workloads/ev_counting.h"
+#include "workloads/mot.h"
+
+namespace sky::workloads {
+
+/// Adversarial scenario workloads (registry names "flash-crowd", "drift",
+/// "fleet"): an existing §5.2 pipeline — knob space, cost model, quality
+/// response, and task graph all unchanged — ingesting one of the
+/// sim/scenarios.h stress streams instead of its steady-state diurnal
+/// source. Because TrueQuality is a pure function of (config, content
+/// state), swapping the content process is the complete change; engines,
+/// StreamSet, and benches run these exactly like the base workloads.
+
+/// The COVID shopping-street pipeline under flash-crowd arrival bursts.
+class FlashCrowdWorkload : public CovidWorkload {
+ public:
+  explicit FlashCrowdWorkload(uint64_t seed = 6001);
+
+  std::string name() const override { return "FLASH-CROWD"; }
+  const video::ContentProcess& content_process() const override {
+    return scenario_;
+  }
+
+ private:
+  sim::FlashCrowdContentProcess scenario_;
+};
+
+/// The MOT tracking pipeline under day/night content drift: the crowd
+/// pattern migrates into the night over days, so a forecaster fitted on
+/// the training window mispredicts unless re-trained online.
+class DriftWorkload : public MotWorkload {
+ public:
+  explicit DriftWorkload(uint64_t seed = 6002);
+
+  std::string name() const override { return "DRIFT"; }
+  const video::ContentProcess& content_process() const override {
+    return scenario_;
+  }
+
+ private:
+  sim::ContentDriftProcess scenario_;
+};
+
+/// The EV-counting pipeline as one camera of a correlated fleet: the
+/// content seed is the camera identity, and every camera shares the fixed
+/// fleet latent (content category shifts), so distinct seeds yield
+/// correlated — not independent — streams.
+class FleetCameraWorkload : public EvCountingWorkload {
+ public:
+  explicit FleetCameraWorkload(uint64_t camera_seed = 6003);
+
+  std::string name() const override { return "FLEET"; }
+  const video::ContentProcess& content_process() const override {
+    return scenario_;
+  }
+
+ private:
+  sim::FleetCameraContentProcess scenario_;
+};
+
+}  // namespace sky::workloads
+
+#endif  // SKYSCRAPER_WORKLOADS_SCENARIOS_H_

@@ -2,12 +2,42 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "dag/thread_pool.h"
 #include "sim/cost_model.h"
 #include "workloads/covid.h"
 #include "workloads/udf_costs.h"
 
 namespace sky::core {
 namespace {
+
+bool FrontiersBitwiseEqual(const std::vector<PlacementProfile>& a,
+                           const std::vector<PlacementProfile>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].placement.node_loc != b[i].placement.node_loc) return false;
+    if (a[i].runtime_s != b[i].runtime_s) return false;
+    if (a[i].cloud_usd != b[i].cloud_usd) return false;
+    if (a[i].onprem_core_s != b[i].onprem_core_s) return false;
+    if (a[i].uplink_bytes != b[i].uplink_bytes) return false;
+  }
+  return true;
+}
+
+/// Shared reference point for comparing two frontiers' hypervolumes: just
+/// beyond the most expensive and the slowest point of either.
+std::pair<double, double> SharedRef(const std::vector<PlacementProfile>& a,
+                                    const std::vector<PlacementProfile>& b) {
+  double ref_cost = 0.0, ref_rt = 0.0;
+  for (const auto* f : {&a, &b}) {
+    for (const PlacementProfile& p : *f) {
+      ref_cost = std::max(ref_cost, p.cloud_usd);
+      ref_rt = std::max(ref_rt, p.runtime_s);
+    }
+  }
+  return {ref_cost + 1.0, ref_rt + 1.0};
+}
 
 dag::TaskGraph HeavyChain(const sim::CostModel& cost_model) {
   dag::TaskGraph g;
@@ -96,6 +126,185 @@ TEST(PlacementSearchTest, WorkloadGraphsProduceUsableFrontiers) {
   auto frontier = SearchPlacements(g, cluster);
   ASSERT_TRUE(frontier.ok());
   EXPECT_GE(frontier->size(), 2u);
+}
+
+TEST(PlacementSearchTest, GreedyAndAnnealFrontiersAreValid) {
+  sim::CostModel cost_model(1.8);
+  dag::TaskGraph g = HeavyChain(cost_model);
+  sim::ClusterSpec cluster;
+  cluster.cores = 1;
+  for (SearchBackend backend : {SearchBackend::kGreedy, SearchBackend::kAnneal}) {
+    PlacementSearchOptions opts;
+    opts.backend = backend;
+    opts.eval_budget = 64;
+    PlacementSearchStats stats;
+    auto frontier = SearchPlacements(g, cluster, opts, &stats);
+    ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+    ASSERT_FALSE(frontier->empty());
+    // The all-on-prem anchor survives as the cheapest entry; the frontier
+    // stays sorted and strictly Pareto.
+    EXPECT_EQ(frontier->front().placement.NumCloudNodes(), 0u);
+    EXPECT_DOUBLE_EQ(frontier->front().cloud_usd, 0.0);
+    for (size_t i = 1; i < frontier->size(); ++i) {
+      EXPECT_GT((*frontier)[i].cloud_usd, (*frontier)[i - 1].cloud_usd);
+      EXPECT_LT((*frontier)[i].runtime_s, (*frontier)[i - 1].runtime_s);
+    }
+    EXPECT_LE(stats.evaluations, opts.eval_budget);
+  }
+}
+
+TEST(PlacementSearchTest, AnnealBitwiseDeterministicAcrossPoolSizes) {
+  sim::CostModel cost_model(1.8);
+  dag::TaskGraph g = HeavyChain(cost_model);
+  sim::ClusterSpec cluster;
+  cluster.cores = 1;
+  PlacementSearchOptions opts;
+  opts.backend = SearchBackend::kAnneal;
+  opts.eval_budget = 96;
+  opts.seed = 17;
+  auto serial = SearchPlacements(g, cluster, opts);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {1u, 2u, 8u}) {
+    dag::ThreadPool pool(threads);
+    opts.pool = &pool;
+    auto parallel = SearchPlacements(g, cluster, opts);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_TRUE(FrontiersBitwiseEqual(*serial, *parallel))
+        << "frontier differs at " << threads << " threads";
+  }
+}
+
+TEST(PlacementSearchTest, TinyBudgetFallsBackToGreedyNeverWorse) {
+  sim::CostModel cost_model(1.8);
+  dag::TaskGraph g = HeavyChain(cost_model);
+  sim::ClusterSpec cluster;
+  cluster.cores = 1;
+  // Cooling edge cases: with 0 or 1 fresh simulations the annealer cannot
+  // leave the greedy phase, so it must return exactly the greedy result.
+  for (size_t budget : {0u, 1u}) {
+    PlacementSearchOptions opts;
+    opts.eval_budget = budget;
+    opts.backend = SearchBackend::kGreedy;
+    auto greedy = SearchPlacements(g, cluster, opts);
+    ASSERT_TRUE(greedy.ok());
+    opts.backend = SearchBackend::kAnneal;
+    auto anneal = SearchPlacements(g, cluster, opts);
+    ASSERT_TRUE(anneal.ok());
+    EXPECT_TRUE(FrontiersBitwiseEqual(*greedy, *anneal))
+        << "budget " << budget;
+  }
+}
+
+TEST(PlacementSearchTest, AnnealAtLeastGreedyOnWorkloadGraph) {
+  workloads::CovidWorkload covid;
+  sim::CostModel cost_model(1.8);
+  sim::ClusterSpec cluster;
+  cluster.cores = 2;
+  dag::TaskGraph g =
+      covid.BuildTaskGraph(MostQualitativeConfig(covid), 4.0, cost_model);
+  PlacementSearchOptions opts;
+  opts.eval_budget = 128;
+  opts.backend = SearchBackend::kGreedy;
+  auto greedy = SearchPlacements(g, cluster, opts);
+  ASSERT_TRUE(greedy.ok());
+  opts.backend = SearchBackend::kAnneal;
+  auto anneal = SearchPlacements(g, cluster, opts);
+  ASSERT_TRUE(anneal.ok());
+  auto [ref_cost, ref_rt] = SharedRef(*greedy, *anneal);
+  EXPECT_GE(FrontierHypervolume(*anneal, ref_cost, ref_rt),
+            FrontierHypervolume(*greedy, ref_cost, ref_rt) - 1e-12);
+}
+
+TEST(PlacementSearchTest, RejectsBadCoolingFactor) {
+  sim::CostModel cost_model(1.8);
+  dag::TaskGraph g = HeavyChain(cost_model);
+  sim::ClusterSpec cluster;
+  PlacementSearchOptions opts;
+  opts.backend = SearchBackend::kAnneal;
+  opts.cooling = 0.0;
+  EXPECT_FALSE(SearchPlacements(g, cluster, opts).ok());
+  opts.cooling = 1.5;
+  EXPECT_FALSE(SearchPlacements(g, cluster, opts).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tie-breaking regression: on an instance where every placement has the
+// same (cost, runtime), the kept placement must be the stable
+// lexicographically-smallest one — all-on-prem — for every backend and for
+// any input order into the Pareto filter (the pre-fix behavior depended on
+// evaluation order).
+// ---------------------------------------------------------------------------
+
+dag::TaskGraph AllEqualCostGraph() {
+  // Three independent unit tasks, identical on-prem/cloud runtimes, zero
+  // payloads and zero cloud price: every one of the 2^3 placements
+  // simulates to (cost 0, runtime 1) on a wide-enough cluster.
+  dag::TaskGraph g;
+  for (int i = 0; i < 3; ++i) {
+    dag::TaskNode node;
+    node.name = "unit";
+    node.onprem_runtime_s = 1.0;
+    node.cloud_runtime_s = 1.0;
+    g.AddNode(node);
+  }
+  return g;
+}
+
+TEST(PlacementSearchTest, AllEqualCostInstancePinsAllOnPrem) {
+  dag::TaskGraph g = AllEqualCostGraph();
+  sim::ClusterSpec cluster;
+  cluster.cores = 4;
+  for (SearchBackend backend :
+       {SearchBackend::kEnumerate, SearchBackend::kGreedy,
+        SearchBackend::kAnneal}) {
+    PlacementSearchOptions opts;
+    opts.backend = backend;
+    opts.eval_budget = 32;
+    auto frontier = SearchPlacements(g, cluster, opts);
+    ASSERT_TRUE(frontier.ok());
+    ASSERT_EQ(frontier->size(), 1u);
+    EXPECT_EQ(frontier->front().placement.NumCloudNodes(), 0u);
+  }
+}
+
+TEST(ParetoFilterTest, EqualCostRuntimeTiesBreakByPlacementNotInputOrder) {
+  // Four profiles with identical (cost, runtime) but distinct placements.
+  std::vector<PlacementProfile> pts(4);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i].cloud_usd = 1.0;
+    pts[i].runtime_s = 2.0;
+    pts[i].placement = dag::Placement::AllOnPrem(3);
+  }
+  pts[0].placement.node_loc[2] = dag::Loc::kCloud;  // 001
+  pts[1].placement.node_loc[0] = dag::Loc::kCloud;  // 100
+  pts[2].placement.node_loc[1] = dag::Loc::kCloud;  // 010
+  pts[3].placement.node_loc[1] = dag::Loc::kCloud;  // 011
+  pts[3].placement.node_loc[2] = dag::Loc::kCloud;
+
+  auto forward = ParetoFilterPlacements(pts);
+  std::reverse(pts.begin(), pts.end());
+  auto reversed = ParetoFilterPlacements(pts);
+  ASSERT_EQ(forward.size(), 1u);
+  ASSERT_EQ(reversed.size(), 1u);
+  // Lexicographically smallest placement (on-prem sorts first): 001.
+  EXPECT_EQ(forward.front().placement.node_loc, reversed.front().placement.node_loc);
+  EXPECT_EQ(forward.front().placement.node_loc[0], dag::Loc::kOnPrem);
+  EXPECT_EQ(forward.front().placement.node_loc[1], dag::Loc::kOnPrem);
+  EXPECT_EQ(forward.front().placement.node_loc[2], dag::Loc::kCloud);
+}
+
+TEST(HypervolumeTest, DominatingFrontierHasLargerHypervolume) {
+  std::vector<PlacementProfile> weak(2), strong(3);
+  weak[0].cloud_usd = 0.0; weak[0].runtime_s = 10.0;
+  weak[1].cloud_usd = 4.0; weak[1].runtime_s = 6.0;
+  strong[0].cloud_usd = 0.0; strong[0].runtime_s = 10.0;
+  strong[1].cloud_usd = 2.0; strong[1].runtime_s = 6.0;  // dominates weak[1]
+  strong[2].cloud_usd = 4.0; strong[2].runtime_s = 3.0;
+  double hv_weak = FrontierHypervolume(weak, 10.0, 12.0);
+  double hv_strong = FrontierHypervolume(strong, 10.0, 12.0);
+  EXPECT_GT(hv_strong, hv_weak);
+  // Hand-computed: (10-0)*(12-10) + (10-4)*(10-6) = 44.
+  EXPECT_DOUBLE_EQ(hv_weak, 44.0);
 }
 
 }  // namespace

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/engine.h"
 #include "core/offline.h"
+#include "core/placement_search.h"
 #include "core/planner.h"
 #include "lp/knapsack.h"
 #include "lp/simplex.h"
@@ -15,6 +18,22 @@
 
 namespace sky {
 namespace {
+
+/// Base seed for the randomized property sweeps. `check.sh --props` (and the
+/// CI props job) export SKY_PROP_SEED to randomize nightly runs; unset, the
+/// suites run with a fixed seed so tier-1 stays reproducible.
+uint64_t PropSeed() {
+  if (const char* env = std::getenv("SKY_PROP_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0xC0FFEE;
+}
+
+std::string ReproduceLine(const ::testing::TestInfo* info) {
+  return "reproduce: SKY_PROP_SEED=" + std::to_string(PropSeed()) +
+         " ./property_test --gtest_filter=" + info->test_suite_name() + "." +
+         info->name();
+}
 
 // ---------------------------------------------------------------------------
 // Property: the engine never overflows the buffer, across provisionings.
@@ -236,6 +255,118 @@ TEST_P(KnapsackVsLpSweep, GreedyNearLpBound) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackVsLpSweep,
                          ::testing::Range<uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Property: at equal evaluation budget, the annealed placement search is
+// never worse than the greedy hill-climb (its evaluated set is a superset
+// chain by chain), across randomized placement instances. 100 instances per
+// run; the instance stream is derived from SKY_PROP_SEED.
+// ---------------------------------------------------------------------------
+
+dag::TaskGraph RandomPlacementInstance(Rng* rng, sim::ClusterSpec* cluster) {
+  dag::TaskGraph g;
+  size_t n = 4 + static_cast<size_t>(rng->UniformInt(0, 8));
+  for (size_t i = 0; i < n; ++i) {
+    dag::TaskNode node;
+    node.name = "t" + std::to_string(i);
+    node.onprem_runtime_s = rng->Uniform(0.1, 3.0);
+    node.cloud_runtime_s = node.onprem_runtime_s * rng->Uniform(0.2, 1.5);
+    node.input_bytes = rng->Uniform(0.0, 5e5);
+    node.output_bytes = rng->Uniform(0.0, 1e5);
+    node.cloud_cost_usd = rng->Uniform(0.0, 0.01);
+    // ~Half the nodes land in interchangeability groups (chunked UDFs).
+    if (rng->Bernoulli(0.5)) {
+      node.group = static_cast<int>(rng->UniformInt(0, 2));
+    }
+    g.AddNode(node);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng->Bernoulli(0.2)) EXPECT_TRUE(g.AddEdge(i, j).ok());
+    }
+  }
+  cluster->cores = 1 + static_cast<int>(rng->UniformInt(0, 3));
+  cluster->cloud_workers = 2 + static_cast<int>(rng->UniformInt(0, 6));
+  return g;
+}
+
+class SaVsGreedySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SaVsGreedySweep, AnnealNeverWorseThanGreedyAtEqualBudget) {
+  SCOPED_TRACE(ReproduceLine(
+      ::testing::UnitTest::GetInstance()->current_test_info()));
+  // 10 instances per parameter x 10 parameters = 100 random instances.
+  for (size_t instance = 0; instance < 10; ++instance) {
+    Rng rng(Rng(PropSeed()).ForkIndex(GetParam()).ForkIndex(instance)
+                .UniformInt(0, 1 << 30));
+    sim::ClusterSpec cluster;
+    dag::TaskGraph g = RandomPlacementInstance(&rng, &cluster);
+
+    core::PlacementSearchOptions opts;
+    opts.seed = static_cast<uint64_t>(rng.UniformInt(0, 1 << 30));
+    opts.eval_budget = 48;
+    opts.restarts = 4;
+    opts.backend = core::SearchBackend::kGreedy;
+    auto greedy = core::SearchPlacements(g, cluster, opts);
+    ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+    opts.backend = core::SearchBackend::kAnneal;
+    auto anneal = core::SearchPlacements(g, cluster, opts);
+    ASSERT_TRUE(anneal.ok()) << anneal.status().ToString();
+
+    double ref_cost = 0.0, ref_rt = 0.0;
+    for (const auto* f : {&*greedy, &*anneal}) {
+      for (const core::PlacementProfile& p : *f) {
+        ref_cost = std::max(ref_cost, p.cloud_usd);
+        ref_rt = std::max(ref_rt, p.runtime_s);
+      }
+    }
+    ref_cost += 1.0;
+    ref_rt += 1.0;
+    EXPECT_GE(core::FrontierHypervolume(*anneal, ref_cost, ref_rt),
+              core::FrontierHypervolume(*greedy, ref_cost, ref_rt) - 1e-12)
+        << "instance " << instance;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaVsGreedySweep,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// ---------------------------------------------------------------------------
+// Property: the annealed search replays bitwise for a fixed (seed, budget)
+// at any pool size, on randomized instances.
+// ---------------------------------------------------------------------------
+
+class SaDeterminismSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SaDeterminismSweep, AnnealBitwiseAcrossPoolSizes) {
+  SCOPED_TRACE(ReproduceLine(
+      ::testing::UnitTest::GetInstance()->current_test_info()));
+  Rng rng(Rng(PropSeed()).ForkIndex(1000 + GetParam()).UniformInt(0, 1 << 30));
+  sim::ClusterSpec cluster;
+  dag::TaskGraph g = RandomPlacementInstance(&rng, &cluster);
+  core::PlacementSearchOptions opts;
+  opts.backend = core::SearchBackend::kAnneal;
+  opts.seed = static_cast<uint64_t>(rng.UniformInt(0, 1 << 30));
+  opts.eval_budget = 64;
+  auto reference = core::SearchPlacements(g, cluster, opts);
+  ASSERT_TRUE(reference.ok());
+  for (size_t threads : {1u, 2u, 8u}) {
+    dag::ThreadPool pool(threads);
+    opts.pool = &pool;
+    auto got = core::SearchPlacements(g, cluster, opts);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), reference->size()) << threads << " threads";
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].placement.node_loc,
+                (*reference)[i].placement.node_loc);
+      EXPECT_EQ((*got)[i].runtime_s, (*reference)[i].runtime_s);
+      EXPECT_EQ((*got)[i].cloud_usd, (*reference)[i].cloud_usd);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaDeterminismSweep,
+                         ::testing::Range<uint64_t>(0, 5));
 
 }  // namespace
 }  // namespace sky
